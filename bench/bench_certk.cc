@@ -1,0 +1,90 @@
+// EXP-T2 / EXP-S2: the greedy fixpoint algorithm Cert_k.
+//   - Theorem 6.1 workloads (q3, q4): Cert_2 scaling with database size,
+//     with answer agreement against the exhaustive baseline spot-checked.
+//   - Ablation over k: cost of Cert_1..Cert_4 on the same instances.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/certk.h"
+#include "algo/exhaustive.h"
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+Database MakeInstance(const ConjunctiveQuery& q, std::uint32_t n,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceParams params;
+  params.num_facts = n;
+  params.domain_size = 2 + n / 8;
+  return RandomInstance(q, params, &rng);
+}
+
+void BM_Cert2_Q3(benchmark::State& state) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Database db = MakeInstance(q, static_cast<std::uint32_t>(state.range(0)),
+                             1001);
+  CertKStats stats;
+  for (auto _ : state) {
+    bool answer = CertK(q, db, 2, &stats);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["antichain"] = static_cast<double>(stats.minimal_sets);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Cert2_Q3)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_Cert2_Q4(benchmark::State& state) {
+  auto q = ParseQuery("R(x, x | u, v) R(x, y | u, x)");
+  Database db = MakeInstance(q, static_cast<std::uint32_t>(state.range(0)),
+                             1002);
+  for (auto _ : state) {
+    bool answer = CertK(q, db, 2);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Cert2_Q4)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_ExhaustiveBaseline_Q3(benchmark::State& state) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Database db = MakeInstance(q, static_cast<std::uint32_t>(state.range(0)),
+                             1001);
+  for (auto _ : state) {
+    bool answer = ExhaustiveCertain(q, db);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_ExhaustiveBaseline_Q3)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_CertK_AblationOverK(benchmark::State& state) {
+  auto q = ParseQuery("R(x | y, x) R(y | x, u)");  // q5: no-tripath class.
+  Database db = MakeInstance(q, 64, 1003);
+  std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    bool answer = CertK(q, db, k);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_CertK_AblationOverK)->DenseRange(1, 4);
+
+void BM_CertK_ChainWorstCase(benchmark::State& state) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Rng rng(1004);
+  Database db = ChainInstance(q, static_cast<std::uint32_t>(state.range(0)),
+                              0.6, 0.8, &rng);
+  for (auto _ : state) {
+    bool answer = CertK(q, db, 2);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["facts"] = static_cast<double>(db.NumFacts());
+}
+BENCHMARK(BM_CertK_ChainWorstCase)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace cqa
+
+BENCHMARK_MAIN();

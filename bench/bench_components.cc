@@ -1,0 +1,91 @@
+// EXP-S3: the q-connected decomposition of Proposition 10.6 and the
+// Monte Carlo repair-sampling baseline — cost of the decomposition, the
+// component-wise solver vs the monolithic combined algorithm, and sampling
+// as a cheap refuter.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/combined.h"
+#include "algo/components.h"
+#include "algo/sampling.h"
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+const char* kQ6 = "R(x | y, z) R(z | x, y)";
+
+Database Make(const ConjunctiveQuery& q, std::uint32_t n,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceParams params;
+  params.num_facts = n;
+  params.domain_size = 2 + n / 8;
+  return RandomInstance(q, params, &rng);
+}
+
+void BM_QConnectedDecomposition(benchmark::State& state) {
+  auto q = ParseQuery(kQ6);
+  Database db = Make(q, static_cast<std::uint32_t>(state.range(0)), 31);
+  std::size_t num_components = 0;
+  for (auto _ : state) {
+    auto comps = QConnectedComponents(q, db);
+    num_components = comps.size();
+    benchmark::DoNotOptimize(comps.size());
+  }
+  state.counters["components"] = static_cast<double>(num_components);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QConnectedDecomposition)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity();
+
+void BM_ComponentwiseVsMonolithic(benchmark::State& state) {
+  auto q = ParseQuery(kQ6);
+  Database db = Make(q, 192, 32);
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ComponentwiseCertain(q, db, 3));
+    }
+    state.SetLabel("componentwise");
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(CombinedCertain(q, db, 3));
+    }
+    state.SetLabel("monolithic");
+  }
+}
+BENCHMARK(BM_ComponentwiseVsMonolithic)->Arg(0)->Arg(1);
+
+void BM_RepairSampling(benchmark::State& state) {
+  auto q = ParseQuery(kQ6);
+  Database db = Make(q, static_cast<std::uint32_t>(state.range(0)), 33);
+  for (auto _ : state) {
+    SamplingResult r = SampleRepairs(q, db, 100, 7);
+    benchmark::DoNotOptimize(r.satisfying);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RepairSampling)
+    ->RangeMultiplier(4)
+    ->Range(32, 2048)
+    ->Complexity();
+
+void BM_SamplingAsRefuter(benchmark::State& state) {
+  // Early-stopping sampling on a non-certain instance: usually one draw.
+  auto q = ParseQuery(kQ6);
+  Database db = Make(q, 256, 34);
+  for (auto _ : state) {
+    SamplingResult r = SampleRepairs(q, db, 1000, 7, true);
+    benchmark::DoNotOptimize(r.found_falsifier);
+  }
+}
+BENCHMARK(BM_SamplingAsRefuter);
+
+}  // namespace
+}  // namespace cqa
+
+BENCHMARK_MAIN();

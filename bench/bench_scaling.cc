@@ -1,0 +1,102 @@
+// EXP-S1: ablation across algorithms — exhaustive vs Cert_k vs matching vs
+// combined vs the classify-once dispatcher, on the same growing workloads.
+// The point is the shape: the PTime algorithms scale polynomially where the
+// exhaustive baseline blows up, and the dispatcher matches the best
+// applicable algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/certk.h"
+#include "algo/combined.h"
+#include "algo/exhaustive.h"
+#include "algo/matching.h"
+#include "base/rng.h"
+#include "classify/solver.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* query;
+};
+
+const Workload kWorkloads[] = {
+    {"q3", "R(x | y) R(y | z)"},
+    {"q5", "R(x | y, x) R(y | x, u)"},
+    {"q6", "R(x | y, z) R(z | x, y)"},
+};
+
+Database Make(const ConjunctiveQuery& q, std::uint32_t n,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  InstanceParams params;
+  params.num_facts = n;
+  params.domain_size = 2 + n / 8;
+  return RandomInstance(q, params, &rng);
+}
+
+void BM_Dispatcher(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(0)];
+  auto q = ParseQuery(w.query);
+  CertainSolver solver(q);
+  Database db = Make(q, static_cast<std::uint32_t>(state.range(1)), 99);
+  for (auto _ : state) {
+    SolverAnswer a = solver.Solve(db);
+    benchmark::DoNotOptimize(a.certain);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_Dispatcher)
+    ->ArgsProduct({{0, 1, 2}, {32, 128, 256}});
+
+void BM_AllAlgorithmsOnQ6(benchmark::State& state) {
+  auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+  Database db = Make(q6, 96, 98);
+  switch (state.range(0)) {
+    case 0:
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(ExhaustiveCertain(q6, db));
+      }
+      state.SetLabel("exhaustive");
+      break;
+    case 1:
+      for (auto _ : state) benchmark::DoNotOptimize(CertK(q6, db, 3));
+      state.SetLabel("cert3");
+      break;
+    case 2:
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(NotMatchingCertain(q6, db));
+      }
+      state.SetLabel("not-matching");
+      break;
+    case 3:
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(CombinedCertain(q6, db, 3));
+      }
+      state.SetLabel("combined");
+      break;
+  }
+}
+BENCHMARK(BM_AllAlgorithmsOnQ6)->DenseRange(0, 3);
+
+void BM_SolutionEnumeration(benchmark::State& state) {
+  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  Database db = Make(q, static_cast<std::uint32_t>(state.range(0)), 97);
+  for (auto _ : state) {
+    SolutionSet s = ComputeSolutions(q, db);
+    benchmark::DoNotOptimize(s.pairs.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolutionEnumeration)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity();
+
+}  // namespace
+}  // namespace cqa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// EXP-F1: Figure 1 — tripath search and validation for q2 (fork, Figures
+// 1b/1c), q5 (none) and q6 (triangle). Prints the witnesses found, then
+// benchmarks the searcher and the validator.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "query/query.h"
+#include "tripath/search.h"
+#include "tripath/validate.h"
+
+namespace cqa {
+namespace {
+
+void PrintWitnesses() {
+  std::printf("\n=== EXP-F1: tripath witnesses (Figure 1) ===\n");
+  {
+    auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+    TripathSearchResult r = SearchTripaths(q2);
+    std::printf("[q2] fork-tripath found: %s (candidates tried: %llu)\n",
+                r.HasFork() ? "yes" : "no",
+                static_cast<unsigned long long>(r.candidates));
+    if (r.HasFork()) std::printf("%s", r.fork->tripath.ToString().c_str());
+    auto nice = FindNiceForkTripath(q2);
+    std::printf("[q2] nice fork-tripath (Figure 1c analogue): %s\n",
+                nice ? "yes" : "no");
+    if (nice) {
+      std::printf("%s", nice->tripath.ToString().c_str());
+      const auto& db = nice->tripath.db;
+      std::printf("  witnesses: x=%s y=%s z=%s u=%s v=%s w=%s\n",
+                  db.elements().Name(nice->validation.x).c_str(),
+                  db.elements().Name(nice->validation.y).c_str(),
+                  db.elements().Name(nice->validation.z).c_str(),
+                  db.elements().Name(nice->validation.u).c_str(),
+                  db.elements().Name(nice->validation.v).c_str(),
+                  db.elements().Name(nice->validation.w).c_str());
+    }
+  }
+  {
+    auto q5 = ParseQuery("R(x | y, x) R(y | x, u)");
+    TripathSearchResult r = SearchTripaths(q5);
+    std::printf("[q5] tripaths: fork=%s triangle=%s exhausted=%s\n",
+                r.HasFork() ? "yes" : "no", r.HasTriangle() ? "yes" : "no",
+                r.exhausted ? "yes" : "no");
+  }
+  {
+    auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+    TripathSearchResult r = SearchTripaths(q6);
+    std::printf("[q6] fork=%s triangle=%s (candidates: %llu)\n",
+                r.HasFork() ? "yes" : "no", r.HasTriangle() ? "yes" : "no",
+                static_cast<unsigned long long>(r.candidates));
+    if (r.HasTriangle())
+      std::printf("%s", r.triangle->tripath.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_SearchForkQ2(benchmark::State& state) {
+  auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  for (auto _ : state) {
+    TripathSearchResult r = SearchTripaths(q2);
+    benchmark::DoNotOptimize(r.fork);
+  }
+}
+BENCHMARK(BM_SearchForkQ2);
+
+void BM_SearchNiceForkQ2(benchmark::State& state) {
+  auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  for (auto _ : state) {
+    auto nice = FindNiceForkTripath(q2);
+    benchmark::DoNotOptimize(nice);
+  }
+}
+BENCHMARK(BM_SearchNiceForkQ2);
+
+void BM_SearchExhaustQ5(benchmark::State& state) {
+  auto q5 = ParseQuery("R(x | y, x) R(y | x, u)");
+  for (auto _ : state) {
+    TripathSearchResult r = SearchTripaths(q5);
+    benchmark::DoNotOptimize(r.exhausted);
+  }
+}
+BENCHMARK(BM_SearchExhaustQ5);
+
+void BM_SearchTriangleQ6(benchmark::State& state) {
+  auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+  for (auto _ : state) {
+    TripathSearchResult r = SearchTripaths(q6);
+    benchmark::DoNotOptimize(r.triangle);
+  }
+}
+BENCHMARK(BM_SearchTriangleQ6);
+
+void BM_ValidateNiceFork(benchmark::State& state) {
+  auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  auto nice = FindNiceForkTripath(q2);
+  for (auto _ : state) {
+    TripathValidation v = ValidateTripath(q2, nice->tripath);
+    benchmark::DoNotOptimize(v.nice);
+  }
+}
+BENCHMARK(BM_ValidateNiceFork);
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  cqa::PrintWitnesses();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

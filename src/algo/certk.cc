@@ -1,0 +1,203 @@
+#include "algo/certk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "query/eval.h"
+
+namespace cqa {
+namespace {
+
+using FactSet = std::vector<FactId>;  // Sorted, unique.
+
+FactSet SetMinus(const FactSet& s, FactId u) {
+  FactSet out;
+  out.reserve(s.size());
+  for (FactId f : s) {
+    if (f != u) out.push_back(f);
+  }
+  return out;
+}
+
+bool IsSubset(const FactSet& small, const FactSet& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+FactSet Union(const FactSet& a, const FactSet& b) {
+  FactSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Antichain of subset-minimal derived sets, with a hash index for
+/// duplicate suppression.
+class Antichain {
+ public:
+  /// True if some member is a subset of s.
+  bool Implies(const FactSet& s) const {
+    for (const FactSet& m : members_) {
+      if (m.size() <= s.size() && IsSubset(m, s)) return true;
+    }
+    return false;
+  }
+
+  /// Inserts s, removing members that become non-minimal. Returns false if
+  /// s was already implied.
+  bool Insert(const FactSet& s) {
+    if (Implies(s)) return false;
+    members_.erase(
+        std::remove_if(members_.begin(), members_.end(),
+                       [&](const FactSet& m) { return IsSubset(s, m); }),
+        members_.end());
+    members_.push_back(s);
+    return true;
+  }
+
+  bool ContainsEmpty() const {
+    return members_.size() == 1 && members_[0].empty();
+  }
+
+  const std::vector<FactSet>& members() const { return members_; }
+
+ private:
+  std::vector<FactSet> members_;
+};
+
+/// Per-block conflict check: a k-set may contain at most one fact per block.
+bool ExtendableToRepair(const Database& db, const FactSet& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      if (db.BlockOf(s[i]) == db.BlockOf(s[j])) return false;
+    }
+  }
+  return true;
+}
+
+/// DFS over per-fact witness pieces for one block, accumulating the union.
+/// pieces[i] lists candidate sets P with P ⊆ S ∪ {u_i} ⇔ P \ {u_i} ⊆ S;
+/// we build S as the union of one piece per fact. Newly derived sets are
+/// inserted into the antichain immediately, which both strengthens the
+/// pruning for the remainder of the search and lets the empty set abort
+/// everything.
+class BlockDeriver {
+ public:
+  BlockDeriver(const Database& db, std::uint32_t k,
+               const std::vector<std::vector<FactSet>>& pieces,
+               Antichain* antichain, bool* changed)
+      : db_(&db),
+        k_(k),
+        pieces_(&pieces),
+        antichain_(antichain),
+        changed_(changed) {}
+
+  void Run() { Rec(0, FactSet{}); }
+
+ private:
+  void Rec(std::size_t fact_index, const FactSet& acc) {
+    if (antichain_->ContainsEmpty()) return;
+    if (acc.size() > k_) return;
+    if (antichain_->Implies(acc)) return;  // Already derivable; extensions
+                                           // of acc are redundant.
+    if (!ExtendableToRepair(*db_, acc)) return;
+    if (fact_index == pieces_->size()) {
+      if (antichain_->Insert(acc)) *changed_ = true;
+      return;
+    }
+    for (const FactSet& piece : (*pieces_)[fact_index]) {
+      Rec(fact_index + 1, Union(acc, piece));
+    }
+  }
+
+  const Database* db_;
+  std::uint32_t k_;
+  const std::vector<std::vector<FactSet>>* pieces_;
+  Antichain* antichain_;
+  bool* changed_;
+};
+
+}  // namespace
+
+bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
+           CertKStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  CQA_CHECK(k >= 1);
+
+  Antichain antichain;
+
+  // (init): minimal supports of solutions. A solution (a, b) needs both
+  // facts in the same repair, so pairs within one block (a != b) are
+  // discarded.
+  SolutionSet solutions = ComputeSolutions(q, db);
+  for (const auto& [a, b] : solutions.pairs) {
+    if (a == b) {
+      antichain.Insert(FactSet{a});
+    } else if (db.BlockOf(a) != db.BlockOf(b)) {
+      FactSet s = a < b ? FactSet{a, b} : FactSet{b, a};
+      if (s.size() <= k) antichain.Insert(s);
+    }
+  }
+
+  const auto& blocks = db.blocks();
+  bool changed = true;
+  std::uint64_t rounds = 0;
+  while (changed && !antichain.ContainsEmpty()) {
+    changed = false;
+    ++rounds;
+    for (const Block& block : blocks) {
+      // pieces[i]: for fact u_i of the block, all m \ {u_i} over minimal
+      // derived sets m. Only ⊆-minimal pieces are kept (a non-minimal
+      // piece can only produce superset candidates), sorted by size so
+      // small unions are explored first.
+      std::vector<std::vector<FactSet>> pieces(block.facts.size());
+      bool feasible = true;
+      for (std::size_t i = 0; i < block.facts.size(); ++i) {
+        FactId u = block.facts[i];
+        for (const FactSet& m : antichain.members()) {
+          FactSet piece = SetMinus(m, u);
+          if (piece.size() > k) continue;
+          pieces[i].push_back(std::move(piece));
+        }
+        if (pieces[i].empty()) {
+          feasible = false;
+          break;
+        }
+        std::sort(pieces[i].begin(), pieces[i].end(),
+                  [](const FactSet& a, const FactSet& b) {
+                    return a.size() != b.size() ? a.size() < b.size()
+                                                : a < b;
+                  });
+        pieces[i].erase(std::unique(pieces[i].begin(), pieces[i].end()),
+                        pieces[i].end());
+        // Minimality filter: earlier (smaller) pieces dominate supersets.
+        std::vector<FactSet> minimal;
+        for (const FactSet& p : pieces[i]) {
+          bool dominated = false;
+          for (const FactSet& q2 : minimal) {
+            if (IsSubset(q2, p)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) minimal.push_back(p);
+        }
+        pieces[i] = std::move(minimal);
+      }
+      if (!feasible) continue;
+
+      BlockDeriver(db, k, pieces, &antichain, &changed).Run();
+      if (antichain.ContainsEmpty()) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->minimal_sets = antichain.members().size();
+    stats->rounds = rounds;
+  }
+  return antichain.ContainsEmpty();
+}
+
+}  // namespace cqa

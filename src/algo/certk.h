@@ -1,0 +1,53 @@
+// The greedy fixpoint algorithm Cert_k(q) of Section 5 (from [3], Figueira,
+// Padmanabha, Segoufin, Sirangelo, ICDT 2023).
+//
+// Delta_k(q, D) is the least set of k-sets (sets of <= k facts extendable to
+// a repair) closed under:
+//   (init)  every k-set S with S |= q is in Delta_k;
+//   (step)  S is added whenever some block B of D satisfies: for every fact
+//           u in B there is S' subset of (S union {u}) with S' in Delta_k.
+// Cert_k(q) answers yes iff the empty set enters Delta_k. The invariant is
+// that whenever S in Delta_k and S is contained in a repair r, then r |= q;
+// hence Cert_k is a sound under-approximation of certain(q).
+//
+// Implementation: Delta_k is upward closed within k-sets, so we maintain
+// only its subset-minimal members (an antichain). The inductive step is
+// generative: for a block B = {u_1..u_m}, the minimal new sets are unions
+// over i of (m_i \ {u_i}) for choices of minimal witnesses m_i; we explore
+// those unions with a DFS that prunes on size, block conflicts, and
+// already-derived supersets. This is exact (it derives a set iff the
+// textbook fixpoint does) without materializing all O(n^k) k-sets.
+//
+// Correctness guarantees from the paper:
+//   - Theorem 6.1: if key(A) ⊆ key(B) or vars(A)∩vars(B) ⊆ key(B)
+//     (or symmetrically), Cert_2 == certain.
+//   - Proposition 8.2: for 2way-determined q with no tripath,
+//     Cert_k == certain for k = 2^(2κ+1)+κ-1, κ = l^l.
+//   - Theorem 10.1: if q is 2way-determined and admits a triangle-tripath,
+//     no Cert_k computes certain(q).
+
+#ifndef CQA_ALGO_CERTK_H_
+#define CQA_ALGO_CERTK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Statistics from a Cert_k run.
+struct CertKStats {
+  std::uint64_t minimal_sets = 0;  ///< Antichain size at fixpoint.
+  std::uint64_t rounds = 0;        ///< Fixpoint iterations.
+};
+
+/// Runs Cert_k(q) on db. Sound: a true answer implies D |= certain(q).
+/// Two-atom queries only.
+bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
+           CertKStats* stats = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_CERTK_H_

@@ -1,0 +1,30 @@
+#include "algo/combined.h"
+
+namespace cqa {
+
+std::uint64_t TheoreticalCertKBound(std::uint32_t key_len) {
+  // κ = l^l (κ = 1 for l ∈ {0, 1}).
+  std::uint64_t kappa = 1;
+  for (std::uint32_t i = 0; i < key_len; ++i) kappa *= key_len;
+  if (kappa == 0) kappa = 1;
+  // 2^(2κ+1) + κ - 1, saturating at 2^63 to avoid overflow for large keys.
+  std::uint64_t exponent = 2 * kappa + 1;
+  std::uint64_t power = exponent >= 63 ? (1ULL << 63) : (1ULL << exponent);
+  return power + kappa - 1;
+}
+
+bool CombinedCertain(const ConjunctiveQuery& q, const Database& db,
+                     std::uint32_t k, CombinedDecision* decision) {
+  if (CertK(q, db, k)) {
+    if (decision != nullptr) *decision = CombinedDecision::kCertK;
+    return true;
+  }
+  if (NotMatchingCertain(q, db)) {
+    if (decision != nullptr) *decision = CombinedDecision::kNotMatching;
+    return true;
+  }
+  if (decision != nullptr) *decision = CombinedDecision::kNotCertain;
+  return false;
+}
+
+}  // namespace cqa

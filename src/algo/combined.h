@@ -1,0 +1,43 @@
+// The combined polynomial-time algorithm of Theorem 10.5:
+//   certain(q) = Cert_k(q) OR NOT matching(q)
+// for 2way-determined queries without a fork-tripath
+// (k = 2^(2κ+1) + κ - 1, κ = l^l).
+//
+// The two components cover complementary parts of the q-connected partition
+// of Proposition 10.6: components without tripaths are handled by Cert_k,
+// clique-database components by ¬matching.
+
+#ifndef CQA_ALGO_COMBINED_H_
+#define CQA_ALGO_COMBINED_H_
+
+#include <cstdint>
+
+#include "algo/certk.h"
+#include "algo/matching.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Which component of the combined algorithm decided the answer.
+enum class CombinedDecision {
+  kCertK,        ///< Cert_k said certain.
+  kNotMatching,  ///< matching(q) failed to saturate: certain.
+  kNotCertain,   ///< Neither: not certain (valid for fork-free queries).
+};
+
+/// The theoretical k of Proposition 8.2 / Theorem 10.5 for key length l:
+/// 2^(2κ+1) + κ - 1 with κ = l^l. Grows fast; callers typically use a
+/// small practical k (the answer is still sound for any k and exact on all
+/// the paper's worked examples already for k <= 4).
+std::uint64_t TheoreticalCertKBound(std::uint32_t key_len);
+
+/// Runs Cert_k(q) OR ¬matching(q). Exact for 2way-determined queries with
+/// no fork-tripath when k is at least the theoretical bound; sound (only
+/// "certain" answers can be trusted) for every two-atom query and any k.
+bool CombinedCertain(const ConjunctiveQuery& q, const Database& db,
+                     std::uint32_t k, CombinedDecision* decision = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_COMBINED_H_

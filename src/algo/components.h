@@ -1,0 +1,49 @@
+// q-connected components (Proposition 10.6).
+//
+// Two blocks B, B' of a database D are q-connected if (B, B') is in the
+// reflexive-symmetric-transitive closure of "some a in B, b in B' form a
+// solution q{ab}". The partition of D into q-connected components C1..Cn
+// satisfies:
+//   (1) if q is 2way-determined with no fork-tripath, every Ci either
+//       contains no tripath or is a clique-database for q;
+//   (2) D |= certain(q) iff some Ci |= certain(q);
+//   (3) Ci |= Cert_k(q) implies D |= Cert_k(q);
+//   (4) D |= matching(q) implies Ci |= matching(q) for all i.
+// This is the decomposition behind Theorem 10.5; we expose it both for the
+// component-wise solver and for property tests of (2)-(4).
+
+#ifndef CQA_ALGO_COMPONENTS_H_
+#define CQA_ALGO_COMPONENTS_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// The q-connected partition: for each component, the sub-database plus
+/// the original FactIds it came from.
+struct QConnectedComponent {
+  Database db;
+  std::vector<FactId> original_facts;  ///< Parallel to db's fact ids.
+
+  QConnectedComponent() : db(Schema()) {}
+};
+
+/// Computes the q-connected components of db (two-atom queries).
+/// Component sub-databases share the original element names, so solutions
+/// and blocks are preserved verbatim.
+std::vector<QConnectedComponent> QConnectedComponents(
+    const ConjunctiveQuery& q, const Database& db);
+
+/// Component-wise certain answering per the Theorem 10.5 proof shape:
+/// answers true iff some component is certain, deciding each component
+/// with Cert_k OR NOT matching. Exact under the same hypotheses as
+/// CombinedCertain; sound in general.
+bool ComponentwiseCertain(const ConjunctiveQuery& q, const Database& db,
+                          std::uint32_t k);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_COMPONENTS_H_

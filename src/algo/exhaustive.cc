@@ -1,0 +1,112 @@
+#include "algo/exhaustive.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "data/repair.h"
+#include "query/eval.h"
+#include "query/solution_graph.h"
+
+namespace cqa {
+namespace {
+
+/// Backtracking search for a repair that avoids all solutions.
+///
+/// State: per fact, a count of chosen neighbors ("banned" when > 0); per
+/// block, the number of not-yet-banned candidate facts. Blocks are processed
+/// most-constrained-first, recomputed at each node (the databases involved
+/// are small enough that the O(blocks) scan per node is dwarfed by the
+/// pruning it buys).
+class FalsifierSearch {
+ public:
+  FalsifierSearch(const Database& db, const SolutionGraph& sg)
+      : db_(&db), sg_(&sg) {
+    std::size_t n = db.NumFacts();
+    banned_count_.assign(n, 0);
+    // Facts with a self-solution can never be part of a falsifying repair.
+    for (FactId f = 0; f < n; ++f) {
+      if (sg.solutions.self[f]) banned_count_[f] = 1;
+    }
+    assigned_.assign(db.blocks().size(), false);
+  }
+
+  bool FindFalsifier(std::uint64_t* nodes) {
+    return Search(nodes);
+  }
+
+ private:
+  /// Number of selectable facts in block b; also reports one of them.
+  std::uint32_t CountAvailable(BlockId b, FactId* witness) const {
+    std::uint32_t count = 0;
+    for (FactId f : db_->blocks()[b].facts) {
+      if (banned_count_[f] == 0) {
+        ++count;
+        *witness = f;
+      }
+    }
+    return count;
+  }
+
+  bool Search(std::uint64_t* nodes) {
+    ++*nodes;
+    // Pick the unassigned block with the fewest available facts.
+    BlockId best_block = 0;
+    std::uint32_t best_count = 0xffffffffu;
+    bool found_unassigned = false;
+    for (BlockId b = 0; b < assigned_.size(); ++b) {
+      if (assigned_[b]) continue;
+      found_unassigned = true;
+      FactId w;
+      std::uint32_t count = CountAvailable(b, &w);
+      if (count < best_count) {
+        best_count = count;
+        best_block = b;
+        if (count == 0) break;
+      }
+    }
+    if (!found_unassigned) return true;  // All blocks assigned: falsifier.
+    if (best_count == 0) return false;   // Dead end.
+
+    assigned_[best_block] = true;
+    for (FactId f : db_->blocks()[best_block].facts) {
+      if (banned_count_[f] != 0) continue;
+      // Choose f: ban all its solution-graph neighbors.
+      for (FactId nb : sg_->graph.Neighbors(f)) ++banned_count_[nb];
+      bool ok = Search(nodes);
+      for (FactId nb : sg_->graph.Neighbors(f)) --banned_count_[nb];
+      if (ok) return true;
+    }
+    assigned_[best_block] = false;
+    return false;
+  }
+
+  const Database* db_;
+  const SolutionGraph* sg_;
+  std::vector<std::uint32_t> banned_count_;
+  std::vector<bool> assigned_;
+};
+
+}  // namespace
+
+bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
+                       ExhaustiveStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  SolutionGraph sg = BuildSolutionGraph(q, db);
+  FalsifierSearch search(db, sg);
+  std::uint64_t nodes = 0;
+  bool falsifier_exists = search.FindFalsifier(&nodes);
+  if (stats != nullptr) stats->nodes_explored = nodes;
+  return !falsifier_exists;
+}
+
+bool CertainByEnumeration(const ConjunctiveQuery& q, const Database& db,
+                          double max_repairs) {
+  CQA_CHECK_MSG(db.CountRepairs() <= max_repairs,
+                "too many repairs for enumeration");
+  for (RepairIterator it(db); it.HasValue(); it.Next()) {
+    if (!SatisfiesRepair(q, db, it.Current())) return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

@@ -1,0 +1,41 @@
+// Exact certain answering by searching for a falsifying repair.
+//
+// certain(q) is in coNP: D |= certain(q) iff no repair of D falsifies q.
+// For two-atom queries a repair falsifies q iff it selects no self-solution
+// fact and no pair of facts forming a solution — i.e. the selected facts are
+// an independent set of the solution graph avoiding self-solution facts.
+// ExhaustiveCertain searches for such a selection with backtracking and
+// forward pruning; CertainByEnumeration iterates all repairs and is used to
+// cross-check the backtracking solver in tests.
+//
+// Both are exponential in the worst case (certain(q) is coNP-complete for
+// some q; Theorems 4.2 and 9.1) and serve as the exact baseline against
+// which all polynomial-time algorithms are validated.
+
+#ifndef CQA_ALGO_EXHAUSTIVE_H_
+#define CQA_ALGO_EXHAUSTIVE_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Statistics from a falsifier search.
+struct ExhaustiveStats {
+  std::uint64_t nodes_explored = 0;  ///< Backtracking nodes visited.
+};
+
+/// Exact: true iff q holds in every repair of db. Two-atom queries only.
+bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
+                       ExhaustiveStats* stats = nullptr);
+
+/// Exact by brute-force repair enumeration; any conjunctive query. CHECKs
+/// that the number of repairs is at most `max_repairs`.
+bool CertainByEnumeration(const ConjunctiveQuery& q, const Database& db,
+                          double max_repairs = 1e7);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_EXHAUSTIVE_H_

@@ -1,0 +1,70 @@
+#include "algo/matching.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/check.h"
+#include "graph/hopcroft_karp.h"
+
+namespace cqa {
+
+bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
+                       MatchingStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  SolutionGraph sg = BuildSolutionGraph(q, db);
+
+  // Identify which components are quasi-cliques.
+  auto groups = sg.components.Groups();
+  std::vector<bool> is_quasi(groups.size(), false);
+  bool all_quasi = true;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    is_quasi[c] = IsQuasiClique(sg, db, groups[c]);
+    all_quasi = all_quasi && is_quasi[c];
+  }
+
+  // V2 node ids: one node per quasi-clique component; one node per fact in
+  // a non-quasi-clique component.
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  std::vector<std::uint32_t> component_node(groups.size(), kNone);
+  std::vector<std::uint32_t> fact_node(db.NumFacts(), kNone);
+  std::uint32_t num_v2 = 0;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    if (is_quasi[c]) {
+      component_node[c] = num_v2++;
+    } else {
+      for (std::uint32_t f : groups[c]) fact_node[f] = num_v2++;
+    }
+  }
+
+  auto clique_node_of = [&](FactId f) -> std::uint32_t {
+    std::uint32_t c = sg.components.component_of[f];
+    return is_quasi[c] ? component_node[c] : fact_node[f];
+  };
+
+  // H(D, q): blocks on the left, cliques on the right; edge iff the block
+  // has a fact of the clique with no self-solution. Duplicate edges are
+  // harmless for Hopcroft–Karp but we dedupe per block for efficiency.
+  const auto& blocks = db.blocks();
+  BipartiteGraph h(blocks.size(), num_v2);
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    std::vector<std::uint32_t> targets;
+    for (FactId f : blocks[b].facts) {
+      if (sg.solutions.self[f]) continue;  // q(aa): fact unusable.
+      targets.push_back(clique_node_of(f));
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    for (std::uint32_t t : targets) h.AddEdge(static_cast<std::uint32_t>(b), t);
+  }
+
+  MatchingResult result = MaximumMatching(h);
+  if (stats != nullptr) {
+    stats->num_cliques = num_v2;
+    stats->matching_size = result.size;
+    stats->clique_database = all_quasi;
+  }
+  return result.SaturatesLeft();
+}
+
+}  // namespace cqa

@@ -1,0 +1,46 @@
+// The bipartite matching-based algorithm matching(q) of Section 10.1.
+//
+// On input D the algorithm builds the solution graph G(D, q), groups facts
+// into "cliques" (a fact's connected component when that component is a
+// quasi-clique, else the fact alone), and forms the bipartite graph H(D, q)
+// with V1 = blocks of D and V2 = cliques; (v1, v2) is an edge iff block v1
+// contains a fact a of clique v2 with not q(aa). matching(q) answers yes
+// iff some matching of H saturates V1.
+//
+// Guarantees (for 2way-determined q):
+//   - Proposition 10.2: D |= ¬matching(q) implies D |= certain(q)
+//     (¬matching is a sound under-approximation).
+//   - Proposition 10.3: on clique-databases, ¬matching(q) == certain(q).
+//   - Theorem 10.4: for clique-queries (e.g. q6), certain == ¬matching.
+
+#ifndef CQA_ALGO_MATCHING_H_
+#define CQA_ALGO_MATCHING_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "query/query.h"
+#include "query/solution_graph.h"
+
+namespace cqa {
+
+/// Statistics from a matching(q) run.
+struct MatchingStats {
+  std::uint64_t num_cliques = 0;       ///< |V2|.
+  std::uint64_t matching_size = 0;     ///< Size of the maximum matching.
+  bool clique_database = false;        ///< Every component a quasi-clique.
+};
+
+/// Runs matching(q): true iff H(D, q) has a matching saturating the blocks.
+bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
+                       MatchingStats* stats = nullptr);
+
+/// The certain-answer under-approximation ¬matching(q).
+inline bool NotMatchingCertain(const ConjunctiveQuery& q, const Database& db,
+                               MatchingStats* stats = nullptr) {
+  return !MatchingAlgorithm(q, db, stats);
+}
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_MATCHING_H_

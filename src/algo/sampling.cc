@@ -1,0 +1,26 @@
+#include "algo/sampling.h"
+
+#include "data/repair.h"
+#include "query/eval.h"
+
+namespace cqa {
+
+SamplingResult SampleRepairs(const ConjunctiveQuery& q, const Database& db,
+                             std::uint64_t samples, std::uint64_t seed,
+                             bool stop_at_falsifier) {
+  SamplingResult result;
+  RepairSampler sampler(db, seed);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    Repair r = sampler.Sample();
+    ++result.samples;
+    if (SatisfiesRepair(q, db, r)) {
+      ++result.satisfying;
+    } else {
+      result.found_falsifier = true;
+      if (stop_at_falsifier) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,41 @@
+// Monte Carlo repair sampling: a probabilistic baseline for certain
+// answering and a tool for profiling workloads ("how often does a random
+// repair satisfy q?").
+//
+// Sampling can only *refute* certainty: a sampled falsifying repair proves
+// D |/= certain(q); absence of one after many samples is evidence, not
+// proof. The benchmarks use the estimator to characterize generated
+// workloads, and the tests use it as a one-sided cross-check against the
+// exact algorithms.
+
+#ifndef CQA_ALGO_SAMPLING_H_
+#define CQA_ALGO_SAMPLING_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+struct SamplingResult {
+  std::uint64_t samples = 0;
+  std::uint64_t satisfying = 0;       ///< Samples where the repair |= q.
+  bool found_falsifier = false;       ///< Proof that q is not certain.
+
+  double SatisfyingFraction() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(satisfying) /
+                              static_cast<double>(samples);
+  }
+};
+
+/// Draws `samples` uniform repairs and evaluates q on each. Stops early at
+/// the first falsifier when `stop_at_falsifier` is set.
+SamplingResult SampleRepairs(const ConjunctiveQuery& q, const Database& db,
+                             std::uint64_t samples, std::uint64_t seed,
+                             bool stop_at_falsifier = false);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_SAMPLING_H_

@@ -1,0 +1,42 @@
+// Lightweight assertion macros used throughout the library.
+//
+// CQA_CHECK is always on (it guards invariants whose violation would make
+// answers meaningless, e.g. a fact with the wrong arity being inserted into
+// a database). CQA_DCHECK compiles away in NDEBUG builds.
+
+#ifndef CQA_BASE_CHECK_H_
+#define CQA_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cqa {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cqa
+
+#define CQA_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) ::cqa::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define CQA_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) ::cqa::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CQA_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define CQA_DCHECK(expr) CQA_CHECK(expr)
+#endif
+
+#endif  // CQA_BASE_CHECK_H_

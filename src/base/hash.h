@@ -1,0 +1,49 @@
+// Hash utilities: combination and range hashing for small integer tuples.
+//
+// Key tuples and fact tuples are short vectors of 32-bit ids; we hash them
+// with a simple multiplicative mix (FNV-ish with avalanche), which is fast
+// and adequate for hash-map bucketing. Nothing here is cryptographic.
+
+#ifndef CQA_BASE_HASH_H_
+#define CQA_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+
+/// Mixes `value` into the running hash `seed` (boost::hash_combine style,
+/// strengthened with a 64-bit avalanche step).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  std::uint64_t x = static_cast<std::uint64_t>(value) + 0x9e3779b97f4a7c15ULL +
+                    (static_cast<std::uint64_t>(seed) << 6) + (seed >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(seed ^ x);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t h = 0x2545f4914f6cdd1dULL;
+  for (; first != last; ++first) {
+    h = HashCombine(h, static_cast<std::size_t>(*first));
+  }
+  return h;
+}
+
+/// Hash functor for std::vector of integral ids, usable as unordered_map key.
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_HASH_H_

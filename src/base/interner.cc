@@ -1,0 +1,35 @@
+#include "base/interner.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+ElementId Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ElementId id = static_cast<ElementId>(names_.size());
+  CQA_CHECK_MSG(id != kNotFound, "interner overflow");
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+ElementId Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& Interner::Name(ElementId id) const {
+  CQA_CHECK(id < names_.size());
+  return names_[id];
+}
+
+ElementId Interner::Fresh(std::string_view prefix) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + "#" + std::to_string(fresh_counter_++);
+    if (ids_.find(candidate) == ids_.end()) return Intern(candidate);
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,57 @@
+// String interner mapping element names to dense 32-bit ids.
+//
+// All domain elements in a database are interned strings. The core
+// algorithms only ever compare ids for equality; reductions (Section 4 and
+// Section 9 of the paper) build structured element names like "(C1,s).x" or
+// "<x@3,alpha>" and intern them here, so the core never needs to interpret
+// element structure.
+
+#ifndef CQA_BASE_INTERNER_H_
+#define CQA_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cqa {
+
+/// Dense id for an interned domain element.
+using ElementId = std::uint32_t;
+
+/// Bidirectional map between element names and dense ids.
+///
+/// Ids are assigned consecutively from 0 in insertion order, which keeps
+/// derived structures (databases, union-find domains) compact.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  ElementId Intern(std::string_view name);
+
+  /// Returns the id for `name` or `kNotFound` if it was never interned.
+  ElementId Find(std::string_view name) const;
+
+  /// Returns the name for `id`. Precondition: id < size().
+  const std::string& Name(ElementId id) const;
+
+  /// Number of distinct interned elements.
+  std::size_t size() const { return names_.size(); }
+
+  /// Creates a fresh element guaranteed distinct from all existing ones.
+  /// The name is `prefix` followed by a uniquifying counter.
+  ElementId Fresh(std::string_view prefix);
+
+  static constexpr ElementId kNotFound = 0xffffffffu;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ElementId> ids_;
+  std::uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_INTERNER_H_

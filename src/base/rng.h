@@ -1,0 +1,61 @@
+// Deterministic random number generation for workload generators and tests.
+//
+// We use splitmix64: tiny, fast, and fully reproducible across platforms
+// (std::mt19937 distributions are not guaranteed identical across standard
+// library implementations, which would make recorded experiment outputs
+// machine-dependent).
+
+#ifndef CQA_BASE_RNG_H_
+#define CQA_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace cqa {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    CQA_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias; bias is irrelevant for our
+    // workloads but cheap to eliminate.
+    std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    CQA_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_RNG_H_

@@ -1,0 +1,53 @@
+#include "base/strings.h"
+
+#include <cctype>
+
+namespace cqa {
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(Trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto tail = [&](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '\'' || c == '.';
+  };
+  if (!head(s[0])) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!tail(s[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

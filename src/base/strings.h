@@ -1,0 +1,31 @@
+// Small string helpers shared by the parser, printers, and reductions.
+
+#ifndef CQA_BASE_STRINGS_H_
+#define CQA_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqa {
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece; empty
+/// pieces are kept (the parser treats them as syntax errors with position
+/// information).
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_'.]*
+/// (primes and dots are allowed so reductions can name elements "x'" or
+/// "C1.s").
+bool IsIdentifier(std::string_view s);
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_STRINGS_H_

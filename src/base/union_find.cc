@@ -1,0 +1,44 @@
+#include "base/union_find.h"
+
+#include <numeric>
+
+#include "base/check.h"
+
+namespace cqa {
+
+void UnionFind::Reset(std::size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), 0u);
+  rank_.assign(n, 0);
+  num_classes_ = n;
+}
+
+std::uint32_t UnionFind::Add() {
+  std::uint32_t id = static_cast<std::uint32_t>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  ++num_classes_;
+  return id;
+}
+
+std::uint32_t UnionFind::Find(std::uint32_t x) const {
+  CQA_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(std::uint32_t a, std::uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --num_classes_;
+  return true;
+}
+
+}  // namespace cqa

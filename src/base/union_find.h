@@ -1,0 +1,52 @@
+// Union-find (disjoint set union) over dense integer domains.
+//
+// Used by the tripath searcher to maintain element-equality classes while
+// unifying atom patterns, and by the query engine for connected components
+// of equality constraints.
+
+#ifndef CQA_BASE_UNION_FIND_H_
+#define CQA_BASE_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+
+/// Disjoint-set forest with union by rank and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n = 0) { Reset(n); }
+
+  /// Reinitializes to n singleton classes {0}, {1}, ..., {n-1}.
+  void Reset(std::size_t n);
+
+  /// Adds a fresh singleton class and returns its index.
+  std::uint32_t Add();
+
+  /// Returns the canonical representative of x's class.
+  std::uint32_t Find(std::uint32_t x) const;
+
+  /// Merges the classes of a and b; returns false if already merged.
+  bool Union(std::uint32_t a, std::uint32_t b);
+
+  /// True if a and b are in the same class.
+  bool Same(std::uint32_t a, std::uint32_t b) const {
+    return Find(a) == Find(b);
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Number of distinct classes.
+  std::size_t NumClasses() const { return num_classes_; }
+
+ private:
+  // parent_ is mutable so Find can do path halving while staying logically
+  // const (the represented partition does not change).
+  mutable std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_UNION_FIND_H_

@@ -1,0 +1,99 @@
+#include "classify/attack_graph.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+VarMask FdClosure(const ConjunctiveQuery& q, VarMask start,
+                  const std::vector<std::size_t>& atom_indices) {
+  VarMask closure = start;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t g : atom_indices) {
+      VarMask key_g = q.KeyVarsOf(g);
+      if ((key_g & ~closure) == 0 && (q.VarsOf(g) & ~closure) != 0) {
+        closure |= q.VarsOf(g);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+AttackGraph BuildAttackGraph(const ConjunctiveQuery& q) {
+  CQA_CHECK_MSG(q.IsSelfJoinFree(), "attack graphs require sjf queries");
+  std::size_t n = q.NumAtoms();
+  AttackGraph graph;
+  graph.attacks.assign(n, std::vector<bool>(n, false));
+  graph.weak.assign(n, std::vector<bool>(n, false));
+
+  std::vector<std::size_t> all_atoms(n);
+  for (std::size_t i = 0; i < n; ++i) all_atoms[i] = i;
+
+  for (std::size_t f = 0; f < n; ++f) {
+    // F+ = closure of key(F) under the FDs of the other atoms.
+    std::vector<std::size_t> others;
+    for (std::size_t g = 0; g < n; ++g) {
+      if (g != f) others.push_back(g);
+    }
+    VarMask f_plus = FdClosure(q, q.KeyVarsOf(f), others);
+
+    // BFS over atoms: step from G to H via a shared variable outside F+.
+    std::vector<bool> reached(n, false);
+    std::vector<std::size_t> stack = {f};
+    while (!stack.empty()) {
+      std::size_t g = stack.back();
+      stack.pop_back();
+      for (std::size_t h = 0; h < n; ++h) {
+        if (h == g || reached[h]) continue;
+        VarMask link = q.VarsOf(g) & q.VarsOf(h) & ~f_plus;
+        if (link != 0) {
+          reached[h] = true;
+          stack.push_back(h);
+        }
+      }
+    }
+    VarMask full_closure = FdClosure(q, q.KeyVarsOf(f), all_atoms);
+    for (std::size_t g = 0; g < n; ++g) {
+      if (g == f || !reached[g]) continue;
+      graph.attacks[f][g] = true;
+      // Weak iff K(q) |= key(F) -> key(G).
+      graph.weak[f][g] = (q.KeyVarsOf(g) & ~full_closure) == 0;
+    }
+  }
+  return graph;
+}
+
+SjfComplexity ClassifySjf(const ConjunctiveQuery& q) {
+  AttackGraph graph = BuildAttackGraph(q);
+  std::size_t n = q.NumAtoms();
+  bool any_cycle = false;
+  bool any_strong_cycle = false;
+  // Koutris–Wijsen: a cyclic attack graph always has a 2-cycle, and it has
+  // a strong cycle iff some 2-cycle contains a strong attack.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (graph.Attacks(i, j) && graph.Attacks(j, i)) {
+        any_cycle = true;
+        if (graph.StrongAttack(i, j) || graph.StrongAttack(j, i)) {
+          any_strong_cycle = true;
+        }
+      }
+    }
+  }
+  if (any_strong_cycle) return SjfComplexity::kCoNPComplete;
+  if (any_cycle) return SjfComplexity::kPTime;
+  return SjfComplexity::kFirstOrder;
+}
+
+std::string ToString(SjfComplexity c) {
+  switch (c) {
+    case SjfComplexity::kFirstOrder: return "FO-rewritable";
+    case SjfComplexity::kPTime: return "PTime (not FO)";
+    case SjfComplexity::kCoNPComplete: return "coNP-complete";
+  }
+  return "?";
+}
+
+}  // namespace cqa

@@ -1,0 +1,66 @@
+// Koutris–Wijsen attack graphs for self-join-free conjunctive queries.
+//
+// This is the baseline substrate for the self-join-free side of the story:
+// the paper's Theorem 4.2 hardness condition comes from the two-atom
+// self-join-free dichotomy (Kolaitis–Pema), which the attack graph
+// generalizes (Koutris & Wijsen, TODS 2017, reference [7] of the paper).
+//
+// Definitions. For a sjf Boolean CQ q and atom F of q, let K(q \ {F}) be
+// the functional dependencies {key(G) -> vars(G) : G != F}, and F+ the
+// closure of key(F) under K(q \ {F}). F *attacks* G (F != G) if there is a
+// witness path F = F0, x1, F1, ..., xn, Fn = G with each xi a variable
+// shared by F_{i-1}, F_i and xi not in F+. An attack F -> G is *weak* if
+// K(q) entails key(F) -> key(G), else *strong*.
+//
+// Dichotomy: certain(q) is first-order rewritable iff the attack graph is
+// acyclic; PTime (but not FO) iff it has cycles and all are weak; and
+// coNP-complete iff it has a strong cycle. We use the Koutris–Wijsen lemma
+// that the attack graph has a cycle iff it has a cycle of length two, so
+// cycle analysis reduces to mutually-attacking atom pairs.
+
+#ifndef CQA_CLASSIFY_ATTACK_GRAPH_H_
+#define CQA_CLASSIFY_ATTACK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace cqa {
+
+/// The attack graph of a self-join-free CQ.
+struct AttackGraph {
+  /// attacks[i][j]: atom i attacks atom j.
+  std::vector<std::vector<bool>> attacks;
+  /// weak[i][j]: the attack i -> j (if present) is weak.
+  std::vector<std::vector<bool>> weak;
+
+  bool Attacks(std::size_t i, std::size_t j) const { return attacks[i][j]; }
+  bool StrongAttack(std::size_t i, std::size_t j) const {
+    return attacks[i][j] && !weak[i][j];
+  }
+};
+
+/// Complexity classes of certain(q) for sjf queries per Koutris–Wijsen.
+enum class SjfComplexity {
+  kFirstOrder,    ///< Acyclic attack graph: FO-rewritable.
+  kPTime,         ///< Cycles, all weak: PTime, not FO.
+  kCoNPComplete,  ///< Some strong cycle.
+};
+
+/// Computes the attack graph. CHECKs q.IsSelfJoinFree().
+AttackGraph BuildAttackGraph(const ConjunctiveQuery& q);
+
+/// Classifies certain(q) for a sjf query via its attack graph.
+SjfComplexity ClassifySjf(const ConjunctiveQuery& q);
+
+/// Closure of the variable set `start` under the FDs key(G) -> vars(G) of
+/// the atoms listed in `atom_indices`. Exposed for tests.
+VarMask FdClosure(const ConjunctiveQuery& q, VarMask start,
+                  const std::vector<std::size_t>& atom_indices);
+
+std::string ToString(SjfComplexity c);
+
+}  // namespace cqa
+
+#endif  // CQA_CLASSIFY_ATTACK_GRAPH_H_

@@ -1,0 +1,147 @@
+#include "classify/classifier.h"
+
+#include "base/check.h"
+#include "classify/conditions.h"
+
+namespace cqa {
+
+Classification ClassifyQuery(const ConjunctiveQuery& q,
+                             const TripathSearchLimits& limits) {
+  CQA_CHECK_MSG(q.NumAtoms() == 2, "classifier handles two-atom queries");
+  Classification out;
+
+  // Step 1: trivial queries (Section 2).
+  out.trivial_reason = ClassifyTrivial(q);
+  if (out.trivial_reason != TrivialReason::kNotTrivial) {
+    out.query_class = QueryClass::kTrivial;
+    out.complexity = Complexity::kPTime;
+    out.explanation =
+        out.trivial_reason == TrivialReason::kHomToSingleAtom
+            ? "q maps homomorphically onto one of its atoms, so it is "
+              "equivalent to a one-atom query; certain(q) is decided by a "
+              "per-block scan (Section 2)."
+            : "key(A) = key(B), so over consistent databases q is "
+              "equivalent to a one-atom query; certain(q) is decided by a "
+              "per-block scan (Section 2).";
+    return out;
+  }
+
+  // Step 2: self-join-free queries are outside the paper's new territory;
+  // classify with the Koutris–Wijsen attack graph (reference [7]).
+  if (q.IsSelfJoinFree()) {
+    switch (ClassifySjf(q)) {
+      case SjfComplexity::kFirstOrder:
+        out.query_class = QueryClass::kSjfFirstOrder;
+        out.complexity = Complexity::kPTime;
+        out.explanation =
+            "self-join-free with acyclic attack graph: FO-rewritable "
+            "(Koutris–Wijsen).";
+        return out;
+      case SjfComplexity::kPTime:
+        out.query_class = QueryClass::kSjfPTime;
+        out.complexity = Complexity::kPTime;
+        out.explanation =
+            "self-join-free with only weak attack cycles: PTime "
+            "(Koutris–Wijsen).";
+        return out;
+      case SjfComplexity::kCoNPComplete:
+        out.query_class = QueryClass::kSjfCoNPComplete;
+        out.complexity = Complexity::kCoNPComplete;
+        out.explanation =
+            "self-join-free with a strong attack cycle: coNP-complete "
+            "(Koutris–Wijsen; for two atoms, Kolaitis–Pema).";
+        return out;
+    }
+  }
+
+  // Step 3: condition (1) of Theorem 4.2 fails -> Theorem 6.1.
+  if (!Theorem42Condition1(q)) {
+    CQA_CHECK(Theorem61Applies(q));
+    out.query_class = QueryClass::kPTimeCert2;
+    out.complexity = Complexity::kPTime;
+    out.explanation =
+        "condition (1) of Theorem 4.2 fails, so the zig-zag property holds "
+        "and Cert_2(q) computes certain(q) (Theorem 6.1).";
+    return out;
+  }
+
+  // Step 4: conditions (1) and (2) -> hard via the sjf reduction.
+  if (Theorem42Condition2(q)) {
+    out.query_class = QueryClass::kCoNPHardCondition;
+    out.complexity = Complexity::kCoNPComplete;
+    out.explanation =
+        "conditions (1) and (2) of Theorem 4.2 hold: certain(sjf(q)) is "
+        "coNP-hard (Kolaitis–Pema) and reduces to certain(q) "
+        "(Proposition 4.1).";
+    return out;
+  }
+
+  // Step 5: 2way-determined; decide by tripath existence.
+  out.two_way_determined = true;
+  CQA_CHECK(Is2WayDetermined(q));
+  out.tripath_search = SearchTripaths(q, limits);
+  const TripathSearchResult& search = out.tripath_search;
+  if (search.HasFork()) {
+    out.query_class = QueryClass::kCoNPForkTripath;
+    out.complexity = Complexity::kCoNPComplete;
+    out.explanation =
+        "2way-determined and admits a fork-tripath: coNP-complete via the "
+        "3-SAT gadget (Theorem 9.1).";
+    return out;
+  }
+  if (!search.exhausted) {
+    out.query_class = QueryClass::kUnresolved;
+    out.complexity = Complexity::kUnknown;
+    out.explanation =
+        "2way-determined; the bounded tripath search did not exhaust its "
+        "space, so fork-tripath existence is unresolved within the "
+        "configured limits (raise TripathSearchLimits).";
+    return out;
+  }
+  if (search.HasTriangle()) {
+    out.query_class = QueryClass::kPTimeTriangleOnly;
+    out.complexity = Complexity::kPTime;
+    out.explanation =
+        "2way-determined, admits a triangle-tripath but no fork-tripath "
+        "(within exhausted bounds): PTime via Cert_k OR NOT matching "
+        "(Theorem 10.5); no Cert_k alone suffices (Theorem 10.1).";
+    return out;
+  }
+  out.query_class = QueryClass::kPTimeNoTripath;
+  out.complexity = Complexity::kPTime;
+  out.explanation =
+      "2way-determined with no tripath (within exhausted bounds): PTime "
+      "via Cert_k (Theorem 8.1).";
+  return out;
+}
+
+std::string ToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kTrivial: return "trivial (one-atom equivalent)";
+    case QueryClass::kSjfFirstOrder: return "sjf / FO-rewritable";
+    case QueryClass::kSjfPTime: return "sjf / PTime";
+    case QueryClass::kSjfCoNPComplete: return "sjf / coNP-complete";
+    case QueryClass::kPTimeCert2: return "PTime via Cert_2 (Thm 6.1)";
+    case QueryClass::kCoNPHardCondition:
+      return "coNP-complete via sjf reduction (Thm 4.2)";
+    case QueryClass::kPTimeNoTripath:
+      return "PTime via Cert_k, no tripath (Thm 8.1)";
+    case QueryClass::kCoNPForkTripath:
+      return "coNP-complete via fork-tripath (Thm 9.1)";
+    case QueryClass::kPTimeTriangleOnly:
+      return "PTime via Cert_k + matching, triangle-tripath only (Thm 10.5)";
+    case QueryClass::kUnresolved: return "unresolved within search bounds";
+  }
+  return "?";
+}
+
+std::string ToString(Complexity c) {
+  switch (c) {
+    case Complexity::kPTime: return "PTime";
+    case Complexity::kCoNPComplete: return "coNP-complete";
+    case Complexity::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace cqa

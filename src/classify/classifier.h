@@ -1,0 +1,67 @@
+// The full dichotomy classifier for two-atom queries (Section 3).
+//
+// Decision procedure:
+//   1. q equivalent to a one-atom query        -> trivial (PTime).
+//   2. q self-join-free                        -> Koutris–Wijsen attack
+//      graph (subsumes the Kolaitis–Pema two-atom dichotomy).
+//   3. condition (1) of Theorem 4.2 fails      -> PTime via Cert_2
+//      (Theorem 6.1).
+//   4. conditions (1) and (2) both hold        -> coNP-complete
+//      (Theorem 4.2 via Proposition 4.1).
+//   5. otherwise q is 2way-determined; run the bounded tripath search:
+//        fork-tripath found      -> coNP-complete (Theorem 9.1);
+//        triangle only           -> PTime via Cert_k OR NOT matching
+//                                   (Theorem 10.5);
+//        none found, exhausted   -> PTime via Cert_k (Theorem 8.1);
+//        none found, not exhausted -> unresolved within bounds.
+
+#ifndef CQA_CLASSIFY_CLASSIFIER_H_
+#define CQA_CLASSIFY_CLASSIFIER_H_
+
+#include <string>
+
+#include "classify/attack_graph.h"
+#include "query/hom.h"
+#include "query/query.h"
+#include "tripath/search.h"
+
+namespace cqa {
+
+/// Where a two-atom query lands in the dichotomy.
+enum class QueryClass {
+  kTrivial,            ///< Equivalent to a one-atom query.
+  kSjfFirstOrder,      ///< Self-join-free, acyclic attack graph.
+  kSjfPTime,           ///< Self-join-free, weak cycles only.
+  kSjfCoNPComplete,    ///< Self-join-free, strong cycle.
+  kPTimeCert2,         ///< Theorem 6.1: Cert_2 is exact.
+  kCoNPHardCondition,  ///< Theorem 4.2: syntactic hardness.
+  kPTimeNoTripath,     ///< Theorem 8.1: Cert_k is exact.
+  kCoNPForkTripath,    ///< Theorem 9.1: fork-tripath hardness.
+  kPTimeTriangleOnly,  ///< Theorem 10.5: Cert_k OR NOT matching.
+  kUnresolved,         ///< Tripath search hit its bounds.
+};
+
+enum class Complexity { kPTime, kCoNPComplete, kUnknown };
+
+/// Classification result with provenance.
+struct Classification {
+  QueryClass query_class = QueryClass::kUnresolved;
+  Complexity complexity = Complexity::kUnknown;
+  TrivialReason trivial_reason = TrivialReason::kNotTrivial;
+  bool two_way_determined = false;
+  /// Populated when the tripath search ran (2way-determined queries).
+  TripathSearchResult tripath_search;
+  /// One-paragraph human-readable justification citing the theorem used.
+  std::string explanation;
+};
+
+/// Runs the full decision procedure.
+Classification ClassifyQuery(const ConjunctiveQuery& q,
+                             const TripathSearchLimits& limits = {});
+
+std::string ToString(QueryClass c);
+std::string ToString(Complexity c);
+
+}  // namespace cqa
+
+#endif  // CQA_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,51 @@
+#include "classify/conditions.h"
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+bool SubsetMask(VarMask a, VarMask b) { return (a & ~b) == 0; }
+
+}  // namespace
+
+VarMask SharedVars(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  return q.VarsOf(0) & q.VarsOf(1);
+}
+
+bool Theorem42Condition1(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  VarMask shared = SharedVars(q);
+  VarMask key_a = q.KeyVarsOf(0);
+  VarMask key_b = q.KeyVarsOf(1);
+  return !SubsetMask(shared, key_a) && !SubsetMask(shared, key_b) &&
+         !SubsetMask(key_a, key_b) && !SubsetMask(key_b, key_a);
+}
+
+bool Theorem42Condition2(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  return !SubsetMask(q.KeyVarsOf(0), q.VarsOf(1)) ||
+         !SubsetMask(q.KeyVarsOf(1), q.VarsOf(0));
+}
+
+bool Theorem61Hypothesis(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  VarMask shared = SharedVars(q);
+  return SubsetMask(q.KeyVarsOf(0), q.KeyVarsOf(1)) ||
+         SubsetMask(shared, q.KeyVarsOf(1));
+}
+
+bool Theorem61Applies(const ConjunctiveQuery& q) {
+  return Theorem61Hypothesis(q) || Theorem61Hypothesis(q.Swapped());
+}
+
+bool Is2WayDetermined(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  VarMask key_a = q.KeyVarsOf(0);
+  VarMask key_b = q.KeyVarsOf(1);
+  return !SubsetMask(key_a, key_b) && !SubsetMask(key_b, key_a) &&
+         SubsetMask(key_a, q.VarsOf(1)) && SubsetMask(key_b, q.VarsOf(0));
+}
+
+}  // namespace cqa

@@ -1,0 +1,49 @@
+// Syntactic classification conditions for two-atom queries
+// (Theorems 4.2 and 6.1, and the 2way-determined shape of Section 7).
+//
+// Throughout, key(A) and vars(A) are *sets* of variables; conditions are
+// plain set algebra on 64-bit masks.
+
+#ifndef CQA_CLASSIFY_CONDITIONS_H_
+#define CQA_CLASSIFY_CONDITIONS_H_
+
+#include "query/query.h"
+
+namespace cqa {
+
+/// vars(A) ∩ vars(B).
+VarMask SharedVars(const ConjunctiveQuery& q);
+
+/// Condition (1) of Theorem 4.2:
+///   vars(A)∩vars(B) ⊄ key(A)  and  vars(A)∩vars(B) ⊄ key(B)  and
+///   key(A) ⊄ key(B)           and  key(B) ⊄ key(A).
+bool Theorem42Condition1(const ConjunctiveQuery& q);
+
+/// Condition (2) of Theorem 4.2:
+///   key(A) ⊄ vars(B)  or  key(B) ⊄ vars(A).
+bool Theorem42Condition2(const ConjunctiveQuery& q);
+
+/// Hypothesis of Theorem 6.1 for q = A B as written:
+///   key(A) ⊆ key(B)  or  vars(A)∩vars(B) ⊆ key(B).
+/// The theorem also applies to q's swap BA; Theorem61Applies checks both.
+bool Theorem61Hypothesis(const ConjunctiveQuery& q);
+
+/// True if Theorem 6.1 applies to q = A B or to B A, i.e. condition (1) of
+/// Theorem 4.2 fails and Cert_2 computes certain(q).
+bool Theorem61Applies(const ConjunctiveQuery& q);
+
+/// 2way-determined (Section 7):
+///   key(A) ⊄ key(B), key(B) ⊄ key(A),
+///   key(A) ⊆ vars(B), key(B) ⊆ vars(A).
+bool Is2WayDetermined(const ConjunctiveQuery& q);
+
+/// The zig-zag property hypothesis of Lemma 6.2 (same as
+/// Theorem61Hypothesis; exposed under its own name for tests that check
+/// the zig-zag property semantically).
+inline bool ZigZagHypothesis(const ConjunctiveQuery& q) {
+  return Theorem61Hypothesis(q);
+}
+
+}  // namespace cqa
+
+#endif  // CQA_CLASSIFY_CONDITIONS_H_

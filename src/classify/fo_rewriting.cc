@@ -1,0 +1,129 @@
+#include "classify/fo_rewriting.h"
+
+#include <vector>
+
+#include "base/check.h"
+#include "query/eval.h"
+
+namespace cqa {
+namespace {
+
+/// Closure of `start` (plus the already-bound variables, which behave as
+/// constants) under the FDs key(G) -> vars(G) of the atoms in `atoms`.
+VarMask ClosureWithBound(const ConjunctiveQuery& q, VarMask start,
+                         VarMask bound, const std::vector<std::size_t>& atoms) {
+  VarMask closure = start | bound;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t g : atoms) {
+      if ((q.KeyVarsOf(g) & ~closure) == 0 &&
+          (q.VarsOf(g) & ~closure) != 0) {
+        closure |= q.VarsOf(g);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+/// True if atom `f` is unattacked within the subquery `remaining` given
+/// the bound variables.
+bool IsUnattacked(const ConjunctiveQuery& q,
+                  const std::vector<std::size_t>& remaining, std::size_t f,
+                  VarMask bound) {
+  for (std::size_t g : remaining) {
+    if (g == f) continue;
+    // Does g attack f? Witness path from g to f avoiding g's closure.
+    std::vector<std::size_t> others;
+    for (std::size_t h : remaining) {
+      if (h != g) others.push_back(h);
+    }
+    VarMask g_plus = ClosureWithBound(q, q.KeyVarsOf(g), bound, others);
+    // BFS over remaining atoms from g.
+    std::vector<bool> reached(q.NumAtoms(), false);
+    std::vector<std::size_t> stack = {g};
+    while (!stack.empty()) {
+      std::size_t cur = stack.back();
+      stack.pop_back();
+      for (std::size_t h : remaining) {
+        if (h == cur || reached[h]) continue;
+        if ((q.VarsOf(cur) & q.VarsOf(h) & ~g_plus) != 0) {
+          reached[h] = true;
+          stack.push_back(h);
+        }
+      }
+    }
+    if (reached[f]) return false;
+  }
+  return true;
+}
+
+class FoEvaluator {
+ public:
+  FoEvaluator(const ConjunctiveQuery& q, const Database& db)
+      : q_(&q), db_(&db), binding_(q, db) {}
+
+  bool Certain() {
+    std::vector<std::size_t> all;
+    for (std::size_t i = 0; i < q_->NumAtoms(); ++i) all.push_back(i);
+    std::vector<ElementId> mu(q_->NumVars(), kUnassigned);
+    return Rec(all, 0, &mu);
+  }
+
+ private:
+  bool Rec(const std::vector<std::size_t>& remaining, VarMask bound,
+           std::vector<ElementId>* mu) {
+    if (remaining.empty()) return true;
+
+    // Pick an unattacked atom; acyclicity guarantees one exists.
+    std::size_t chosen = remaining.size();
+    for (std::size_t idx = 0; idx < remaining.size(); ++idx) {
+      if (IsUnattacked(*q_, remaining, remaining[idx], bound)) {
+        chosen = idx;
+        break;
+      }
+    }
+    CQA_CHECK_MSG(chosen != remaining.size(),
+                  "attack graph is cyclic: CertainFO does not apply");
+    std::size_t f = remaining[chosen];
+    std::vector<std::size_t> rest;
+    for (std::size_t g : remaining) {
+      if (g != f) rest.push_back(g);
+    }
+    const QueryAtom& atom = q_->atoms()[f];
+    RelationId rel = binding_.Resolve(atom.relation);
+    VarMask new_bound = bound | q_->VarsOf(f);
+
+    // Exists a block whose every fact matches F under mu and makes the
+    // rest certain.
+    for (const Block& block : db_->blocks()) {
+      if (block.relation != rel) continue;
+      bool block_ok = true;
+      for (FactId fid : block.facts) {
+        std::vector<ElementId> mu2 = *mu;
+        if (!ExtendMatch(atom, db_->fact(fid), &mu2) ||
+            !Rec(rest, new_bound, &mu2)) {
+          block_ok = false;
+          break;
+        }
+      }
+      if (block_ok) return true;
+    }
+    return false;
+  }
+
+  const ConjunctiveQuery* q_;
+  const Database* db_;
+  RelationBinding binding_;
+};
+
+}  // namespace
+
+bool CertainFO(const ConjunctiveQuery& q, const Database& db) {
+  CQA_CHECK_MSG(q.IsSelfJoinFree(), "CertainFO requires a sjf query");
+  FoEvaluator evaluator(q, db);
+  return evaluator.Certain();
+}
+
+}  // namespace cqa

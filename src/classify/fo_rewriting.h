@@ -1,0 +1,33 @@
+// First-order certain answering for self-join-free queries with acyclic
+// attack graphs (Koutris–Wijsen, reference [7] of the paper).
+//
+// When the attack graph of a sjf CQ q is acyclic, certain(q) is
+// first-order rewritable; the rewriting evaluates by structural recursion:
+// pick an atom F unattacked in the current (partially instantiated)
+// query; then
+//   certain(q, mu) iff some block B of F's relation satisfies:
+//     every fact a in B extends mu through F, and
+//     certain(q - F, mu + bindings from a) holds.
+// Variables bound by mu act as constants: they seed every functional-
+// dependency closure, which can only remove attacks, so acyclicity is
+// preserved along the recursion.
+//
+// This is the PTime (indeed FO/SQL-expressible) baseline that the paper's
+// Section 4 builds on for the self-join-free side of the dichotomy.
+
+#ifndef CQA_CLASSIFY_FO_REWRITING_H_
+#define CQA_CLASSIFY_FO_REWRITING_H_
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// True if the attack graph of q (restricted per recursion step) stays
+/// acyclic so that the rewriting applies; use ClassifySjf first.
+/// CHECKs q.IsSelfJoinFree().
+bool CertainFO(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_CLASSIFY_FO_REWRITING_H_

@@ -1,0 +1,110 @@
+#include "classify/solver.h"
+
+#include "algo/certk.h"
+#include "algo/combined.h"
+#include "algo/exhaustive.h"
+#include "base/check.h"
+#include "query/eval.h"
+
+namespace cqa {
+
+bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
+                    const Database& db) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  CQA_CHECK(reason != TrivialReason::kNotTrivial);
+  RelationBinding binding(q, db);
+
+  if (reason == TrivialReason::kEqualKeys) {
+    // Over consistent databases both atoms must be matched by the same
+    // fact, so a repair satisfies q iff it contains a fact a with q(a a).
+    // A falsifying repair avoids such facts; it exists iff every block has
+    // a fact without a self-solution.
+    for (const Block& block : db.blocks()) {
+      bool all_self = true;
+      for (FactId f : block.facts) {
+        if (!IsSolution(q, binding, db, f, f)) {
+          all_self = false;
+          break;
+        }
+      }
+      if (all_self) return true;
+    }
+    return false;
+  }
+
+  // Homomorphism case: q is equivalent to one of its atoms; find which.
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (!FindHomomorphism(q, AtomSubquery(q, i)).has_value()) continue;
+    const QueryAtom& atom = q.atoms()[i];
+    RelationId rel = binding.Resolve(atom.relation);
+    // Certain iff some block consists entirely of facts matching the
+    // atom's repeated-variable pattern.
+    for (const Block& block : db.blocks()) {
+      if (block.relation != rel) continue;
+      bool all_match = true;
+      for (FactId f : block.facts) {
+        if (!MatchesPattern(atom, db.fact(f))) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) return true;
+    }
+    return false;
+  }
+  CQA_CHECK_MSG(false, "trivial reason does not match the query");
+}
+
+CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options)
+    : query_(std::move(query)),
+      options_(options),
+      classification_(ClassifyQuery(query_, options.tripath_limits)) {}
+
+SolverAnswer CertainSolver::Solve(const Database& db) const {
+  SolverAnswer answer;
+  switch (classification_.query_class) {
+    case QueryClass::kTrivial:
+      answer.algorithm = SolverAlgorithm::kTrivialScan;
+      answer.certain =
+          TrivialCertain(query_, classification_.trivial_reason, db);
+      return answer;
+    case QueryClass::kPTimeCert2:
+    case QueryClass::kSjfFirstOrder:
+    case QueryClass::kSjfPTime:
+      // [3] shows Cert_2 captures all PTime self-join-free two-atom cases;
+      // Theorem 6.1 covers the self-join ones.
+      answer.algorithm = SolverAlgorithm::kCert2;
+      answer.certain = CertK(query_, db, 2);
+      return answer;
+    case QueryClass::kPTimeNoTripath:
+      answer.algorithm = SolverAlgorithm::kCertK;
+      answer.certain = CertK(query_, db, options_.practical_k);
+      return answer;
+    case QueryClass::kPTimeTriangleOnly:
+      answer.algorithm = SolverAlgorithm::kCertKOrMatching;
+      answer.certain = CombinedCertain(query_, db, options_.practical_k);
+      return answer;
+    case QueryClass::kCoNPHardCondition:
+    case QueryClass::kCoNPForkTripath:
+    case QueryClass::kSjfCoNPComplete:
+    case QueryClass::kUnresolved:
+      answer.algorithm = SolverAlgorithm::kExhaustive;
+      answer.certain = ExhaustiveCertain(query_, db);
+      return answer;
+  }
+  CQA_CHECK_MSG(false, "unhandled query class");
+}
+
+std::string ToString(SolverAlgorithm a) {
+  switch (a) {
+    case SolverAlgorithm::kTrivialScan: return "trivial per-block scan";
+    case SolverAlgorithm::kCert2: return "Cert_2 greedy fixpoint";
+    case SolverAlgorithm::kCertK: return "Cert_k greedy fixpoint";
+    case SolverAlgorithm::kCertKOrMatching:
+      return "Cert_k OR NOT matching";
+    case SolverAlgorithm::kExhaustive: return "exhaustive falsifier search";
+  }
+  return "?";
+}
+
+}  // namespace cqa

@@ -1,0 +1,148 @@
+#include "data/database.h"
+
+#include <sstream>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/strings.h"
+
+namespace cqa {
+
+FactId Database::AddFact(RelationId relation, std::vector<ElementId> args) {
+  const RelationSchema& rel = schema_.Relation(relation);
+  CQA_CHECK_MSG(args.size() == rel.arity, "fact arity mismatch");
+  Fact f{relation, std::move(args)};
+  auto it = fact_ids_.find(f);
+  if (it != fact_ids_.end()) return it->second;
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(f);
+  fact_ids_.emplace(std::move(f), id);
+  blocks_dirty_ = true;
+  return id;
+}
+
+FactId Database::AddFactNamed(RelationId relation,
+                              const std::vector<std::string>& names) {
+  std::vector<ElementId> args;
+  args.reserve(names.size());
+  for (const std::string& n : names) args.push_back(elements_.Intern(n));
+  return AddFact(relation, std::move(args));
+}
+
+FactId Database::AddFactStr(RelationId relation,
+                            std::string_view spaced_names) {
+  std::vector<std::string> names;
+  std::string cur;
+  for (char c : spaced_names) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) names.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) names.push_back(std::move(cur));
+  return AddFactNamed(relation, names);
+}
+
+std::vector<ElementId> Database::KeyOf(FactId id) const {
+  const Fact& f = facts_[id];
+  std::uint32_t l = schema_.Relation(f.relation).key_len;
+  return std::vector<ElementId>(f.args.begin(), f.args.begin() + l);
+}
+
+bool Database::KeyEqual(FactId a, FactId b) const {
+  const Fact& fa = facts_[a];
+  const Fact& fb = facts_[b];
+  if (fa.relation != fb.relation) return false;
+  std::uint32_t l = schema_.Relation(fa.relation).key_len;
+  for (std::uint32_t i = 0; i < l; ++i) {
+    if (fa.args[i] != fb.args[i]) return false;
+  }
+  return true;
+}
+
+void Database::EnsureBlocks() const {
+  if (!blocks_dirty_) return;
+  blocks_.clear();
+  block_of_.assign(facts_.size(), 0);
+  // Key of the map: relation id prepended to the key tuple.
+  std::unordered_map<std::vector<ElementId>, BlockId, VectorHash> index;
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    const Fact& f = facts_[id];
+    std::uint32_t l = schema_.Relation(f.relation).key_len;
+    std::vector<ElementId> key;
+    key.reserve(l + 1);
+    key.push_back(f.relation);
+    key.insert(key.end(), f.args.begin(), f.args.begin() + l);
+    auto [it, inserted] = index.emplace(key, static_cast<BlockId>(blocks_.size()));
+    if (inserted) {
+      Block b;
+      b.relation = f.relation;
+      b.key.assign(key.begin() + 1, key.end());
+      blocks_.push_back(std::move(b));
+    }
+    blocks_[it->second].facts.push_back(id);
+    block_of_[id] = it->second;
+  }
+  blocks_dirty_ = false;
+}
+
+const std::vector<Block>& Database::blocks() const {
+  EnsureBlocks();
+  return blocks_;
+}
+
+BlockId Database::BlockOf(FactId id) const {
+  EnsureBlocks();
+  CQA_CHECK(id < block_of_.size());
+  return block_of_[id];
+}
+
+bool Database::IsConsistent() const {
+  for (const Block& b : blocks()) {
+    if (b.facts.size() > 1) return false;
+  }
+  return true;
+}
+
+double Database::CountRepairs() const {
+  double count = 1.0;
+  for (const Block& b : blocks()) count *= static_cast<double>(b.facts.size());
+  return count;
+}
+
+std::string Database::FactToString(FactId id) const {
+  const Fact& f = facts_[id];
+  const RelationSchema& rel = schema_.Relation(f.relation);
+  std::ostringstream out;
+  out << rel.name << '(';
+  for (std::uint32_t i = 0; i < rel.arity; ++i) {
+    if (i == rel.key_len && rel.key_len > 0) out << " | ";
+    else if (i > 0) out << ", ";
+    out << elements_.Name(f.args[i]);
+  }
+  out << ')';
+  return out.str();
+}
+
+std::string Database::ToString() const {
+  std::ostringstream out;
+  for (BlockId b = 0; b < blocks().size(); ++b) {
+    out << "block " << b << ":";
+    for (FactId id : blocks()[b].facts) out << ' ' << FactToString(id);
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool Database::Contains(const Fact& f) const {
+  return fact_ids_.find(f) != fact_ids_.end();
+}
+
+FactId Database::FindFact(const Fact& f) const {
+  auto it = fact_ids_.find(f);
+  return it == fact_ids_.end() ? kNoFact : it->second;
+}
+
+}  // namespace cqa

@@ -1,0 +1,103 @@
+// Databases: finite sets of facts, partitioned into key-equal blocks.
+//
+// A block (Section 2) is a maximal set of key-equal facts; a repair picks
+// exactly one fact from every block. Database owns its element Interner and
+// its Schema so that generated instances (reductions, workload generators)
+// are self-contained value types.
+
+#ifndef CQA_DATA_DATABASE_H_
+#define CQA_DATA_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/interner.h"
+#include "data/fact.h"
+#include "data/schema.h"
+
+namespace cqa {
+
+/// A maximal set of key-equal facts.
+struct Block {
+  RelationId relation = 0;
+  std::vector<ElementId> key;   ///< Key tuple shared by all facts.
+  std::vector<FactId> facts;    ///< Members, in insertion order.
+};
+
+/// A finite set of facts with set semantics (duplicate inserts are no-ops).
+class Database {
+ public:
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Adds a fact given pre-interned element ids; returns its FactId.
+  /// Re-adding an identical fact returns the existing id.
+  FactId AddFact(RelationId relation, std::vector<ElementId> args);
+
+  /// Adds a fact given element names (interned on the fly).
+  FactId AddFactNamed(RelationId relation,
+                      const std::vector<std::string>& names);
+
+  /// Convenience: parse "a b c d" (whitespace-separated element names).
+  FactId AddFactStr(RelationId relation, std::string_view spaced_names);
+
+  std::size_t NumFacts() const { return facts_.size(); }
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  const Schema& schema() const { return schema_; }
+  Interner& elements() { return elements_; }
+  const Interner& elements() const { return elements_; }
+
+  /// Key tuple of a fact (first key_len args).
+  std::vector<ElementId> KeyOf(FactId id) const;
+
+  /// True if the two facts are key-equal (same relation, same key tuple).
+  bool KeyEqual(FactId a, FactId b) const;
+
+  /// The block partition. Built lazily, cached, invalidated by AddFact.
+  const std::vector<Block>& blocks() const;
+
+  /// Block containing fact `id`.
+  BlockId BlockOf(FactId id) const;
+
+  /// True if no block has two distinct facts.
+  bool IsConsistent() const;
+
+  /// Number of repairs as a double (may overflow 64-bit integers).
+  double CountRepairs() const;
+
+  /// Pretty-prints fact `id` as "R(a, b | c, d)" with the key before '|'.
+  std::string FactToString(FactId id) const;
+
+  /// Pretty-prints the whole database, one fact per line, grouped by block.
+  std::string ToString() const;
+
+  /// True if the database contains this exact fact.
+  bool Contains(const Fact& f) const;
+
+  /// Looks up the id of an existing fact, or kNoFact.
+  FactId FindFact(const Fact& f) const;
+
+  static constexpr FactId kNoFact = 0xffffffffu;
+
+ private:
+  void EnsureBlocks() const;
+
+  Schema schema_;
+  Interner elements_;
+  std::vector<Fact> facts_;
+  std::unordered_map<Fact, FactId, FactHash> fact_ids_;
+
+  // Lazy block index.
+  mutable bool blocks_dirty_ = true;
+  mutable std::vector<Block> blocks_;
+  mutable std::vector<BlockId> block_of_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_DATABASE_H_

@@ -1,0 +1,39 @@
+// Facts: ground tuples R(e1, ..., ek) over interned elements.
+
+#ifndef CQA_DATA_FACT_H_
+#define CQA_DATA_FACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/interner.h"
+#include "data/schema.h"
+
+namespace cqa {
+
+/// Index of a fact within a Database (insertion order, dense).
+using FactId = std::uint32_t;
+
+/// Index of a block within a Database's block index.
+using BlockId = std::uint32_t;
+
+/// A ground fact. `args.size()` equals the relation's arity.
+struct Fact {
+  RelationId relation = 0;
+  std::vector<ElementId> args;
+
+  bool operator==(const Fact& other) const {
+    return relation == other.relation && args == other.args;
+  }
+};
+
+struct FactHash {
+  std::size_t operator()(const Fact& f) const {
+    return HashCombine(HashRange(f.args.begin(), f.args.end()), f.relation);
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_FACT_H_

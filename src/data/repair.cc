@@ -1,0 +1,60 @@
+#include "data/repair.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+bool Repair::Contains(FactId id) const {
+  BlockId b = db_->BlockOf(id);
+  return FactIn(b) == id;
+}
+
+std::vector<FactId> Repair::Facts() const {
+  std::vector<FactId> out;
+  out.reserve(choice_.size());
+  for (BlockId b = 0; b < choice_.size(); ++b) out.push_back(FactIn(b));
+  return out;
+}
+
+void Repair::Select(FactId id) {
+  BlockId b = db_->BlockOf(id);
+  const std::vector<FactId>& facts = db_->blocks()[b].facts;
+  for (std::uint32_t i = 0; i < facts.size(); ++i) {
+    if (facts[i] == id) {
+      choice_[b] = i;
+      return;
+    }
+  }
+  CQA_CHECK_MSG(false, "fact not found in its own block");
+}
+
+RepairIterator::RepairIterator(const Database& db) : db_(&db) {
+  choice_.assign(db.blocks().size(), 0);
+  // A database with no facts has exactly one (empty) repair.
+  has_value_ = true;
+}
+
+bool RepairIterator::Next() {
+  const auto& blocks = db_->blocks();
+  for (std::size_t b = 0; b < choice_.size(); ++b) {
+    if (choice_[b] + 1 < blocks[b].facts.size()) {
+      ++choice_[b];
+      for (std::size_t j = 0; j < b; ++j) choice_[j] = 0;
+      return true;
+    }
+  }
+  has_value_ = false;
+  return false;
+}
+
+Repair RepairSampler::Sample() {
+  const auto& blocks = db_->blocks();
+  std::vector<std::uint32_t> choice(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    choice[b] =
+        static_cast<std::uint32_t>(rng_.Below(blocks[b].facts.size()));
+  }
+  return Repair(db_, std::move(choice));
+}
+
+}  // namespace cqa

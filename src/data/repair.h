@@ -1,0 +1,85 @@
+// Repairs: one-fact-per-block selections of an inconsistent database.
+//
+// A repair of D is a subset-maximal consistent subset, i.e. a choice of one
+// fact from every block. We represent a repair as a choice vector indexed by
+// BlockId. RepairIterator enumerates all repairs in odometer order (the
+// number of repairs is the product of block sizes, so callers are expected
+// to use it only on small databases or to bail out early). RepairSampler
+// draws repairs uniformly at random.
+
+#ifndef CQA_DATA_REPAIR_H_
+#define CQA_DATA_REPAIR_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "data/database.h"
+
+namespace cqa {
+
+/// A repair as a per-block choice. choice[b] indexes into blocks()[b].facts.
+class Repair {
+ public:
+  Repair() = default;
+  Repair(const Database* db, std::vector<std::uint32_t> choice)
+      : db_(db), choice_(std::move(choice)) {}
+
+  /// The fact selected in block b.
+  FactId FactIn(BlockId b) const {
+    return db_->blocks()[b].facts[choice_[b]];
+  }
+
+  /// True if fact `id` is selected.
+  bool Contains(FactId id) const;
+
+  /// All selected fact ids, in block order.
+  std::vector<FactId> Facts() const;
+
+  /// Replaces the selection in `id`'s block with `id` itself
+  /// (the paper's r[a -> a'] operation).
+  void Select(FactId id);
+
+  const std::vector<std::uint32_t>& choice() const { return choice_; }
+  const Database* database() const { return db_; }
+
+ private:
+  const Database* db_ = nullptr;
+  std::vector<std::uint32_t> choice_;
+};
+
+/// Enumerates every repair of a database in lexicographic (odometer) order.
+class RepairIterator {
+ public:
+  explicit RepairIterator(const Database& db);
+
+  /// True if a current repair exists.
+  bool HasValue() const { return has_value_; }
+
+  /// Current repair (valid while HasValue()).
+  Repair Current() const { return Repair(db_, choice_); }
+
+  /// Advances to the next repair; returns false when exhausted.
+  bool Next();
+
+ private:
+  const Database* db_;
+  std::vector<std::uint32_t> choice_;
+  bool has_value_;
+};
+
+/// Draws repairs uniformly at random (independent across calls).
+class RepairSampler {
+ public:
+  RepairSampler(const Database& db, std::uint64_t seed)
+      : db_(&db), rng_(seed) {}
+
+  Repair Sample();
+
+ private:
+  const Database* db_;
+  Rng rng_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_REPAIR_H_

@@ -1,0 +1,29 @@
+#include "data/schema.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+RelationId Schema::AddRelation(std::string_view name, std::uint32_t arity,
+                               std::uint32_t key_len) {
+  CQA_CHECK_MSG(arity >= 1, "relation arity must be >= 1");
+  CQA_CHECK_MSG(key_len <= arity, "key length cannot exceed arity");
+  CQA_CHECK_MSG(by_name_.find(std::string(name)) == by_name_.end(),
+                "duplicate relation name");
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(RelationSchema{std::string(name), arity, key_len});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+RelationId Schema::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNotFound : it->second;
+}
+
+const RelationSchema& Schema::Relation(RelationId id) const {
+  CQA_CHECK(id < relations_.size());
+  return relations_[id];
+}
+
+}  // namespace cqa

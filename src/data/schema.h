@@ -1,0 +1,55 @@
+// Relational schemas with primary-key constraints.
+//
+// Following the paper (Section 2), a relation symbol R has a signature
+// [k, l]: arity k >= 1 and the first l positions (0 <= l <= k) form the
+// primary key. The paper works with a single relation symbol; the
+// self-join-free substrate (Section 4, Kolaitis–Pema / Koutris–Wijsen)
+// needs several, so Schema supports any number of relations.
+
+#ifndef CQA_DATA_SCHEMA_H_
+#define CQA_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cqa {
+
+/// Dense id of a relation within a Schema.
+using RelationId = std::uint32_t;
+
+/// One relation symbol with signature [arity, key_len].
+struct RelationSchema {
+  std::string name;
+  std::uint32_t arity = 0;    ///< k: number of positions, k >= 1.
+  std::uint32_t key_len = 0;  ///< l: first l positions form the key, l <= k.
+};
+
+/// A set of relation symbols. Immutable after relations are added.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation; name must be fresh, 1 <= arity, key_len <= arity.
+  RelationId AddRelation(std::string_view name, std::uint32_t arity,
+                         std::uint32_t key_len);
+
+  /// Returns the relation id for `name`, or kNotFound.
+  RelationId Find(std::string_view name) const;
+
+  const RelationSchema& Relation(RelationId id) const;
+
+  std::size_t NumRelations() const { return relations_.size(); }
+
+  static constexpr RelationId kNotFound = 0xffffffffu;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_SCHEMA_H_

@@ -1,0 +1,104 @@
+#include "gen/workloads.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+ElementId DomainElement(Database* db, std::uint64_t index) {
+  return db->elements().Intern("e" + std::to_string(index));
+}
+
+/// Instantiates atom `a` of q under the assignment, interning elements.
+void AddAtomInstance(const ConjunctiveQuery& q, std::size_t atom_index,
+                     const std::vector<ElementId>& assignment,
+                     Database* db) {
+  const QueryAtom& atom = q.atoms()[atom_index];
+  std::vector<ElementId> args;
+  args.reserve(atom.vars.size());
+  for (VarId v : atom.vars) args.push_back(assignment[v]);
+  db->AddFact(atom.relation, std::move(args));
+}
+
+}  // namespace
+
+Database RandomInstance(const ConjunctiveQuery& q,
+                        const InstanceParams& params, Rng* rng) {
+  Database db(q.schema());
+  CQA_CHECK(params.domain_size >= 1);
+  // Small domains may not admit num_facts distinct facts; the attempt cap
+  // guarantees termination (the instance is then simply smaller).
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 50ull * params.num_facts + 1000;
+  while (db.NumFacts() < params.num_facts && attempts++ < max_attempts) {
+    double roll = rng->Uniform();
+    if (roll < params.blockmate_bias && db.NumFacts() > 0) {
+      // Clone a random fact's key, fresh random rest.
+      const Fact& base = db.fact(
+          static_cast<FactId>(rng->Below(db.NumFacts())));
+      const RelationSchema& rel = db.schema().Relation(base.relation);
+      std::vector<ElementId> args(base.args.begin(),
+                                  base.args.begin() + rel.key_len);
+      for (std::uint32_t i = rel.key_len; i < rel.arity; ++i) {
+        args.push_back(DomainElement(&db, rng->Below(params.domain_size)));
+      }
+      db.AddFact(base.relation, std::move(args));
+    } else if (roll < params.blockmate_bias + params.pattern_bias) {
+      // Instantiate a random atom under a random assignment.
+      std::vector<ElementId> assignment(q.NumVars());
+      for (VarId v = 0; v < q.NumVars(); ++v) {
+        assignment[v] = DomainElement(&db, rng->Below(params.domain_size));
+      }
+      AddAtomInstance(q, rng->Below(q.NumAtoms()), assignment, &db);
+    } else {
+      // Uniform noise tuple over a random relation used by the query.
+      const QueryAtom& atom = q.atoms()[rng->Below(q.NumAtoms())];
+      const RelationSchema& rel = db.schema().Relation(atom.relation);
+      std::vector<ElementId> args;
+      for (std::uint32_t i = 0; i < rel.arity; ++i) {
+        args.push_back(DomainElement(&db, rng->Below(params.domain_size)));
+      }
+      db.AddFact(atom.relation, std::move(args));
+    }
+  }
+  return db;
+}
+
+Database ChainInstance(const ConjunctiveQuery& q, std::uint32_t num_links,
+                       double reuse_bias, double blockmate_bias, Rng* rng) {
+  Database db(q.schema());
+  std::uint64_t fresh = 0;
+  std::vector<ElementId> prev_assignment;
+  for (std::uint32_t link = 0; link < num_links; ++link) {
+    std::vector<ElementId> assignment(q.NumVars());
+    for (VarId v = 0; v < q.NumVars(); ++v) {
+      if (!prev_assignment.empty() && rng->Chance(reuse_bias)) {
+        assignment[v] = prev_assignment[rng->Below(prev_assignment.size())];
+      } else {
+        assignment[v] = DomainElement(&db, 1000000 + fresh++);
+      }
+    }
+    AddAtomInstance(q, 0, assignment, &db);
+    AddAtomInstance(q, 1, assignment, &db);
+    // Blockmates for inconsistency.
+    std::size_t before = db.NumFacts();
+    for (std::size_t i = 0; i < before; ++i) {
+      if (!rng->Chance(blockmate_bias / before)) continue;
+      const Fact& base = db.fact(static_cast<FactId>(i));
+      const RelationSchema& rel = db.schema().Relation(base.relation);
+      std::vector<ElementId> args(base.args.begin(),
+                                  base.args.begin() + rel.key_len);
+      for (std::uint32_t p = rel.key_len; p < rel.arity; ++p) {
+        args.push_back(DomainElement(&db, 1000000 + fresh++));
+      }
+      db.AddFact(base.relation, std::move(args));
+    }
+    prev_assignment = std::move(assignment);
+  }
+  return db;
+}
+
+}  // namespace cqa

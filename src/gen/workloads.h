@@ -1,0 +1,46 @@
+// Workload generators for tests and benchmarks.
+//
+// Random inconsistent databases are built from three ingredients:
+//   - pattern facts: instantiations of the query's atoms under random
+//     variable assignments over a small domain (guaranteeing matches and,
+//     with domain collisions, solutions);
+//   - blockmates: facts re-using an existing fact's key with fresh
+//     non-key values (creating the inconsistencies repairs must resolve);
+//   - noise: uniformly random tuples.
+// All generation is deterministic given the seed (splitmix64).
+
+#ifndef CQA_GEN_WORKLOADS_H_
+#define CQA_GEN_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Knobs for RandomInstance.
+struct InstanceParams {
+  std::uint32_t num_facts = 40;
+  std::uint32_t domain_size = 8;   ///< Elements e0..e{d-1}.
+  double pattern_bias = 0.6;       ///< P(instantiate a random atom).
+  double blockmate_bias = 0.3;     ///< P(clone an existing fact's key).
+};
+
+/// Random database for a (self-join) two-atom query. All relations used by
+/// the query are populated; facts are deduplicated by Database semantics,
+/// so the result may have slightly fewer than num_facts facts.
+Database RandomInstance(const ConjunctiveQuery& q,
+                        const InstanceParams& params, Rng* rng);
+
+/// A chain-of-solutions instance: `num_links` solution pairs instantiated
+/// with assignments that overlap the previous link's assignment (sharing
+/// elements with probability `reuse_bias`), plus blockmates. Produces long
+/// q-connected components, the worst case for Cert_k's antichain.
+Database ChainInstance(const ConjunctiveQuery& q, std::uint32_t num_links,
+                       double reuse_bias, double blockmate_bias, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_WORKLOADS_H_

@@ -1,0 +1,86 @@
+#include "graph/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+#include "base/check.h"
+
+namespace cqa {
+
+void BipartiteGraph::AddEdge(std::uint32_t left, std::uint32_t right) {
+  CQA_CHECK(left < adjacency_.size() && right < num_right_);
+  adjacency_[left].push_back(right);
+}
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Layered BFS from unmatched left vertices; returns true if an augmenting
+/// path exists. dist is indexed by left vertex.
+bool Bfs(const BipartiteGraph& g, const std::vector<std::uint32_t>& match_left,
+         const std::vector<std::uint32_t>& match_right,
+         std::vector<std::uint32_t>* dist) {
+  std::queue<std::uint32_t> queue;
+  for (std::uint32_t l = 0; l < g.NumLeft(); ++l) {
+    if (match_left[l] == MatchingResult::kUnmatched) {
+      (*dist)[l] = 0;
+      queue.push(l);
+    } else {
+      (*dist)[l] = kInf;
+    }
+  }
+  bool found = false;
+  while (!queue.empty()) {
+    std::uint32_t l = queue.front();
+    queue.pop();
+    for (std::uint32_t r : g.Neighbors(l)) {
+      std::uint32_t next = match_right[r];
+      if (next == MatchingResult::kUnmatched) {
+        found = true;
+      } else if ((*dist)[next] == kInf) {
+        (*dist)[next] = (*dist)[l] + 1;
+        queue.push(next);
+      }
+    }
+  }
+  return found;
+}
+
+bool Dfs(const BipartiteGraph& g, std::uint32_t l,
+         std::vector<std::uint32_t>* match_left,
+         std::vector<std::uint32_t>* match_right,
+         std::vector<std::uint32_t>* dist) {
+  for (std::uint32_t r : g.Neighbors(l)) {
+    std::uint32_t next = (*match_right)[r];
+    if (next == MatchingResult::kUnmatched ||
+        ((*dist)[next] == (*dist)[l] + 1 &&
+         Dfs(g, next, match_left, match_right, dist))) {
+      (*match_left)[l] = r;
+      (*match_right)[r] = l;
+      return true;
+    }
+  }
+  (*dist)[l] = kInf;
+  return false;
+}
+
+}  // namespace
+
+MatchingResult MaximumMatching(const BipartiteGraph& g) {
+  MatchingResult result;
+  result.match_left.assign(g.NumLeft(), MatchingResult::kUnmatched);
+  result.match_right.assign(g.NumRight(), MatchingResult::kUnmatched);
+  std::vector<std::uint32_t> dist(g.NumLeft(), kInf);
+  while (Bfs(g, result.match_left, result.match_right, &dist)) {
+    for (std::uint32_t l = 0; l < g.NumLeft(); ++l) {
+      if (result.match_left[l] == MatchingResult::kUnmatched &&
+          Dfs(g, l, &result.match_left, &result.match_right, &dist)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cqa

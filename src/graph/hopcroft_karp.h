@@ -1,0 +1,53 @@
+// Hopcroft–Karp maximum bipartite matching, O(E sqrt(V)).
+//
+// The matching(q) algorithm of Section 10.1 reduces certain answering on
+// clique-databases to testing whether a bipartite graph (blocks vs. cliques)
+// has a matching saturating the block side; reference [4] of the paper.
+
+#ifndef CQA_GRAPH_HOPCROFT_KARP_H_
+#define CQA_GRAPH_HOPCROFT_KARP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+
+/// Bipartite graph with `left` and `right` vertex sets.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_left, std::size_t num_right)
+      : adjacency_(num_left), num_right_(num_right) {}
+
+  void AddEdge(std::uint32_t left, std::uint32_t right);
+
+  std::size_t NumLeft() const { return adjacency_.size(); }
+  std::size_t NumRight() const { return num_right_; }
+  const std::vector<std::uint32_t>& Neighbors(std::uint32_t left) const {
+    return adjacency_[left];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::size_t num_right_;
+};
+
+/// Result of a maximum-matching computation.
+struct MatchingResult {
+  std::size_t size = 0;
+  /// match_left[l] = matched right vertex or kUnmatched.
+  std::vector<std::uint32_t> match_left;
+  /// match_right[r] = matched left vertex or kUnmatched.
+  std::vector<std::uint32_t> match_right;
+
+  static constexpr std::uint32_t kUnmatched = 0xffffffffu;
+
+  /// True if every left vertex is matched.
+  bool SaturatesLeft() const { return size == match_left.size(); }
+};
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm.
+MatchingResult MaximumMatching(const BipartiteGraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_HOPCROFT_KARP_H_

@@ -1,0 +1,69 @@
+#include "graph/undirected.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+
+void UndirectedGraph::AddEdge(std::uint32_t u, std::uint32_t v) {
+  CQA_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  if (u == v) return;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  finalized_ = false;
+}
+
+void UndirectedGraph::Finalize() {
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  finalized_ = true;
+}
+
+bool UndirectedGraph::HasEdge(std::uint32_t u, std::uint32_t v) const {
+  CQA_DCHECK(finalized_);
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::size_t UndirectedGraph::NumEdges() const {
+  std::size_t total = 0;
+  for (const auto& list : adjacency_) total += list.size();
+  return total / 2;
+}
+
+std::vector<std::vector<std::uint32_t>> Components::Groups() const {
+  std::vector<std::vector<std::uint32_t>> groups(count);
+  for (std::uint32_t v = 0; v < component_of.size(); ++v) {
+    groups[component_of[v]].push_back(v);
+  }
+  return groups;
+}
+
+Components ConnectedComponents(const UndirectedGraph& g) {
+  Components out;
+  const std::uint32_t kUnvisited = 0xffffffffu;
+  out.component_of.assign(g.NumVertices(), kUnvisited);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < g.NumVertices(); ++start) {
+    if (out.component_of[start] != kUnvisited) continue;
+    std::uint32_t comp = out.count++;
+    stack.push_back(start);
+    out.component_of[start] = comp;
+    while (!stack.empty()) {
+      std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (std::uint32_t w : g.Neighbors(v)) {
+        if (out.component_of[w] == kUnvisited) {
+          out.component_of[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

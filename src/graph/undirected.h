@@ -1,0 +1,55 @@
+// Minimal undirected graph with connected-component computation.
+//
+// Used for the solution graph G(D, q) of Section 10.1 and by the tripath
+// machinery. Vertices are dense integers (fact ids in practice).
+
+#ifndef CQA_GRAPH_UNDIRECTED_H_
+#define CQA_GRAPH_UNDIRECTED_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+
+/// Undirected graph over vertices 0..n-1 with deduplicated adjacency lists.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t n = 0) : adjacency_(n) {}
+
+  std::size_t NumVertices() const { return adjacency_.size(); }
+
+  /// Adds edge {u, v}; self-loops and duplicates are ignored
+  /// (Finalize dedupes).
+  void AddEdge(std::uint32_t u, std::uint32_t v);
+
+  /// Sorts and dedupes adjacency lists; must be called before queries.
+  void Finalize();
+
+  const std::vector<std::uint32_t>& Neighbors(std::uint32_t v) const {
+    return adjacency_[v];
+  }
+
+  /// True if {u, v} is an edge (binary search; requires Finalize()).
+  bool HasEdge(std::uint32_t u, std::uint32_t v) const;
+
+  std::size_t NumEdges() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  bool finalized_ = false;
+};
+
+/// Connected components of an undirected graph.
+struct Components {
+  std::vector<std::uint32_t> component_of;  ///< Per vertex.
+  std::uint32_t count = 0;
+
+  /// Vertices of each component, grouped.
+  std::vector<std::vector<std::uint32_t>> Groups() const;
+};
+
+Components ConnectedComponents(const UndirectedGraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_UNDIRECTED_H_

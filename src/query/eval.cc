@@ -1,0 +1,185 @@
+#include "query/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace cqa {
+
+RelationBinding::RelationBinding(const ConjunctiveQuery& query,
+                                 const Database& db) {
+  map_.resize(query.schema().NumRelations());
+  for (RelationId r = 0; r < query.schema().NumRelations(); ++r) {
+    const RelationSchema& qrel = query.schema().Relation(r);
+    RelationId db_rel = db.schema().Find(qrel.name);
+    CQA_CHECK_MSG(db_rel != Schema::kNotFound,
+                  "database lacks a relation used by the query");
+    const RelationSchema& drel = db.schema().Relation(db_rel);
+    CQA_CHECK_MSG(drel.arity == qrel.arity && drel.key_len == qrel.key_len,
+                  "relation signature mismatch between query and database");
+    map_[r] = db_rel;
+  }
+}
+
+bool ExtendMatch(const QueryAtom& atom, const Fact& fact,
+                 std::vector<ElementId>* mu) {
+  CQA_DCHECK(atom.vars.size() == fact.args.size());
+  for (std::size_t i = 0; i < atom.vars.size(); ++i) {
+    ElementId& slot = (*mu)[atom.vars[i]];
+    if (slot == kUnassigned) {
+      slot = fact.args[i];
+    } else if (slot != fact.args[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MatchesPattern(const QueryAtom& atom, const Fact& fact) {
+  for (std::size_t i = 0; i < atom.vars.size(); ++i) {
+    for (std::size_t j = i + 1; j < atom.vars.size(); ++j) {
+      if (atom.vars[i] == atom.vars[j] && fact.args[i] != fact.args[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsSolution(const ConjunctiveQuery& q, const RelationBinding& binding,
+                const Database& db, FactId a, FactId b) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  const Fact& fa = db.fact(a);
+  const Fact& fb = db.fact(b);
+  if (fa.relation != binding.Resolve(q.atoms()[0].relation)) return false;
+  if (fb.relation != binding.Resolve(q.atoms()[1].relation)) return false;
+  std::vector<ElementId> mu(q.NumVars(), kUnassigned);
+  return ExtendMatch(q.atoms()[0], fa, &mu) && ExtendMatch(q.atoms()[1], fb, &mu);
+}
+
+bool IsSolutionEither(const ConjunctiveQuery& q,
+                      const RelationBinding& binding, const Database& db,
+                      FactId a, FactId b) {
+  return IsSolution(q, binding, db, a, b) || IsSolution(q, binding, db, b, a);
+}
+
+SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  RelationBinding binding(q, db);
+  SolutionSet out;
+  out.self.assign(db.NumFacts(), false);
+
+  // Shared variables, in ascending VarId order, define the join signature.
+  VarMask shared = q.VarsOf(0) & q.VarsOf(1);
+  std::vector<VarId> shared_vars;
+  for (VarId v = 0; v < q.NumVars(); ++v) {
+    if (shared & (VarMask{1} << v)) shared_vars.push_back(v);
+  }
+
+  auto signature = [&](const std::vector<ElementId>& mu) {
+    std::vector<ElementId> sig;
+    sig.reserve(shared_vars.size());
+    for (VarId v : shared_vars) {
+      CQA_DCHECK(mu[v] != kUnassigned);
+      sig.push_back(mu[v]);
+    }
+    return sig;
+  };
+
+  RelationId rel_a = binding.Resolve(q.atoms()[0].relation);
+  RelationId rel_b = binding.Resolve(q.atoms()[1].relation);
+
+  // Bucket the facts matching each atom by their shared-variable signature.
+  std::unordered_map<std::vector<ElementId>, std::vector<FactId>, VectorHash>
+      a_side;
+  std::unordered_map<std::vector<ElementId>, std::vector<FactId>, VectorHash>
+      b_side;
+  std::vector<ElementId> mu(q.NumVars(), kUnassigned);
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    const Fact& fact = db.fact(f);
+    if (fact.relation == rel_a) {
+      std::fill(mu.begin(), mu.end(), kUnassigned);
+      if (ExtendMatch(q.atoms()[0], fact, &mu)) {
+        a_side[signature(mu)].push_back(f);
+      }
+    }
+    if (fact.relation == rel_b) {
+      std::fill(mu.begin(), mu.end(), kUnassigned);
+      if (ExtendMatch(q.atoms()[1], fact, &mu)) {
+        b_side[signature(mu)].push_back(f);
+      }
+    }
+  }
+
+  for (const auto& [sig, as] : a_side) {
+    auto it = b_side.find(sig);
+    if (it == b_side.end()) continue;
+    for (FactId a : as) {
+      for (FactId b : it->second) {
+        out.pairs.emplace_back(a, b);
+        if (a == b) out.self[a] = true;
+      }
+    }
+  }
+  std::sort(out.pairs.begin(), out.pairs.end());
+  return out;
+}
+
+namespace {
+
+bool SatisfiesRec(const ConjunctiveQuery& q,
+                  const std::vector<std::vector<const Fact*>>& by_relation,
+                  std::size_t atom_index, std::vector<ElementId>* mu) {
+  if (atom_index == q.NumAtoms()) return true;
+  const QueryAtom& atom = q.atoms()[atom_index];
+  std::vector<ElementId> saved = *mu;
+  for (const Fact* fact : by_relation[atom.relation]) {
+    *mu = saved;
+    if (ExtendMatch(atom, *fact, mu) &&
+        SatisfiesRec(q, by_relation, atom_index + 1, mu)) {
+      return true;
+    }
+  }
+  *mu = saved;
+  return false;
+}
+
+bool SatisfiesFacts(const ConjunctiveQuery& q, const Database& db,
+                    const std::vector<FactId>& facts) {
+  RelationBinding binding(q, db);
+  // by_relation is indexed by *query* relation id.
+  std::vector<std::vector<const Fact*>> by_relation(
+      q.schema().NumRelations());
+  for (FactId f : facts) {
+    const Fact& fact = db.fact(f);
+    for (RelationId r = 0; r < q.schema().NumRelations(); ++r) {
+      if (binding.Resolve(r) == fact.relation) {
+        by_relation[r].push_back(&fact);
+      }
+    }
+  }
+  std::vector<ElementId> mu(q.NumVars(), kUnassigned);
+  return SatisfiesRec(q, by_relation, 0, &mu);
+}
+
+}  // namespace
+
+bool SatisfiesSubset(const ConjunctiveQuery& q, const Database& db,
+                     const std::vector<FactId>& facts) {
+  return SatisfiesFacts(q, db, facts);
+}
+
+bool Satisfies(const ConjunctiveQuery& q, const Database& db) {
+  std::vector<FactId> all(db.NumFacts());
+  for (FactId f = 0; f < db.NumFacts(); ++f) all[f] = f;
+  return SatisfiesFacts(q, db, all);
+}
+
+bool SatisfiesRepair(const ConjunctiveQuery& q, const Database& db,
+                     const Repair& repair) {
+  return SatisfiesFacts(q, db, repair.Facts());
+}
+
+}  // namespace cqa

@@ -1,0 +1,102 @@
+#include "query/hom.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+constexpr VarId kUnmapped = 0xffffffffu;
+
+bool HomRec(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
+            const std::vector<std::vector<std::size_t>>& candidates,
+            std::size_t atom_index, std::vector<VarId>* h) {
+  if (atom_index == from.NumAtoms()) return true;
+  const QueryAtom& atom = from.atoms()[atom_index];
+  std::vector<VarId> saved = *h;
+  for (std::size_t target_index : candidates[atom_index]) {
+    const QueryAtom& target = to.atoms()[target_index];
+    *h = saved;
+    bool ok = true;
+    for (std::size_t p = 0; p < atom.vars.size() && ok; ++p) {
+      VarId& slot = (*h)[atom.vars[p]];
+      if (slot == kUnmapped) {
+        slot = target.vars[p];
+      } else if (slot != target.vars[p]) {
+        ok = false;
+      }
+    }
+    if (ok && HomRec(from, to, candidates, atom_index + 1, h)) return true;
+  }
+  *h = saved;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<VarId>> FindHomomorphism(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  // Candidate target atoms per source atom: same relation name + signature.
+  std::vector<std::vector<std::size_t>> candidates(from.NumAtoms());
+  for (std::size_t i = 0; i < from.NumAtoms(); ++i) {
+    const RelationSchema& frel =
+        from.schema().Relation(from.atoms()[i].relation);
+    for (std::size_t j = 0; j < to.NumAtoms(); ++j) {
+      const RelationSchema& trel =
+          to.schema().Relation(to.atoms()[j].relation);
+      if (frel.name == trel.name && frel.arity == trel.arity &&
+          frel.key_len == trel.key_len) {
+        candidates[i].push_back(j);
+      }
+    }
+    if (candidates[i].empty()) return std::nullopt;
+  }
+  std::vector<VarId> h(from.NumVars(), kUnmapped);
+  if (HomRec(from, to, candidates, 0, &h)) return h;
+  return std::nullopt;
+}
+
+bool HomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return FindHomomorphism(a, b).has_value() &&
+         FindHomomorphism(b, a).has_value();
+}
+
+ConjunctiveQuery AtomSubquery(const ConjunctiveQuery& q, std::size_t i) {
+  CQA_CHECK(i < q.NumAtoms());
+  const QueryAtom& atom = q.atoms()[i];
+  // Renumber variables densely, preserving first-occurrence order.
+  std::vector<VarId> remap(q.NumVars(), kUnmapped);
+  std::vector<std::string> names;
+  std::vector<VarId> vars;
+  vars.reserve(atom.vars.size());
+  for (VarId v : atom.vars) {
+    if (remap[v] == kUnmapped) {
+      remap[v] = static_cast<VarId>(names.size());
+      names.push_back(q.VarName(v));
+    }
+    vars.push_back(remap[v]);
+  }
+  const RelationSchema& rel = q.schema().Relation(atom.relation);
+  Schema schema;
+  RelationId r = schema.AddRelation(rel.name, rel.arity, rel.key_len);
+  std::vector<QueryAtom> atoms = {QueryAtom{r, std::move(vars)}};
+  return ConjunctiveQuery(std::move(schema), std::move(names),
+                          std::move(atoms));
+}
+
+TrivialReason ClassifyTrivial(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  if (q.KeyTupleOf(0) == q.KeyTupleOf(1) &&
+      q.atoms()[0].relation == q.atoms()[1].relation) {
+    return TrivialReason::kEqualKeys;
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (FindHomomorphism(q, AtomSubquery(q, i)).has_value()) {
+      return TrivialReason::kHomToSingleAtom;
+    }
+  }
+  return TrivialReason::kNotTrivial;
+}
+
+}  // namespace cqa

@@ -1,0 +1,45 @@
+// Query homomorphisms and the one-atom-equivalence test of Section 2.
+//
+// certain(q) is trivial when q = A B is equivalent, over consistent
+// databases, to a one-atom query. Per the paper this happens exactly when
+// (1) there is a homomorphism from q onto one of its atoms, or
+// (2) key(A) = key(B) as variable tuples (then on consistent databases both
+//     atoms must be matched by the same fact, so q is equivalent to a single
+//     atom R(C) where C superimposes the equality patterns of A and B).
+
+#ifndef CQA_QUERY_HOM_H_
+#define CQA_QUERY_HOM_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/query.h"
+
+namespace cqa {
+
+/// Searches for a homomorphism from `from` to `to`: a variable map h such
+/// that every atom of `from` is mapped positionwise onto some atom of `to`
+/// over the same relation (relations are matched by name). Returns the map
+/// (indexed by `from` VarId) or nullopt.
+std::optional<std::vector<VarId>> FindHomomorphism(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// True if the two CQs are homomorphically equivalent.
+bool HomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// The sub-query consisting of atom `i` only (variables renumbered).
+ConjunctiveQuery AtomSubquery(const ConjunctiveQuery& q, std::size_t i);
+
+/// Why a two-atom query is "trivial" for certain answering.
+enum class TrivialReason {
+  kNotTrivial,
+  kHomToSingleAtom,  ///< q maps homomorphically onto one of its atoms.
+  kEqualKeys,        ///< key(A) = key(B) as tuples of variables.
+};
+
+/// Tests the one-atom-equivalence conditions for a two-atom query.
+TrivialReason ClassifyTrivial(const ConjunctiveQuery& q);
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_HOM_H_

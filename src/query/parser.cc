@@ -1,0 +1,116 @@
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+[[noreturn]] void Fail(std::string_view text, std::size_t pos,
+                       const std::string& why) {
+  throw std::invalid_argument("query parse error at offset " +
+                              std::to_string(pos) + ": " + why + " in \"" +
+                              std::string(text) + "\"");
+}
+
+}  // namespace
+
+ConjunctiveQuery ParseQuery(std::string_view text) {
+  Schema schema;
+  std::vector<std::string> var_names;
+  std::unordered_map<std::string, VarId> var_ids;
+  std::vector<QueryAtom> atoms;
+
+  auto var_id = [&](const std::string& name, std::size_t pos) -> VarId {
+    if (!IsIdentifier(name)) Fail(text, pos, "bad variable name '" + name + "'");
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    if (var_names.size() >= 64) Fail(text, pos, "more than 64 variables");
+    VarId id = static_cast<VarId>(var_names.size());
+    var_names.push_back(name);
+    var_ids.emplace(name, id);
+    return id;
+  };
+
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\t' || text[i] == '\n'))
+      ++i;
+  };
+
+  skip_ws();
+  while (i < text.size()) {
+    // Relation name.
+    std::size_t name_start = i;
+    while (i < text.size() && text[i] != '(') ++i;
+    if (i == text.size()) Fail(text, name_start, "expected '('");
+    std::string rel_name(Trim(text.substr(name_start, i - name_start)));
+    if (!IsIdentifier(rel_name))
+      Fail(text, name_start, "bad relation name '" + rel_name + "'");
+    ++i;  // consume '('
+
+    // Argument list up to ')'.
+    std::size_t args_start = i;
+    int depth = 1;
+    while (i < text.size() && depth > 0) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')') --depth;
+      if (depth > 0) ++i;
+    }
+    if (depth != 0) Fail(text, args_start, "unbalanced parentheses");
+    std::string_view args = text.substr(args_start, i - args_start);
+    ++i;  // consume ')'
+
+    // Split on '|' into key part and rest.
+    std::size_t bar = args.find('|');
+    std::vector<std::string> key_part;
+    std::vector<std::string> rest_part;
+    if (bar == std::string_view::npos) {
+      rest_part = SplitAndTrim(args, ',');
+      key_part.clear();
+    } else {
+      key_part = SplitAndTrim(args.substr(0, bar), ',');
+      rest_part = SplitAndTrim(args.substr(bar + 1), ',');
+    }
+    auto drop_empty_singleton = [](std::vector<std::string>& v) {
+      if (v.size() == 1 && v[0].empty()) v.clear();
+    };
+    drop_empty_singleton(key_part);
+    drop_empty_singleton(rest_part);
+
+    std::vector<VarId> vars;
+    for (const std::string& n : key_part) {
+      if (n.empty()) Fail(text, args_start, "empty variable");
+      vars.push_back(var_id(n, args_start));
+    }
+    std::uint32_t key_len = static_cast<std::uint32_t>(vars.size());
+    for (const std::string& n : rest_part) {
+      if (n.empty()) Fail(text, args_start, "empty variable");
+      vars.push_back(var_id(n, args_start));
+    }
+    if (vars.empty()) Fail(text, args_start, "atom with no variables");
+
+    std::uint32_t arity = static_cast<std::uint32_t>(vars.size());
+    RelationId rel = schema.Find(rel_name);
+    if (rel == Schema::kNotFound) {
+      rel = schema.AddRelation(rel_name, arity, key_len);
+    } else {
+      const RelationSchema& existing = schema.Relation(rel);
+      if (existing.arity != arity || existing.key_len != key_len) {
+        Fail(text, name_start,
+             "atoms over '" + rel_name + "' disagree on signature");
+      }
+    }
+    atoms.push_back(QueryAtom{rel, std::move(vars)});
+    skip_ws();
+  }
+
+  if (atoms.empty()) Fail(text, 0, "no atoms");
+  return ConjunctiveQuery(std::move(schema), std::move(var_names),
+                          std::move(atoms));
+}
+
+}  // namespace cqa

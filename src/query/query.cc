@@ -1,0 +1,88 @@
+#include "query/query.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace cqa {
+
+ConjunctiveQuery::ConjunctiveQuery(Schema schema,
+                                   std::vector<std::string> var_names,
+                                   std::vector<QueryAtom> atoms)
+    : schema_(std::move(schema)),
+      var_names_(std::move(var_names)),
+      atoms_(std::move(atoms)) {
+  CQA_CHECK_MSG(var_names_.size() <= 64,
+                "queries are limited to 64 variables");
+  atom_vars_.reserve(atoms_.size());
+  atom_key_vars_.reserve(atoms_.size());
+  for (const QueryAtom& a : atoms_) {
+    const RelationSchema& rel = schema_.Relation(a.relation);
+    CQA_CHECK_MSG(a.vars.size() == rel.arity, "atom arity mismatch");
+    VarMask vars = 0;
+    VarMask key_vars = 0;
+    for (std::size_t i = 0; i < a.vars.size(); ++i) {
+      CQA_CHECK(a.vars[i] < var_names_.size());
+      vars |= VarMask{1} << a.vars[i];
+      if (i < rel.key_len) key_vars |= VarMask{1} << a.vars[i];
+    }
+    atom_vars_.push_back(vars);
+    atom_key_vars_.push_back(key_vars);
+  }
+}
+
+std::vector<VarId> ConjunctiveQuery::KeyTupleOf(std::size_t i) const {
+  const QueryAtom& a = atoms_[i];
+  std::uint32_t l = KeyLenOf(i);
+  return std::vector<VarId>(a.vars.begin(), a.vars.begin() + l);
+}
+
+bool ConjunctiveQuery::IsSelfJoinFree() const {
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      if (atoms_[i].relation == atoms_[j].relation) return false;
+    }
+  }
+  return true;
+}
+
+const QueryAtom& ConjunctiveQuery::A() const {
+  CQA_CHECK(atoms_.size() == 2);
+  return atoms_[0];
+}
+
+const QueryAtom& ConjunctiveQuery::B() const {
+  CQA_CHECK(atoms_.size() == 2);
+  return atoms_[1];
+}
+
+ConjunctiveQuery ConjunctiveQuery::Swapped() const {
+  CQA_CHECK(atoms_.size() == 2);
+  std::vector<QueryAtom> swapped = {atoms_[1], atoms_[0]};
+  return ConjunctiveQuery(schema_, var_names_, std::move(swapped));
+}
+
+std::string ConjunctiveQuery::AtomToString(std::size_t i) const {
+  const QueryAtom& a = atoms_[i];
+  const RelationSchema& rel = schema_.Relation(a.relation);
+  std::ostringstream out;
+  out << rel.name << '(';
+  for (std::size_t p = 0; p < a.vars.size(); ++p) {
+    if (p == rel.key_len && rel.key_len > 0) out << " | ";
+    else if (p > 0) out << ", ";
+    out << var_names_[a.vars[p]];
+  }
+  out << ')';
+  return out.str();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) out << ' ';
+    out << AtomToString(i);
+  }
+  return out.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,104 @@
+// Boolean conjunctive queries with primary-key constraints.
+//
+// A query is a set of atoms over a schema; all variables are existentially
+// quantified (Section 2). The paper's object of study is the two-atom
+// self-join query q = A B with both atoms over the same relation; the
+// substrate supports arbitrary conjunctive queries because the reductions
+// (Section 4) and the Koutris–Wijsen baseline need self-join-free queries
+// over several relations.
+//
+// Variable sets are exposed both as sorted vectors and as 64-bit masks
+// (queries with more than 64 variables are rejected by the parser), which
+// makes the syntactic classification conditions of Theorems 4.2/6.1 direct
+// set-algebra on masks.
+
+#ifndef CQA_QUERY_QUERY_H_
+#define CQA_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace cqa {
+
+/// Dense id of a variable within a query.
+using VarId = std::uint32_t;
+
+/// Bitmask over a query's variables (VarId < 64).
+using VarMask = std::uint64_t;
+
+/// One atom R(x1, ..., xk); vars has length k = arity of the relation.
+struct QueryAtom {
+  RelationId relation = 0;
+  std::vector<VarId> vars;
+};
+
+/// A Boolean conjunctive query over `schema()`.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery(Schema schema, std::vector<std::string> var_names,
+                   std::vector<QueryAtom> atoms);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<QueryAtom>& atoms() const { return atoms_; }
+  std::size_t NumAtoms() const { return atoms_.size(); }
+  std::size_t NumVars() const { return var_names_.size(); }
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+
+  /// Key length of the relation of atom `i`.
+  std::uint32_t KeyLenOf(std::size_t i) const {
+    return schema_.Relation(atoms_[i].relation).key_len;
+  }
+
+  /// Set of variables occurring in atom i (vars(A) in the paper).
+  VarMask VarsOf(std::size_t i) const { return atom_vars_[i]; }
+
+  /// Set of variables occurring in key positions of atom i (key(A)).
+  VarMask KeyVarsOf(std::size_t i) const { return atom_key_vars_[i]; }
+
+  /// Key tuple of atom i: the first key_len variables, in order (key(A)).
+  std::vector<VarId> KeyTupleOf(std::size_t i) const;
+
+  /// True if the query is self-join-free (no two atoms share a relation).
+  bool IsSelfJoinFree() const;
+
+  /// Two-atom convenience accessors (CHECK NumAtoms() == 2).
+  const QueryAtom& A() const;
+  const QueryAtom& B() const;
+
+  /// Returns the query with atom order reversed (q = AB becomes BA); the
+  /// classification of Section 6 applies some conditions "by symmetry".
+  ConjunctiveQuery Swapped() const;
+
+  /// Pretty-prints, e.g. "R(x, u | x, y) R(u, y | x, z)".
+  std::string ToString() const;
+
+  /// Pretty-prints one atom.
+  std::string AtomToString(std::size_t i) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::string> var_names_;
+  std::vector<QueryAtom> atoms_;
+  std::vector<VarMask> atom_vars_;
+  std::vector<VarMask> atom_key_vars_;
+};
+
+/// Parses a query from a compact textual form.
+///
+/// Syntax: one or more atoms "Name(v1, ..., vl | vl+1, ..., vk)" separated
+/// by whitespace; the '|' separates key positions from non-key positions and
+/// may be omitted when the key is empty. All atoms with the same relation
+/// name must agree on arity and key length. Examples from the paper:
+///   q2: "R(x, u | x, y) R(u, y | x, z)"
+///   q3: "R(x | y) R(y | z)"
+///   q6: "R(x | y, z) R(z | x, y)"
+/// Throws std::invalid_argument (with position info) on malformed input.
+ConjunctiveQuery ParseQuery(std::string_view text);
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_QUERY_H_

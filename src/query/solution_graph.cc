@@ -1,0 +1,36 @@
+#include "query/solution_graph.h"
+
+namespace cqa {
+
+SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
+                                 const Database& db) {
+  SolutionGraph sg{ComputeSolutions(q, db), UndirectedGraph(db.NumFacts()),
+                   Components{}};
+  for (const auto& [a, b] : sg.solutions.pairs) {
+    if (a != b) sg.graph.AddEdge(a, b);
+  }
+  sg.graph.Finalize();
+  sg.components = ConnectedComponents(sg.graph);
+  return sg;
+}
+
+bool IsQuasiClique(const SolutionGraph& sg, const Database& db,
+                   const std::vector<std::uint32_t>& component_vertices) {
+  for (std::size_t i = 0; i < component_vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < component_vertices.size(); ++j) {
+      std::uint32_t a = component_vertices[i];
+      std::uint32_t b = component_vertices[j];
+      if (!db.KeyEqual(a, b) && !sg.graph.HasEdge(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsCliqueDatabase(const SolutionGraph& sg, const Database& db) {
+  for (const auto& group : sg.components.Groups()) {
+    if (!IsQuasiClique(sg, db, group)) return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

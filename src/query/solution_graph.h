@@ -1,0 +1,41 @@
+// The solution graph G(D, q) of Section 10.1.
+//
+// Vertices are the facts of D; there is an (undirected) edge between facts
+// a != b iff D |= q{ab}. Facts with D |= q(aa) are flagged separately: a
+// repair containing such a fact always satisfies q regardless of the rest.
+
+#ifndef CQA_QUERY_SOLUTION_GRAPH_H_
+#define CQA_QUERY_SOLUTION_GRAPH_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "graph/undirected.h"
+#include "query/eval.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Solution graph plus the underlying directed solution set.
+struct SolutionGraph {
+  SolutionSet solutions;   ///< Directed pairs and self-solution flags.
+  UndirectedGraph graph;   ///< Undirected q{ab} edges between distinct facts.
+  Components components;   ///< Connected components of `graph`.
+};
+
+/// Builds the solution graph of a two-atom query on a database.
+SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
+                                 const Database& db);
+
+/// True if component `comp` is a quasi-clique: every two facts of the
+/// component that are not key-equal are adjacent (Section 10.1).
+bool IsQuasiClique(const SolutionGraph& sg, const Database& db,
+                   const std::vector<std::uint32_t>& component_vertices);
+
+/// True if every connected component of G(D, q) is a quasi-clique, i.e. D
+/// is a clique-database for q.
+bool IsCliqueDatabase(const SolutionGraph& sg, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_QUERY_SOLUTION_GRAPH_H_

@@ -1,0 +1,52 @@
+// The Section 9 hardness gadget: from 3-SAT (each variable occurring 2 or 3
+// times, both polarities) to certain(q) for a 2way-determined query q with
+// a *nice* fork-tripath Theta.
+//
+// For each occurrence of a variable l in a clause C, the database D[phi]
+// contains a copy Theta_{l,C} of Theta with the niceness witnesses
+// substituted:
+//   x, y, z  -> elements annotated <C, l>   (making internal blocks of
+//               different copies disjoint),
+//   u        -> C                           (roots of the copies of the
+//               literals of C become one block: the clause block),
+//   v, w     -> leaf labels <Ci, Cj, l>     (chaining the copies of the
+//               positive occurrence to those of the negative occurrences,
+//               as in Figure 2).
+// Finally every singleton block is padded with a fresh fact forming no
+// solution. Lemma 9.2: phi is satisfiable iff D[phi] |/= certain(q).
+
+#ifndef CQA_REDUCTION_SAT_REDUCTION_H_
+#define CQA_REDUCTION_SAT_REDUCTION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "data/database.h"
+#include "query/query.h"
+#include "sat/cnf.h"
+#include "tripath/search.h"
+
+namespace cqa {
+
+/// The assembled gadget database plus bookkeeping for tests and demos.
+struct SatGadget {
+  Database db;
+  /// Root fact of the copy Theta_{l,C}, keyed by (clause index, variable).
+  /// These are the facts of the clause blocks ("literal facts").
+  std::map<std::pair<std::uint32_t, std::uint32_t>, FactId> literal_fact;
+  std::size_t num_padding_facts = 0;
+
+  SatGadget() : db(Schema()) {}
+};
+
+/// Builds D[phi]. Preconditions (CHECKed): phi.IsReductionReady(), every
+/// clause has at least two literals, and `nice_fork` is a nice fork-tripath
+/// of q (validation.nice).
+SatGadget BuildSatGadget(const ConjunctiveQuery& q,
+                         const FoundTripath& nice_fork,
+                         const CnfFormula& phi);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTION_SAT_REDUCTION_H_

@@ -1,0 +1,62 @@
+#include "reduction/sjf_reduction.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace cqa {
+
+ConjunctiveQuery MakeSjfQuery(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  CQA_CHECK_MSG(!q.IsSelfJoinFree(), "q must be a self-join query");
+  const RelationSchema& rel = q.schema().Relation(q.atoms()[0].relation);
+
+  Schema schema;
+  RelationId r1 = schema.AddRelation(rel.name + "1", rel.arity, rel.key_len);
+  RelationId r2 = schema.AddRelation(rel.name + "2", rel.arity, rel.key_len);
+
+  std::vector<std::string> var_names;
+  for (VarId v = 0; v < q.NumVars(); ++v) var_names.push_back(q.VarName(v));
+
+  std::vector<QueryAtom> atoms = {QueryAtom{r1, q.atoms()[0].vars},
+                                  QueryAtom{r2, q.atoms()[1].vars}};
+  return ConjunctiveQuery(std::move(schema), std::move(var_names),
+                          std::move(atoms));
+}
+
+Database TranslateSjfDatabase(const ConjunctiveQuery& q,
+                              const Database& sjf_db) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  Database out(q.schema());
+
+  const RelationSchema& rel = q.schema().Relation(q.atoms()[0].relation);
+  RelationId r1 = sjf_db.schema().Find(rel.name + "1");
+  RelationId r2 = sjf_db.schema().Find(rel.name + "2");
+  CQA_CHECK_MSG(r1 != Schema::kNotFound && r2 != Schema::kNotFound,
+                "sjf database lacks the expected relations");
+
+  for (FactId fid = 0; fid < sjf_db.NumFacts(); ++fid) {
+    const Fact& fact = sjf_db.fact(fid);
+    const QueryAtom* atom = nullptr;
+    if (fact.relation == r1) {
+      atom = &q.atoms()[0];
+    } else if (fact.relation == r2) {
+      atom = &q.atoms()[1];
+    } else {
+      CQA_CHECK_MSG(false, "fact over unexpected relation in sjf database");
+    }
+    std::vector<ElementId> args;
+    args.reserve(fact.args.size());
+    for (std::size_t i = 0; i < fact.args.size(); ++i) {
+      // Position i becomes the pair <variable-at-i, original element>.
+      std::string name = "<" + q.VarName(atom->vars[i]) + "," +
+                         sjf_db.elements().Name(fact.args[i]) + ">";
+      args.push_back(out.elements().Intern(name));
+    }
+    out.AddFact(q.atoms()[0].relation, std::move(args));
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,32 @@
+// Proposition 4.1: certain(sjf(q)) reduces in polynomial time to
+// certain(q).
+//
+// sjf(q) renames the relation of atom A to R1 and of atom B to R2. Given a
+// database D over {R1, R2}, the reduction maps every fact to an R-fact
+// whose position i holds the *pair* <z, alpha> where z is the variable at
+// position i of the corresponding atom and alpha the original element.
+// Tagging positions with the atom's variables ensures that translated
+// R1-facts can only match atom A and translated R2-facts only atom B (this
+// uses that q is not equivalent to a one-atom query), so repairs of the
+// translated database correspond exactly to repairs of D.
+
+#ifndef CQA_REDUCTION_SJF_REDUCTION_H_
+#define CQA_REDUCTION_SJF_REDUCTION_H_
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// The canonical self-join-free variant sjf(q) of a two-atom self-join
+/// query: atom A over "<R>1", atom B over "<R>2" (same signatures).
+ConjunctiveQuery MakeSjfQuery(const ConjunctiveQuery& q);
+
+/// Translates a database over sjf(q)'s schema into one over q's schema per
+/// Proposition 4.1. `sjf_db` must contain only R1/R2 facts.
+Database TranslateSjfDatabase(const ConjunctiveQuery& q,
+                              const Database& sjf_db);
+
+}  // namespace cqa
+
+#endif  // CQA_REDUCTION_SJF_REDUCTION_H_

@@ -1,0 +1,190 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace cqa {
+
+std::vector<std::uint32_t> CnfFormula::OccurrenceCounts() const {
+  std::vector<std::uint32_t> counts(num_vars, 0);
+  for (const Clause& c : clauses) {
+    for (const Literal& lit : c) ++counts[lit.var];
+  }
+  return counts;
+}
+
+void CnfFormula::PolarityCounts(std::vector<std::uint32_t>* positive,
+                                std::vector<std::uint32_t>* negative) const {
+  positive->assign(num_vars, 0);
+  negative->assign(num_vars, 0);
+  for (const Clause& c : clauses) {
+    for (const Literal& lit : c) {
+      if (lit.positive) ++(*positive)[lit.var];
+      else ++(*negative)[lit.var];
+    }
+  }
+}
+
+bool CnfFormula::MaxClauseSize(std::uint32_t k) const {
+  for (const Clause& c : clauses) {
+    if (c.size() > k) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::IsReductionReady() const {
+  std::vector<std::uint32_t> pos, neg;
+  PolarityCounts(&pos, &neg);
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    std::uint32_t total = pos[v] + neg[v];
+    if (total == 0) continue;  // Unused variable is fine.
+    if (total < 2 || total > 3) return false;
+    if (pos[v] == 0 || neg[v] == 0) return false;
+  }
+  for (const Clause& c : clauses) {
+    std::set<std::uint32_t> vars;
+    for (const Literal& lit : c) {
+      if (!vars.insert(lit.var).second) return false;
+    }
+  }
+  return true;
+}
+
+bool CnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  CQA_CHECK(assignment.size() >= num_vars);
+  for (const Clause& c : clauses) {
+    bool satisfied = false;
+    for (const Literal& lit : c) {
+      if (assignment[lit.var] == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i) out << " & ";
+    out << '(';
+    for (std::size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j) out << " | ";
+      if (!clauses[i][j].positive) out << '~';
+      out << 'v' << clauses[i][j].var;
+    }
+    out << ')';
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Simplifies clauses: merges duplicate literals, drops tautologies.
+CnfFormula SimplifyClauses(const CnfFormula& f) {
+  CnfFormula out;
+  out.num_vars = f.num_vars;
+  for (const Clause& c : f.clauses) {
+    Clause simplified;
+    bool tautology = false;
+    for (const Literal& lit : c) {
+      bool duplicate = false;
+      for (const Literal& prev : simplified) {
+        if (prev == lit) duplicate = true;
+        if (prev.var == lit.var && prev.positive != lit.positive) {
+          tautology = true;
+        }
+      }
+      if (!duplicate) simplified.push_back(lit);
+    }
+    if (!tautology) out.clauses.push_back(std::move(simplified));
+  }
+  return out;
+}
+
+}  // namespace
+
+CnfFormula LimitOccurrences(const CnfFormula& f) {
+  CnfFormula simplified = SimplifyClauses(f);
+  std::vector<std::uint32_t> counts = simplified.OccurrenceCounts();
+
+  CnfFormula out;
+  out.num_vars = simplified.num_vars;
+  // next_copy[v]: which fresh copy to hand out next for variable v.
+  std::vector<std::uint32_t> seen(simplified.num_vars, 0);
+  // copies[v]: list of fresh variable ids standing in for v (empty if v is
+  // not split).
+  std::vector<std::vector<std::uint32_t>> copies(simplified.num_vars);
+  for (std::uint32_t v = 0; v < simplified.num_vars; ++v) {
+    if (counts[v] <= 3) continue;
+    copies[v].resize(counts[v]);
+    for (std::uint32_t i = 0; i < counts[v]; ++i) {
+      copies[v][i] = out.num_vars++;
+    }
+  }
+
+  for (const Clause& c : simplified.clauses) {
+    Clause rewritten;
+    for (const Literal& lit : c) {
+      if (copies[lit.var].empty()) {
+        rewritten.push_back(lit);
+      } else {
+        std::uint32_t copy = copies[lit.var][seen[lit.var]++];
+        rewritten.push_back(Literal{copy, lit.positive});
+      }
+    }
+    out.clauses.push_back(std::move(rewritten));
+  }
+  // Equality chain: (~xi | xi+1) for consecutive copies, cyclically. Each
+  // copy gains exactly 2 extra occurrences, for a total of 3.
+  for (std::uint32_t v = 0; v < simplified.num_vars; ++v) {
+    const auto& cs = copies[v];
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      std::uint32_t from = cs[i];
+      std::uint32_t to = cs[(i + 1) % cs.size()];
+      out.clauses.push_back(Clause{Literal{from, false}, Literal{to, true}});
+    }
+  }
+  return out;
+}
+
+CnfFormula EliminatePureAndSingletons(const CnfFormula& f) {
+  CnfFormula cur = SimplifyClauses(f);
+  for (;;) {
+    std::vector<std::uint32_t> pos, neg;
+    cur.PolarityCounts(&pos, &neg);
+    // A variable is removable if pure (one polarity only) — setting it to
+    // its preferred value satisfies all clauses containing it. Variables
+    // with exactly one occurrence are a special case of pure.
+    std::vector<bool> removable(cur.num_vars, false);
+    bool any = false;
+    for (std::uint32_t v = 0; v < cur.num_vars; ++v) {
+      std::uint32_t total = pos[v] + neg[v];
+      if (total > 0 && (pos[v] == 0 || neg[v] == 0)) {
+        removable[v] = true;
+        any = true;
+      }
+    }
+    if (!any) return cur;
+    CnfFormula next;
+    next.num_vars = cur.num_vars;
+    for (const Clause& c : cur.clauses) {
+      bool satisfied_by_pure = false;
+      for (const Literal& lit : c) {
+        if (removable[lit.var]) {
+          satisfied_by_pure = true;
+          break;
+        }
+      }
+      if (!satisfied_by_pure) next.clauses.push_back(c);
+    }
+    cur = std::move(next);
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,137 @@
+#include "sat/dpll.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+enum class Value : std::uint8_t { kUnset, kTrue, kFalse };
+
+struct DpllState {
+  const CnfFormula* formula;
+  std::vector<Value> values;
+
+  bool LitTrue(const Literal& lit) const {
+    Value v = values[lit.var];
+    if (v == Value::kUnset) return false;
+    return (v == Value::kTrue) == lit.positive;
+  }
+  bool LitFalse(const Literal& lit) const {
+    Value v = values[lit.var];
+    if (v == Value::kUnset) return false;
+    return (v == Value::kTrue) != lit.positive;
+  }
+};
+
+/// Returns false on conflict. On success, appends propagated vars to trail.
+bool UnitPropagate(DpllState* state, std::vector<std::uint32_t>* trail) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& c : state->formula->clauses) {
+      std::uint32_t unset_count = 0;
+      const Literal* unset_lit = nullptr;
+      bool satisfied = false;
+      for (const Literal& lit : c) {
+        if (state->LitTrue(lit)) {
+          satisfied = true;
+          break;
+        }
+        if (state->values[lit.var] == Value::kUnset) {
+          ++unset_count;
+          unset_lit = &lit;
+        }
+      }
+      if (satisfied) continue;
+      if (unset_count == 0) return false;  // Conflict.
+      if (unset_count == 1) {
+        state->values[unset_lit->var] =
+            unset_lit->positive ? Value::kTrue : Value::kFalse;
+        trail->push_back(unset_lit->var);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool DpllRec(DpllState* state) {
+  std::vector<std::uint32_t> trail;
+  if (!UnitPropagate(state, &trail)) {
+    for (std::uint32_t v : trail) state->values[v] = Value::kUnset;
+    return false;
+  }
+
+  // Pick the unset variable with the most occurrences in unsatisfied
+  // clauses; if none, all clauses are satisfied or vacuous.
+  std::vector<std::uint32_t> score(state->values.size(), 0);
+  bool all_satisfied = true;
+  for (const Clause& c : state->formula->clauses) {
+    bool satisfied = false;
+    for (const Literal& lit : c) {
+      if (state->LitTrue(lit)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    all_satisfied = false;
+    for (const Literal& lit : c) {
+      if (state->values[lit.var] == Value::kUnset) ++score[lit.var];
+    }
+  }
+  if (all_satisfied) return true;
+
+  std::uint32_t best = 0;
+  std::uint32_t best_score = 0;
+  for (std::uint32_t v = 0; v < score.size(); ++v) {
+    if (state->values[v] == Value::kUnset && score[v] >= best_score) {
+      best = v;
+      best_score = score[v];
+    }
+  }
+
+  for (Value choice : {Value::kTrue, Value::kFalse}) {
+    state->values[best] = choice;
+    if (DpllRec(state)) return true;
+    state->values[best] = Value::kUnset;
+  }
+  for (std::uint32_t v : trail) state->values[v] = Value::kUnset;
+  return false;
+}
+
+}  // namespace
+
+SatResult SolveDpll(const CnfFormula& f) {
+  // Empty clause => unsat immediately.
+  for (const Clause& c : f.clauses) {
+    if (c.empty()) return SatResult{false, {}};
+  }
+  DpllState state{&f, std::vector<Value>(f.num_vars, Value::kUnset)};
+  SatResult result;
+  result.satisfiable = DpllRec(&state);
+  if (result.satisfiable) {
+    result.assignment.resize(f.num_vars);
+    for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+      result.assignment[v] = state.values[v] == Value::kTrue;
+    }
+    CQA_CHECK(f.Evaluate(result.assignment));
+  }
+  return result;
+}
+
+SatResult SolveBruteForce(const CnfFormula& f) {
+  CQA_CHECK_MSG(f.num_vars <= 24, "brute force limited to 24 variables");
+  std::vector<bool> assignment(f.num_vars, false);
+  for (std::uint64_t bits = 0; bits < (1ULL << f.num_vars); ++bits) {
+    for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+      assignment[v] = (bits >> v) & 1;
+    }
+    if (f.Evaluate(assignment)) return SatResult{true, assignment};
+  }
+  return SatResult{false, {}};
+}
+
+}  // namespace cqa

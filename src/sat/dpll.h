@@ -1,0 +1,34 @@
+// DPLL SAT solver with unit propagation and pure-literal elimination.
+//
+// Used as the satisfiability oracle when validating the Section 9 reduction
+// (Lemma 9.2: phi is satisfiable iff D[phi] is not certain) and as a
+// baseline in the hardness benchmarks. A brute-force oracle is provided for
+// cross-checking the solver itself in tests.
+
+#ifndef CQA_SAT_DPLL_H_
+#define CQA_SAT_DPLL_H_
+
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace cqa {
+
+/// Result of a SAT call: satisfying assignment if one exists.
+struct SatResult {
+  bool satisfiable = false;
+  std::vector<bool> assignment;  ///< Valid iff satisfiable.
+};
+
+/// Decides satisfiability with DPLL (unit propagation, pure literals,
+/// most-frequent-variable branching).
+SatResult SolveDpll(const CnfFormula& f);
+
+/// Brute-force oracle: tries all 2^num_vars assignments. Only for tests
+/// (CHECKs num_vars <= 24).
+SatResult SolveBruteForce(const CnfFormula& f);
+
+}  // namespace cqa
+
+#endif  // CQA_SAT_DPLL_H_

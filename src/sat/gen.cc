@@ -1,0 +1,58 @@
+#include "sat/gen.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+
+CnfFormula RandomKSat(std::uint32_t num_vars, std::uint32_t num_clauses,
+                      std::uint32_t k, Rng* rng) {
+  CQA_CHECK(num_vars >= k && k >= 1);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  f.clauses.reserve(num_clauses);
+  for (std::uint32_t c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    std::vector<std::uint32_t> vars;
+    while (vars.size() < k) {
+      std::uint32_t v = static_cast<std::uint32_t>(rng->Below(num_vars));
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    for (std::uint32_t v : vars) {
+      clause.push_back(Literal{v, rng->Chance(0.5)});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+CnfFormula RandomReductionReady3Sat(std::uint32_t num_vars,
+                                    std::uint32_t num_clauses, Rng* rng) {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    CnfFormula raw = RandomKSat(num_vars, num_clauses, 3, rng);
+    CnfFormula limited = LimitOccurrences(raw);
+    CnfFormula ready = EliminatePureAndSingletons(limited);
+    if (!ready.clauses.empty() && ready.IsReductionReady() &&
+        ready.MaxClauseSize(3)) {
+      return ready;
+    }
+  }
+  CQA_CHECK_MSG(false, "failed to generate a reduction-ready 3-SAT formula");
+}
+
+CnfFormula Figure2Formula() {
+  // (~s | t | u) & (~s | ~t | u) & (s | ~t | ~u); s=0, t=1, u=2.
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {
+      {Literal{0, false}, Literal{1, true}, Literal{2, true}},
+      {Literal{0, false}, Literal{1, false}, Literal{2, true}},
+      {Literal{0, true}, Literal{1, false}, Literal{2, false}},
+  };
+  return f;
+}
+
+}  // namespace cqa

@@ -1,0 +1,394 @@
+#include "tripath/search.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "base/union_find.h"
+
+namespace cqa {
+namespace {
+
+constexpr std::uint32_t kUnset = 0xffffffffu;
+
+/// Facts over element-equivalence classes; unification merges classes.
+struct SymbolicDb {
+  UnionFind uf;
+  std::vector<std::vector<std::uint32_t>> facts;
+  std::vector<RelationId> relations;
+
+  int AddFreshFact(RelationId rel, std::uint32_t arity) {
+    std::vector<std::uint32_t> classes(arity);
+    for (auto& c : classes) c = uf.Add();
+    facts.push_back(std::move(classes));
+    relations.push_back(rel);
+    return static_cast<int>(facts.size()) - 1;
+  }
+
+  /// Most-general unification of `atom` onto fact `fact_index`, extending
+  /// `binding` (VarId -> class). Always succeeds (atoms have no constants).
+  void BindAtom(const QueryAtom& atom, int fact_index,
+                std::vector<std::uint32_t>* binding) {
+    const auto& fact = facts[fact_index];
+    CQA_DCHECK(atom.vars.size() == fact.size());
+    for (std::size_t i = 0; i < atom.vars.size(); ++i) {
+      std::uint32_t& slot = (*binding)[atom.vars[i]];
+      if (slot == kUnset) {
+        slot = fact[i];
+      } else {
+        uf.Union(slot, fact[i]);
+      }
+    }
+  }
+
+  /// New fact instantiating `atom` under `binding`, with fresh classes for
+  /// unbound variables.
+  int InstantiateAtom(const QueryAtom& atom,
+                      std::vector<std::uint32_t>* binding) {
+    std::vector<std::uint32_t> classes;
+    classes.reserve(atom.vars.size());
+    for (VarId v : atom.vars) {
+      std::uint32_t& slot = (*binding)[v];
+      if (slot == kUnset) slot = uf.Add();
+      classes.push_back(slot);
+    }
+    facts.push_back(std::move(classes));
+    relations.push_back(atom.relation);
+    return static_cast<int>(facts.size()) - 1;
+  }
+
+  /// Fresh fact key-equal to `fact_index` (its blockmate).
+  int AddBlockmate(int fact_index, std::uint32_t key_len) {
+    std::uint32_t arity =
+        static_cast<std::uint32_t>(facts[fact_index].size());
+    int mate = AddFreshFact(relations[fact_index], arity);
+    for (std::uint32_t i = 0; i < key_len; ++i) {
+      uf.Union(facts[mate][i], facts[fact_index][i]);
+    }
+    return mate;
+  }
+
+  /// Canonical key tuple of a fact (class representatives).
+  std::vector<std::uint32_t> CanonicalKey(int fact_index,
+                                          std::uint32_t key_len) const {
+    std::vector<std::uint32_t> key(key_len);
+    for (std::uint32_t i = 0; i < key_len; ++i) {
+      key[i] = uf.Find(facts[fact_index][i]);
+    }
+    return key;
+  }
+};
+
+struct SymbolicBlock {
+  int parent = -1;
+  int a = -1;  ///< Fact index, -1 if absent.
+  int b = -1;
+};
+
+struct Candidate {
+  SymbolicDb sdb;
+  std::vector<SymbolicBlock> blocks;
+  int root = -1, center = -1, leaf1 = -1, leaf2 = -1;
+  int d = -1, e = -1, f = -1;
+};
+
+int NewBlock(Candidate* c, int parent, int a, int b) {
+  c->blocks.push_back(SymbolicBlock{parent, a, b});
+  return static_cast<int>(c->blocks.size()) - 1;
+}
+
+class Builder {
+ public:
+  explicit Builder(const ConjunctiveQuery& q) : q_(&q) {
+    CQA_CHECK(q.NumAtoms() == 2);
+  }
+
+  /// Most-general center: q(d e) from one copy of the query, q(e f) from a
+  /// second copy whose A-atom is unified onto e.
+  Candidate BuildCenter() const {
+    Candidate c;
+    std::vector<std::uint32_t> binding1(q_->NumVars(), kUnset);
+    c.d = c.sdb.InstantiateAtom(q_->atoms()[0], &binding1);
+    c.e = c.sdb.InstantiateAtom(q_->atoms()[1], &binding1);
+    std::vector<std::uint32_t> binding2(q_->NumVars(), kUnset);
+    c.sdb.BindAtom(q_->atoms()[0], c.e, &binding2);
+    c.f = c.sdb.InstantiateAtom(q_->atoms()[1], &binding2);
+    return c;
+  }
+
+  /// Grows the tree around the center: t0 internal blocks up to the root,
+  /// t1 / t2 internal blocks down each branch; `bits` gives one orientation
+  /// bit per free edge.
+  void BuildChains(Candidate* c, int t0, int t1, int t2,
+                   std::uint32_t bits) const {
+    std::uint32_t cursor = 0;
+    auto next_bit = [&]() -> std::uint32_t { return (bits >> cursor++) & 1u; };
+
+    int bc = c->sdb.AddBlockmate(c->e, KeyLenOf(c, c->e));
+    c->center = NewBlock(c, -1, c->e, bc);
+
+    int below = c->center;
+    int cur_b = bc;
+    for (int j = 0; j < t0; ++j) {
+      int a_up = LinkUp(c, cur_b, next_bit());
+      int b_up = c->sdb.AddBlockmate(a_up, KeyLenOf(c, a_up));
+      int blk = NewBlock(c, -1, a_up, b_up);
+      c->blocks[below].parent = blk;
+      below = blk;
+      cur_b = b_up;
+    }
+    int u0 = LinkUp(c, cur_b, next_bit());
+    c->root = NewBlock(c, -1, u0, -1);
+    c->blocks[below].parent = c->root;
+
+    c->leaf1 = BuildBranch(c, c->d, t1, next_bit);
+    c->leaf2 = BuildBranch(c, c->f, t2, next_bit);
+  }
+
+  /// Concretizes into real elements ("n<class>") and a Tripath value.
+  Tripath Concretize(const Candidate& c) const {
+    Database db(q_->schema());
+    std::vector<FactId> fact_of(c.sdb.facts.size());
+    for (std::size_t i = 0; i < c.sdb.facts.size(); ++i) {
+      std::vector<ElementId> args;
+      args.reserve(c.sdb.facts[i].size());
+      for (std::uint32_t cls : c.sdb.facts[i]) {
+        args.push_back(db.elements().Intern(
+            "n" + std::to_string(c.sdb.uf.Find(cls))));
+      }
+      fact_of[i] = db.AddFact(c.sdb.relations[i], std::move(args));
+    }
+    Tripath t(std::move(db));
+    t.blocks.reserve(c.blocks.size());
+    for (const SymbolicBlock& sb : c.blocks) {
+      TripathBlock tb;
+      tb.parent = sb.parent;
+      tb.a = sb.a >= 0 ? fact_of[sb.a] : TripathBlock::kNoFact;
+      tb.b = sb.b >= 0 ? fact_of[sb.b] : TripathBlock::kNoFact;
+      t.blocks.push_back(tb);
+    }
+    t.root = c.root;
+    t.center = c.center;
+    t.leaf1 = c.leaf1;
+    t.leaf2 = c.leaf2;
+    t.d = fact_of[c.d];
+    t.e = fact_of[c.e];
+    t.f = fact_of[c.f];
+    return t;
+  }
+
+ private:
+  std::uint32_t KeyLenOf(const Candidate* c, int fact_index) const {
+    return q_->schema().Relation(c->sdb.relations[fact_index]).key_len;
+  }
+
+  /// Parent-side fact linked to `cur_b` (solution q{a_new, cur_b}):
+  /// bit 0: q(a_new, cur_b); bit 1: q(cur_b, a_new).
+  int LinkUp(Candidate* c, int cur_b, std::uint32_t bit) const {
+    std::vector<std::uint32_t> binding(q_->NumVars(), kUnset);
+    if (bit == 0) {
+      c->sdb.BindAtom(q_->atoms()[1], cur_b, &binding);
+      return c->sdb.InstantiateAtom(q_->atoms()[0], &binding);
+    }
+    c->sdb.BindAtom(q_->atoms()[0], cur_b, &binding);
+    return c->sdb.InstantiateAtom(q_->atoms()[1], &binding);
+  }
+
+  /// Child-side fact linked to `cur_a` (solution q{cur_a, b_new}):
+  /// bit 0: q(cur_a, b_new); bit 1: q(b_new, cur_a).
+  int LinkDown(Candidate* c, int cur_a, std::uint32_t bit) const {
+    std::vector<std::uint32_t> binding(q_->NumVars(), kUnset);
+    if (bit == 0) {
+      c->sdb.BindAtom(q_->atoms()[0], cur_a, &binding);
+      return c->sdb.InstantiateAtom(q_->atoms()[1], &binding);
+    }
+    c->sdb.BindAtom(q_->atoms()[1], cur_a, &binding);
+    return c->sdb.InstantiateAtom(q_->atoms()[0], &binding);
+  }
+
+  /// One branch below the center from its b-fact `top` (d or f); returns
+  /// the leaf block index.
+  template <typename NextBit>
+  int BuildBranch(Candidate* c, int top, int length, NextBit&& next_bit) const {
+    if (length == 0) {
+      return NewBlock(c, c->center, -1, top);
+    }
+    int a1 = c->sdb.AddBlockmate(top, KeyLenOf(c, top));
+    int prev = NewBlock(c, c->center, a1, top);
+    int cur_a = a1;
+    for (int j = 1; j < length; ++j) {
+      int b_next = LinkDown(c, cur_a, next_bit());
+      int a_next = c->sdb.AddBlockmate(b_next, KeyLenOf(c, b_next));
+      prev = NewBlock(c, prev, a_next, b_next);
+      cur_a = a_next;
+    }
+    int b_leaf = LinkDown(c, cur_a, next_bit());
+    return NewBlock(c, prev, -1, b_leaf);
+  }
+
+  const ConjunctiveQuery* q_;
+};
+
+/// Enumerates merge sets over `num_classes` center classes: all partitions
+/// reachable with at most `max_merges` union operations, deduplicated by
+/// partition signature. With max_merges >= num_classes - 1 this is the full
+/// partition lattice.
+std::vector<std::vector<std::pair<int, int>>> EnumerateMergeSets(
+    int num_classes, int max_merges) {
+  auto signature = [num_classes](const std::vector<std::pair<int, int>>& ms) {
+    UnionFind uf(num_classes);
+    for (auto [i, j] : ms) uf.Union(i, j);
+    std::vector<int> sig(num_classes);
+    std::map<std::uint32_t, int> rename;
+    for (int i = 0; i < num_classes; ++i) {
+      std::uint32_t r = uf.Find(i);
+      auto it = rename.emplace(r, static_cast<int>(rename.size())).first;
+      sig[i] = it->second;
+    }
+    return sig;
+  };
+
+  std::vector<std::vector<std::pair<int, int>>> all;
+  std::set<std::vector<int>> seen;
+  std::vector<std::vector<std::pair<int, int>>> frontier = {{}};
+  seen.insert(signature({}));
+  all.push_back({});
+  for (int level = 0; level < max_merges; ++level) {
+    std::vector<std::vector<std::pair<int, int>>> next;
+    for (const auto& ms : frontier) {
+      for (int i = 0; i < num_classes; ++i) {
+        for (int j = i + 1; j < num_classes; ++j) {
+          auto ext = ms;
+          ext.emplace_back(i, j);
+          if (seen.insert(signature(ext)).second) {
+            all.push_back(ext);
+            next.push_back(std::move(ext));
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return all;
+}
+
+}  // namespace
+
+TripathSearchResult SearchTripaths(const ConjunctiveQuery& q,
+                                   const TripathSearchLimits& limits,
+                                   const TripathSearchGoals& goals) {
+  TripathSearchResult result;
+  if (q.NumAtoms() != 2) return result;
+
+  Builder builder(q);
+  Candidate center = builder.BuildCenter();
+
+  // Distinct element classes of the center facts.
+  std::vector<std::uint32_t> classes;
+  for (int fi : {center.d, center.e, center.f}) {
+    for (std::uint32_t cls : center.sdb.facts[fi]) {
+      classes.push_back(center.sdb.uf.Find(cls));
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  int num_classes = static_cast<int>(classes.size());
+  int max_merges = num_classes <= limits.full_partition_threshold
+                       ? num_classes - 1
+                       : limits.max_merges;
+  auto merge_sets = EnumerateMergeSets(num_classes, max_merges);
+
+  // Shapes ordered by total size so minimal witnesses are found first.
+  std::vector<std::tuple<int, int, int>> shapes;
+  for (int t0 = 0; t0 <= limits.max_up; ++t0) {
+    for (int t1 = 0; t1 <= limits.max_down; ++t1) {
+      for (int t2 = 0; t2 <= limits.max_down; ++t2) {
+        shapes.emplace_back(t0, t1, t2);
+      }
+    }
+  }
+  std::sort(shapes.begin(), shapes.end(), [](const auto& a, const auto& b) {
+    auto sum = [](const auto& s) {
+      return std::get<0>(s) + std::get<1>(s) + std::get<2>(s);
+    };
+    return sum(a) != sum(b) ? sum(a) < sum(b) : a < b;
+  });
+
+  auto done = [&]() {
+    return (!goals.fork || result.fork.has_value()) &&
+           (!goals.triangle || result.triangle.has_value()) &&
+           (!goals.nice_fork || result.nice_fork.has_value());
+  };
+
+  std::uint32_t key_len_a =
+      q.schema().Relation(q.atoms()[0].relation).key_len;
+  std::uint32_t key_len_b =
+      q.schema().Relation(q.atoms()[1].relation).key_len;
+
+  for (const auto& merges : merge_sets) {
+    // Apply the merges to a copy of the center and discard degenerate ones
+    // (two center facts key-equal). Chains only merge further, so the
+    // degeneracy cannot heal: skip all shapes for this merge set.
+    Candidate merged = center;
+    for (auto [i, j] : merges) {
+      merged.sdb.uf.Union(classes[i], classes[j]);
+    }
+    auto kd = merged.sdb.CanonicalKey(merged.d, key_len_a);
+    auto ke = merged.sdb.CanonicalKey(merged.e, key_len_b);
+    auto kf = merged.sdb.CanonicalKey(merged.f, key_len_b);
+    if (kd == ke || ke == kf || kd == kf) continue;
+
+    for (const auto& [t0, t1, t2] : shapes) {
+      int free_edges = t0 + 1 + t1 + t2;
+      for (std::uint32_t bits = 0; bits < (1u << free_edges); ++bits) {
+        if (result.candidates >= limits.max_candidates) {
+          result.exhausted = false;
+          return result;
+        }
+        ++result.candidates;
+        Candidate c = merged;
+        builder.BuildChains(&c, t0, t1, t2, bits);
+        Tripath t = builder.Concretize(c);
+        TripathValidation v = ValidateTripath(q, t);
+        if (!v.valid) continue;
+        if (v.triangle) {
+          if (!result.triangle.has_value()) {
+            result.triangle = FoundTripath{t, v};
+          }
+        } else {
+          if (v.nice && !result.nice_fork.has_value()) {
+            result.nice_fork = FoundTripath{t, v};
+          }
+          if (!result.fork.has_value()) {
+            result.fork = FoundTripath{std::move(t), v};
+          }
+        }
+        if (done()) return result;
+      }
+    }
+  }
+  return result;
+}
+
+TripathSearchResult SearchTripaths(const ConjunctiveQuery& q,
+                                   const TripathSearchLimits& limits) {
+  return SearchTripaths(q, limits, TripathSearchGoals{});
+}
+
+std::optional<FoundTripath> FindNiceForkTripath(
+    const ConjunctiveQuery& q, const TripathSearchLimits& limits) {
+  TripathSearchGoals goals;
+  goals.fork = false;
+  goals.triangle = false;
+  goals.nice_fork = true;
+  TripathSearchResult r = SearchTripaths(q, limits, goals);
+  return r.nice_fork;
+}
+
+}  // namespace cqa

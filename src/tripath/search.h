@@ -1,0 +1,93 @@
+// Bounded search for tripaths (fork, triangle, and nice fork) of a
+// 2way-determined query.
+//
+// Strategy: tripath candidates are built symbolically by unification.
+//   1. The *center* d, e, f is instantiated most-generally from two copies
+//      of the query: q(d e) and q(e f) share the fact e, so the B-atom of
+//      the first copy is unified with the A-atom of the second.
+//   2. Optional extra equalities ("merges") between center elements are
+//      enumerated (bounded by max_merges, or exhaustively when the center
+//      has few element classes); these are needed e.g. to expose the nice
+//      fork-tripath of q2 (Figure 1c) and triangle centers that the most
+//      general instantiation misses.
+//   3. Chains are grown most-generally: up from the center to the root and
+//      down both branches to the leaves, over all shapes (t0, t1, t2) and
+//      all orientations of the undirected tree-edge solutions.
+//   4. Every candidate is concretized into a Database and checked by the
+//      independent validator; the search never self-certifies.
+//
+// Soundness: any returned tripath is valid (validator-checked).
+// Completeness: relative to the bounds; `exhausted` reports whether the
+// space was fully explored. The paper shows tripath existence is decidable
+// with exponential-size witnesses; the default bounds decide all queries of
+// the paper's catalog (q2, q5, q6, q7, ...). See DESIGN.md §3.
+
+#ifndef CQA_TRIPATH_SEARCH_H_
+#define CQA_TRIPATH_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "query/query.h"
+#include "tripath/tripath.h"
+#include "tripath/validate.h"
+
+namespace cqa {
+
+/// Bounds of the tripath search space.
+struct TripathSearchLimits {
+  int max_up = 2;        ///< Max internal blocks between center and root.
+  int max_down = 2;      ///< Max internal blocks per branch.
+  int max_merges = 2;    ///< Max extra element merges in the center.
+  int full_partition_threshold = 5;  ///< Enumerate all center partitions
+                                     ///< when it has at most this many
+                                     ///< element classes.
+  std::uint64_t max_candidates = 2000000;  ///< Hard cap on candidates.
+};
+
+/// A validated tripath together with its validation record (which carries
+/// the niceness witnesses used by the Section 9 reduction).
+struct FoundTripath {
+  Tripath tripath;
+  TripathValidation validation;
+};
+
+/// What the search is asked to find; it stops once all requested artifacts
+/// are found or the bounded space is exhausted.
+struct TripathSearchGoals {
+  bool fork = true;
+  bool triangle = true;
+  bool nice_fork = false;
+};
+
+struct TripathSearchResult {
+  std::optional<FoundTripath> fork;
+  std::optional<FoundTripath> triangle;
+  std::optional<FoundTripath> nice_fork;
+  bool exhausted = true;     ///< Space fully explored within the limits.
+  std::uint64_t candidates = 0;
+
+  bool HasFork() const { return fork.has_value(); }
+  bool HasTriangle() const { return triangle.has_value(); }
+};
+
+/// Runs the bounded search. Two-atom queries only; intended for
+/// 2way-determined queries (centers cannot exist otherwise, but the search
+/// is safe to run on any two-atom query).
+TripathSearchResult SearchTripaths(const ConjunctiveQuery& q,
+                                   const TripathSearchLimits& limits,
+                                   const TripathSearchGoals& goals);
+
+/// Convenience: searches with default goals (fork + triangle).
+TripathSearchResult SearchTripaths(const ConjunctiveQuery& q,
+                                   const TripathSearchLimits& limits = {});
+
+/// Convenience: searches for a nice fork-tripath (needed by the SAT
+/// reduction); widens merges/shapes relative to `limits` is the caller's
+/// responsibility.
+std::optional<FoundTripath> FindNiceForkTripath(
+    const ConjunctiveQuery& q, const TripathSearchLimits& limits = {});
+
+}  // namespace cqa
+
+#endif  // CQA_TRIPATH_SEARCH_H_

@@ -1,0 +1,57 @@
+#include "tripath/tripath.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace cqa {
+
+std::string Tripath::ToString() const {
+  std::ostringstream out;
+  out << "tripath: root=" << root << " center=" << center << " leaves=("
+      << leaf1 << ", " << leaf2 << ")\n";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const TripathBlock& blk = blocks[i];
+    out << "  block " << i << " (parent " << blk.parent << "):";
+    if (blk.a != TripathBlock::kNoFact) out << " a=" << db.FactToString(blk.a);
+    if (blk.b != TripathBlock::kNoFact) out << " b=" << db.FactToString(blk.b);
+    out << '\n';
+  }
+  out << "  center facts: d=" << db.FactToString(d)
+      << " e=" << db.FactToString(e) << " f=" << db.FactToString(f) << '\n';
+  return out.str();
+}
+
+std::vector<ElementId> KeyElementSet(const Database& db, FactId fact) {
+  std::vector<ElementId> key = db.KeyOf(fact);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+namespace {
+
+bool SetSubset(const std::vector<ElementId>& a,
+               const std::vector<ElementId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+std::vector<ElementId> ComputeGOfE(const Database& db, FactId d, FactId e,
+                                   FactId f) {
+  std::vector<ElementId> kd = KeyElementSet(db, d);
+  std::vector<ElementId> ke = KeyElementSet(db, e);
+  std::vector<ElementId> kf = KeyElementSet(db, f);
+  bool d_in_e = SetSubset(kd, ke);
+  bool f_in_e = SetSubset(kf, ke);
+  // Five-case definition of ḡ(e), checked in the paper's order.
+  if (d_in_e && !f_in_e) return kd;
+  if (!d_in_e && f_in_e) return kf;
+  if (SetSubset(kd, kf) && f_in_e) return kd;  // key(d) ⊆ key(f) ⊆ key(e).
+  if (SetSubset(kf, kd) && d_in_e) return kf;  // key(f) ⊆ key(d) ⊆ key(e).
+  return ke;
+}
+
+}  // namespace cqa

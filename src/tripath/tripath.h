@@ -1,0 +1,78 @@
+// Tripaths (Section 7): the semantic witness structures that pinpoint the
+// complexity of certain(q) for 2way-determined queries.
+//
+// A tripath of q is a database whose blocks form a rooted tree: a chain
+// from the root block down to the unique *branching block* (the center),
+// then two chains to the two leaf blocks. The root holds a single fact
+// a(B0) = u0; each leaf holds a single fact b(Bi) = ui; every other block
+// holds two facts a(B), b(B). Whenever B = s(B') (parent), q{a(B) b(B')}
+// holds. The branching fact e = a(center) forms directed solutions
+// q(d e) and q(e f) with the b-facts d, f of its two children, and the
+// tuple g(e) (defined below) must not be covered by the keys of u0, u1, u2.
+//
+// If q(f d) also holds, the center d e f is a *triangle* and the tripath a
+// triangle-tripath; otherwise a fork-tripath. The dichotomy for
+// 2way-determined queries (Sections 8-10):
+//   no tripath            -> PTime via Cert_k,
+//   fork-tripath          -> coNP-complete,
+//   triangle-tripath only -> PTime via Cert_k OR NOT matching.
+
+#ifndef CQA_TRIPATH_TRIPATH_H_
+#define CQA_TRIPATH_TRIPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// One block of a tripath with its tree position and distinguished facts.
+/// `a` is the fact forming solutions with children's b-facts; `b` the fact
+/// forming a solution with the parent's a-fact. Root blocks have only `a`,
+/// leaf blocks only `b`.
+struct TripathBlock {
+  int parent = -1;             ///< Index into Tripath::blocks, -1 for root.
+  FactId a = 0xffffffffu;      ///< a(B), or kNoFact.
+  FactId b = 0xffffffffu;      ///< b(B), or kNoFact.
+
+  static constexpr FactId kNoFact = 0xffffffffu;
+};
+
+/// A concrete tripath: its facts (as a self-contained database) plus the
+/// declared tree structure. Validity is checked by ValidateTripath; the
+/// searcher never self-certifies.
+struct Tripath {
+  Database db;
+  std::vector<TripathBlock> blocks;
+  int root = -1;
+  int center = -1;  ///< The branching block.
+  int leaf1 = -1;   ///< Leaf ending the branch that starts with d.
+  int leaf2 = -1;   ///< Leaf ending the branch that starts with f.
+  FactId d = 0, e = 0, f = 0;  ///< Center facts: q(d e), q(e f).
+
+  Tripath() : db(Schema()) {}
+  explicit Tripath(Database database) : db(std::move(database)) {}
+
+  FactId u0() const { return blocks[root].a; }
+  FactId u1() const { return blocks[leaf1].b; }
+  FactId u2() const { return blocks[leaf2].b; }
+
+  /// Human-readable rendering of facts and tree structure.
+  std::string ToString() const;
+};
+
+/// Key of a fact as a *set* of elements (key(a) underlined in the paper).
+std::vector<ElementId> KeyElementSet(const Database& db, FactId fact);
+
+/// The tuple ḡ(e) of Section 7, computed from the center facts d, e, f by
+/// the five-case key-inclusion analysis; returned as the element set g(e).
+/// Precondition: d, e, f are facts of db.
+std::vector<ElementId> ComputeGOfE(const Database& db, FactId d, FactId e,
+                                   FactId f);
+
+}  // namespace cqa
+
+#endif  // CQA_TRIPATH_TRIPATH_H_

@@ -1,0 +1,330 @@
+#include "tripath/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "query/eval.h"
+
+namespace cqa {
+namespace {
+
+using ElementSet = std::vector<ElementId>;  // Sorted, unique.
+
+bool Contains(const ElementSet& s, ElementId e) {
+  return std::binary_search(s.begin(), s.end(), e);
+}
+
+bool SetSubset(const ElementSet& a, const ElementSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+ElementSet SetUnion(const ElementSet& a, const ElementSet& b) {
+  ElementSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+struct Fail {
+  TripathValidation* out;
+  bool Check(bool cond, const char* what) {
+    if (!cond && out->error.empty()) out->error = what;
+    return cond;
+  }
+};
+
+}  // namespace
+
+TripathValidation ValidateTripath(const ConjunctiveQuery& q,
+                                  const Tripath& t) {
+  TripathValidation result;
+  Fail fail{&result};
+  const Database& db = t.db;
+  const std::size_t m = t.blocks.size();
+
+  // --- Structural checks on the declared tree. -------------------------
+  if (!fail.Check(m >= 4, "a tripath needs at least 4 blocks")) return result;
+  if (!fail.Check(t.root >= 0 && t.center >= 0 && t.leaf1 >= 0 &&
+                      t.leaf2 >= 0 && t.root < static_cast<int>(m) &&
+                      t.center < static_cast<int>(m) &&
+                      t.leaf1 < static_cast<int>(m) &&
+                      t.leaf2 < static_cast<int>(m),
+                  "role indices out of range")) {
+    return result;
+  }
+  if (!fail.Check(t.leaf1 != t.leaf2 && t.root != t.center,
+                  "root, center and leaves must be distinct")) {
+    return result;
+  }
+
+  std::vector<int> num_children(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    int p = t.blocks[i].parent;
+    if (static_cast<int>(i) == t.root) {
+      if (!fail.Check(p == -1, "root must have no parent")) return result;
+    } else {
+      if (!fail.Check(p >= 0 && p < static_cast<int>(m) &&
+                          p != static_cast<int>(i),
+                      "non-root block needs a valid parent")) {
+        return result;
+      }
+      ++num_children[p];
+    }
+  }
+  // Reachability from the root (also rules out parent cycles).
+  for (std::size_t i = 0; i < m; ++i) {
+    int cur = static_cast<int>(i);
+    std::size_t steps = 0;
+    while (cur != t.root && steps <= m) {
+      cur = t.blocks[cur].parent;
+      ++steps;
+    }
+    if (!fail.Check(cur == t.root, "block not connected to the root")) {
+      return result;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    int expected;
+    if (static_cast<int>(i) == t.leaf1 || static_cast<int>(i) == t.leaf2) {
+      expected = 0;
+    } else if (static_cast<int>(i) == t.center) {
+      expected = 2;
+    } else {
+      expected = 1;
+    }
+    if (!fail.Check(num_children[i] == expected,
+                    "wrong number of children for a block")) {
+      return result;
+    }
+  }
+
+  // --- Fact roles per block. -------------------------------------------
+  for (std::size_t i = 0; i < m; ++i) {
+    const TripathBlock& blk = t.blocks[i];
+    bool is_root = static_cast<int>(i) == t.root;
+    bool is_leaf =
+        static_cast<int>(i) == t.leaf1 || static_cast<int>(i) == t.leaf2;
+    if (is_root) {
+      if (!fail.Check(blk.a != TripathBlock::kNoFact &&
+                          blk.b == TripathBlock::kNoFact,
+                      "root block must contain exactly a(B)")) {
+        return result;
+      }
+    } else if (is_leaf) {
+      if (!fail.Check(blk.b != TripathBlock::kNoFact &&
+                          blk.a == TripathBlock::kNoFact,
+                      "leaf block must contain exactly b(B)")) {
+        return result;
+      }
+    } else {
+      if (!fail.Check(blk.a != TripathBlock::kNoFact &&
+                          blk.b != TripathBlock::kNoFact && blk.a != blk.b,
+                      "internal block must contain distinct a(B), b(B)")) {
+        return result;
+      }
+    }
+  }
+
+  // --- Declared blocks must be exactly the database's block partition. --
+  // (Key-equal facts across declared blocks would merge blocks and break
+  // the tree; this also enforces "each block has at most two facts".)
+  {
+    std::size_t declared_facts = 0;
+    std::set<BlockId> seen_db_blocks;
+    for (std::size_t i = 0; i < m; ++i) {
+      const TripathBlock& blk = t.blocks[i];
+      std::vector<FactId> members;
+      if (blk.a != TripathBlock::kNoFact) members.push_back(blk.a);
+      if (blk.b != TripathBlock::kNoFact) members.push_back(blk.b);
+      declared_facts += members.size();
+      BlockId db_block = db.BlockOf(members[0]);
+      for (FactId fid : members) {
+        if (!fail.Check(db.BlockOf(fid) == db_block,
+                        "declared block spans database blocks")) {
+          return result;
+        }
+      }
+      if (!fail.Check(db.blocks()[db_block].facts.size() == members.size(),
+                      "database block has extra key-equal facts")) {
+        return result;
+      }
+      if (!fail.Check(seen_db_blocks.insert(db_block).second,
+                      "two declared blocks are key-equal")) {
+        return result;
+      }
+    }
+    if (!fail.Check(declared_facts == db.NumFacts(),
+                    "database has facts outside the tripath")) {
+      return result;
+    }
+  }
+
+  // --- Required solutions along tree edges. ----------------------------
+  RelationBinding binding(q, db);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (static_cast<int>(i) == t.root) continue;
+    const TripathBlock& blk = t.blocks[i];
+    FactId parent_a = t.blocks[blk.parent].a;
+    if (!fail.Check(IsSolutionEither(q, binding, db, parent_a, blk.b),
+                    "missing solution q{a(B) b(B')} on a tree edge")) {
+      return result;
+    }
+  }
+
+  // --- Center: e branching with d and f, directed. ---------------------
+  const TripathBlock& center = t.blocks[t.center];
+  if (!fail.Check(center.a == t.e, "e must be a(center)")) return result;
+  // d and f must be the b-facts of the center's two children.
+  {
+    std::vector<FactId> child_bs;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.blocks[i].parent == t.center) child_bs.push_back(t.blocks[i].b);
+    }
+    CQA_CHECK(child_bs.size() == 2);
+    bool match = (child_bs[0] == t.d && child_bs[1] == t.f) ||
+                 (child_bs[0] == t.f && child_bs[1] == t.d);
+    if (!fail.Check(match, "d, f must be the children's b-facts")) {
+      return result;
+    }
+  }
+  if (!fail.Check(IsSolution(q, binding, db, t.d, t.e), "q(d e) must hold")) {
+    return result;
+  }
+  if (!fail.Check(IsSolution(q, binding, db, t.e, t.f), "q(e f) must hold")) {
+    return result;
+  }
+
+  // --- g(e) conditions against root and leaf keys. ----------------------
+  ElementSet g = ComputeGOfE(db, t.d, t.e, t.f);
+  for (FactId ui : {t.u0(), t.u1(), t.u2()}) {
+    if (!fail.Check(!SetSubset(g, KeyElementSet(db, ui)),
+                    "g(e) is contained in the key of u0, u1 or u2")) {
+      return result;
+    }
+  }
+
+  result.valid = true;
+  result.triangle = IsSolution(q, binding, db, t.f, t.d);
+
+  // --- Niceness. ---------------------------------------------------------
+  const FactId u0 = t.u0();
+  const FactId u1 = t.u1();
+  const FactId u2 = t.u2();
+  ElementSet key_u0 = KeyElementSet(db, u0);
+  ElementSet key_u1 = KeyElementSet(db, u1);
+  ElementSet key_u2 = KeyElementSet(db, u2);
+  ElementSet forbidden = SetUnion(SetUnion(key_u0, key_u1), key_u2);
+
+  // Variable-nice: x in key(d), y in key(e), z in key(f) all avoiding the
+  // keys of u0, u1, u2.
+  ElementSet key_d = KeyElementSet(db, t.d);
+  ElementSet key_e = KeyElementSet(db, t.e);
+  ElementSet key_f = KeyElementSet(db, t.f);
+  auto admissible = [&](const ElementSet& key) {
+    ElementSet out;
+    for (ElementId el : key) {
+      if (!Contains(forbidden, el)) out.push_back(el);
+    }
+    return out;
+  };
+  ElementSet xs = admissible(key_d);
+  ElementSet ys = admissible(key_e);
+  ElementSet zs = admissible(key_f);
+  result.variable_nice = !xs.empty() && !ys.empty() && !zs.empty();
+
+  // Solution-nice: the only solutions are the tree edges and possibly
+  // {f, d}.
+  {
+    std::set<std::pair<FactId, FactId>> allowed;
+    auto allow = [&](FactId s, FactId t2) {
+      allowed.insert({s, t2});
+      allowed.insert({t2, s});
+    };
+    for (std::size_t i = 0; i < m; ++i) {
+      if (static_cast<int>(i) == t.root) continue;
+      allow(t.blocks[t.blocks[i].parent].a, t.blocks[i].b);
+    }
+    allow(t.f, t.d);
+    result.solution_nice = true;
+    SolutionSet solutions = ComputeSolutions(q, db);
+    for (const auto& [s, t2] : solutions.pairs) {
+      if (s == t2 || allowed.find({s, t2}) == allowed.end()) {
+        result.solution_nice = false;
+        break;
+      }
+    }
+  }
+
+  if (!result.variable_nice || !result.solution_nice) return result;
+
+  // Condition 3: one of x, y, z occurs in the key of all facts except
+  // u0, u1, u2. Candidates must come from the admissible sets.
+  ElementSet everywhere;  // Elements present in every non-u key.
+  {
+    bool first = true;
+    for (FactId fid = 0; fid < db.NumFacts(); ++fid) {
+      if (fid == u0 || fid == u1 || fid == u2) continue;
+      ElementSet key = KeyElementSet(db, fid);
+      if (first) {
+        everywhere = key;
+        first = false;
+      } else {
+        ElementSet inter;
+        std::set_intersection(everywhere.begin(), everywhere.end(),
+                              key.begin(), key.end(),
+                              std::back_inserter(inter));
+        everywhere = std::move(inter);
+      }
+    }
+  }
+  ElementId alpha = 0;
+  bool have_alpha = false;
+  for (const ElementSet* side : {&xs, &ys, &zs}) {
+    for (ElementId el : *side) {
+      if (Contains(everywhere, el)) {
+        alpha = el;
+        have_alpha = true;
+        break;
+      }
+    }
+    if (have_alpha) break;
+  }
+  if (!have_alpha) return result;
+
+  // Pick the witness triple, preferring alpha wherever admissible so that
+  // a single shared element can play several roles (x, y, z need not be
+  // distinct).
+  auto pick = [&](const ElementSet& side) {
+    return Contains(side, alpha) ? alpha : side.front();
+  };
+  result.x = pick(xs);
+  result.y = pick(ys);
+  result.z = pick(zs);
+
+  // Condition 4: each of u0, u1, u2 has a private key element.
+  auto private_element = [&](FactId ui, ElementId* out) {
+    ElementSet key = KeyElementSet(db, ui);
+    for (ElementId el : key) {
+      bool found_elsewhere = false;
+      for (FactId fid = 0; fid < db.NumFacts() && !found_elsewhere; ++fid) {
+        if (fid == ui) continue;
+        if (Contains(KeyElementSet(db, fid), el)) found_elsewhere = true;
+      }
+      if (!found_elsewhere) {
+        *out = el;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (private_element(u0, &result.u) && private_element(u1, &result.v) &&
+      private_element(u2, &result.w)) {
+    result.nice = true;
+  }
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,41 @@
+// Independent validation of tripaths and their normal forms (Section 7).
+//
+// The searcher proposes candidate structures; this validator re-checks
+// every condition of the tripath definition against the concrete facts, so
+// that searcher bugs cannot produce unsound classifications. It also checks
+// the normal-form ("nice") conditions needed by the Section 9 reduction and
+// extracts the witnesses x, y, z (variable-niceness) and u, v, w (private
+// key elements of root/leaves) that the reduction substitutes.
+
+#ifndef CQA_TRIPATH_VALIDATE_H_
+#define CQA_TRIPATH_VALIDATE_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "tripath/tripath.h"
+
+namespace cqa {
+
+/// Outcome of validating a candidate tripath.
+struct TripathValidation {
+  bool valid = false;          ///< All tripath conditions hold.
+  bool triangle = false;       ///< q(f d) holds (center is a triangle).
+  bool variable_nice = false;
+  bool solution_nice = false;
+  bool nice = false;           ///< All four niceness conditions.
+  std::string error;           ///< First failed condition, for diagnostics.
+
+  // Witnesses, meaningful when nice:
+  ElementId x = 0, y = 0, z = 0;  ///< From key(d), key(e), key(f).
+  ElementId u = 0, v = 0, w = 0;  ///< Private key elements of u0, u1, u2.
+};
+
+/// Validates all structural and semantic tripath conditions; when valid,
+/// additionally evaluates niceness and fills witnesses when nice.
+TripathValidation ValidateTripath(const ConjunctiveQuery& q,
+                                  const Tripath& t);
+
+}  // namespace cqa
+
+#endif  // CQA_TRIPATH_VALIDATE_H_

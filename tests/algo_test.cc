@@ -1,0 +1,435 @@
+// Tests for src/algo: the exhaustive baseline, Cert_k, matching(q), the
+// combined algorithm, and the semantic lemmas they rely on (zig-zag
+// property of Lemma 6.2, the two-solutions bound of Lemma 7.1).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/certk.h"
+#include "algo/combined.h"
+#include "algo/exhaustive.h"
+#include "algo/matching.h"
+#include "base/rng.h"
+#include "classify/conditions.h"
+#include "data/repair.h"
+#include "gen/workloads.h"
+#include "query/eval.h"
+#include "query/query.h"
+#include "query/solution_graph.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQ1 = "R(x, u | x, v) R(v, y | u, y)";
+constexpr const char* kQ2 = "R(x, u | x, y) R(u, y | x, z)";
+constexpr const char* kQ3 = "R(x | y) R(y | z)";
+constexpr const char* kQ4 = "R(x, x | u, v) R(x, y | u, x)";
+constexpr const char* kQ5 = "R(x | y, x) R(y | x, u)";
+constexpr const char* kQ6 = "R(x | y, z) R(z | x, y)";
+
+Database SmallRandom(const ConjunctiveQuery& q, Rng* rng,
+                     std::uint32_t num_facts = 14,
+                     std::uint32_t domain = 3) {
+  InstanceParams params;
+  params.num_facts = num_facts;
+  params.domain_size = domain;
+  return RandomInstance(q, params, rng);
+}
+
+// --- Exhaustive baseline -------------------------------------------------
+
+TEST(Exhaustive, CertainWhenEveryRepairSatisfies) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  EXPECT_TRUE(ExhaustiveCertain(q3, db));
+}
+
+TEST(Exhaustive, NotCertainWithEscapeFact) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  db.AddFactStr(0, "a z");  // Repair picking (a z) has no solution.
+  EXPECT_FALSE(ExhaustiveCertain(q3, db));
+}
+
+TEST(Exhaustive, EmptyDatabaseNotCertain) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  EXPECT_FALSE(ExhaustiveCertain(q3, db));
+  EXPECT_FALSE(CertainByEnumeration(q3, db));
+}
+
+TEST(Exhaustive, SelfSolutionBlockForcesCertain) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a a");  // q(a a): every repair containing it satisfies.
+  EXPECT_TRUE(ExhaustiveCertain(q3, db));
+  db.AddFactStr(0, "a z");  // Now the block offers an escape.
+  EXPECT_FALSE(ExhaustiveCertain(q3, db));
+}
+
+class ExhaustiveAgreesTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExhaustiveAgreesTest, BacktrackingMatchesEnumeration) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0xABCD);
+  for (int round = 0; round < 40; ++round) {
+    Database db = SmallRandom(q, &rng);
+    if (db.CountRepairs() > 1e6) continue;
+    EXPECT_EQ(ExhaustiveCertain(q, db), CertainByEnumeration(q, db))
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, ExhaustiveAgreesTest,
+                         ::testing::Values(kQ1, kQ2, kQ3, kQ4, kQ5, kQ6));
+
+// --- Cert_k ---------------------------------------------------------------
+
+TEST(CertK, YesOnUnavoidableSolution) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  EXPECT_TRUE(CertK(q3, db, 2));
+}
+
+TEST(CertK, NoOnEscapableSolution) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  db.AddFactStr(0, "b z");
+  // Both repairs satisfy q (a->b then b->c or b->z? (b z) gives q(ab)?
+  // q3(R(a b), R(b z)) holds: y = b. So still certain.
+  EXPECT_TRUE(CertK(q3, db, 2));
+  db.AddFactStr(0, "a w");  // Escape for the first block.
+  EXPECT_FALSE(CertK(q3, db, 2));
+}
+
+TEST(CertK, BlockRuleDerivesEmptySet) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  // Block k: {R(k a), R(k b)}; both continuations present, so q is certain
+  // whatever the repair picks.
+  db.AddFactStr(0, "k a");
+  db.AddFactStr(0, "k b");
+  db.AddFactStr(0, "a c");
+  db.AddFactStr(0, "b d");
+  EXPECT_TRUE(CertK(q3, db, 2));
+  EXPECT_TRUE(ExhaustiveCertain(q3, db));
+}
+
+TEST(CertK, Cert1WeakerThanCert2) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "k a");
+  db.AddFactStr(0, "k b");
+  db.AddFactStr(0, "a c");
+  db.AddFactStr(0, "b d");
+  // Certain, provable with pairs but not with singletons alone.
+  EXPECT_FALSE(CertK(q3, db, 1));
+  EXPECT_TRUE(CertK(q3, db, 2));
+}
+
+class CertKSoundTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CertKSoundTest, CertKImpliesCertain) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 30; ++round) {
+    Database db = SmallRandom(q, &rng);
+    for (std::uint32_t k = 1; k <= 3; ++k) {
+      if (CertK(q, db, k)) {
+        EXPECT_TRUE(ExhaustiveCertain(q, db))
+            << "unsound Cert_" << k << " on\n"
+            << db.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CertKSoundTest,
+                         ::testing::Values(kQ1, kQ2, kQ3, kQ4, kQ5, kQ6));
+
+class CertKMonotoneTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CertKMonotoneTest, AnswerMonotoneInK) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0xF00D);
+  for (int round = 0; round < 20; ++round) {
+    Database db = SmallRandom(q, &rng);
+    bool prev = CertK(q, db, 1);
+    for (std::uint32_t k = 2; k <= 4; ++k) {
+      bool cur = CertK(q, db, k);
+      EXPECT_TRUE(!prev || cur) << "Cert_k not monotone in k";
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CertKMonotoneTest,
+                         ::testing::Values(kQ2, kQ3, kQ5, kQ6));
+
+// Theorem 6.1: Cert_2 computes certain(q) exactly for q3 and q4.
+class Theorem61Test : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Theorem61Test, Cert2IsExact) {
+  auto q = ParseQuery(GetParam());
+  ASSERT_FALSE(Theorem42Condition1(q));
+  Rng rng(0x61616161);
+  int certain_count = 0;
+  for (int round = 0; round < 60; ++round) {
+    Database db = SmallRandom(q, &rng, 12, 3);
+    bool expected = ExhaustiveCertain(q, db);
+    certain_count += expected ? 1 : 0;
+    EXPECT_EQ(CertK(q, db, 2), expected) << db.ToString();
+  }
+  // The workload must exercise both answers for the test to mean much.
+  EXPECT_GT(certain_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Theorem61Queries, Theorem61Test,
+                         ::testing::Values(kQ3, kQ4, "R(x, x | y) R(x, y | z)",
+                                           "R(x, y | z) R(y, x | w)"));
+
+// --- matching(q) -----------------------------------------------------------
+
+TEST(Matching, NotMatchingImpliesCertainOnQ6Triangle) {
+  auto q6 = ParseQuery(kQ6);
+  Database db(q6.schema());
+  db.AddFactStr(0, "a b c");
+  db.AddFactStr(0, "c a b");
+  db.AddFactStr(0, "b c a");
+  // Three singleton blocks forming one quasi-clique: only 1 clique for 3
+  // blocks, no saturating matching: certain.
+  MatchingStats stats;
+  EXPECT_FALSE(MatchingAlgorithm(q6, db, &stats));
+  EXPECT_TRUE(stats.clique_database);
+  EXPECT_TRUE(ExhaustiveCertain(q6, db));
+}
+
+TEST(Matching, SaturationWhenBlocksHaveEscapes) {
+  auto q6 = ParseQuery(kQ6);
+  Database db(q6.schema());
+  db.AddFactStr(0, "a b c");
+  db.AddFactStr(0, "c a b");
+  db.AddFactStr(0, "b c a");
+  // Blockmates that participate in no solution: each block can escape.
+  db.AddFactStr(0, "a p q");
+  db.AddFactStr(0, "c r s");
+  db.AddFactStr(0, "b t u");
+  EXPECT_TRUE(MatchingAlgorithm(q6, db));
+  EXPECT_FALSE(ExhaustiveCertain(q6, db));
+}
+
+class MatchingSoundTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MatchingSoundTest, NotMatchingImpliesCertain) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0x1234);
+  for (int round = 0; round < 40; ++round) {
+    Database db = SmallRandom(q, &rng);
+    if (NotMatchingCertain(q, db)) {
+      EXPECT_TRUE(ExhaustiveCertain(q, db)) << db.ToString();
+    }
+  }
+}
+
+// Proposition 10.2 assumes 2way-determined queries; q2, q5, q6 qualify.
+INSTANTIATE_TEST_SUITE_P(TwoWayDetermined, MatchingSoundTest,
+                         ::testing::Values(kQ2, kQ5, kQ6));
+
+TEST(Matching, ExactOnCliqueDatabasesForQ6) {
+  auto q6 = ParseQuery(kQ6);
+  Rng rng(0x5555);
+  int checked = 0;
+  for (int round = 0; round < 80; ++round) {
+    Database db = SmallRandom(q6, &rng, 12, 3);
+    SolutionGraph sg = BuildSolutionGraph(q6, db);
+    if (!IsCliqueDatabase(sg, db)) continue;
+    ++checked;
+    EXPECT_EQ(NotMatchingCertain(q6, db), ExhaustiveCertain(q6, db))
+        << db.ToString();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// The "glued triangles" instance: both rotation families of (1,2,3) over
+// three two-fact blocks. Every repair keeps two facts of the same family
+// (pigeonhole), which always form a solution: certain. The solution graph
+// is two disjoint quasi-cliques for three blocks, so matching cannot
+// saturate: ¬matching certifies it.
+Database GluedTriangles(const ConjunctiveQuery& q6) {
+  Database db(q6.schema());
+  db.AddFactStr(0, "e1 e2 e3");  // A-family: rotations of (1,2,3).
+  db.AddFactStr(0, "e3 e1 e2");
+  db.AddFactStr(0, "e2 e3 e1");
+  db.AddFactStr(0, "e1 e3 e2");  // B-family: rotations of (1,3,2).
+  db.AddFactStr(0, "e2 e1 e3");
+  db.AddFactStr(0, "e3 e2 e1");
+  return db;
+}
+
+// Theorem 10.1 separation (k = 1 witness): the glued-triangles instance is
+// certain, Cert_1 cannot prove it (no singleton ever enters Delta_1), and
+// the matching algorithm can. (The full Theorem 10.1 statement is per-k
+// with instances growing in k.)
+TEST(Matching, TriangleSeparatesCertKFromMatching) {
+  auto q6 = ParseQuery(kQ6);
+  Database db = GluedTriangles(q6);
+  EXPECT_EQ(db.blocks().size(), 3u);
+  EXPECT_TRUE(ExhaustiveCertain(q6, db));
+  EXPECT_TRUE(NotMatchingCertain(q6, db));
+  EXPECT_FALSE(CertK(q6, db, 1));
+}
+
+TEST(Matching, GluedTrianglesSolutionGraphShape) {
+  auto q6 = ParseQuery(kQ6);
+  Database db = GluedTriangles(q6);
+  SolutionGraph sg = BuildSolutionGraph(q6, db);
+  EXPECT_EQ(sg.components.count, 2u);  // One per rotation family.
+  EXPECT_TRUE(IsCliqueDatabase(sg, db));
+}
+
+// --- Combined algorithm (Theorem 10.5) -------------------------------------
+
+TEST(Combined, ExactOnQ6RandomInstances) {
+  auto q6 = ParseQuery(kQ6);
+  Rng rng(0x6666);
+  for (int round = 0; round < 60; ++round) {
+    Database db = SmallRandom(q6, &rng, 12, 3);
+    bool expected = ExhaustiveCertain(q6, db);
+    EXPECT_EQ(CombinedCertain(q6, db, 4), expected) << db.ToString();
+  }
+}
+
+TEST(Combined, ExactOnCertainSeededQ6Instances) {
+  // Random noise around the glued-triangles core: the core keeps the
+  // instance certain, so the yes-branch of the combined algorithm is
+  // exercised on nontrivial databases.
+  auto q6 = ParseQuery(kQ6);
+  Rng rng(0x6667);
+  int certain_count = 0;
+  for (int round = 0; round < 20; ++round) {
+    Database db = GluedTriangles(q6);
+    InstanceParams params;
+    params.num_facts = 10;
+    params.domain_size = 4;
+    Database noise = RandomInstance(q6, params, &rng);
+    for (FactId f = 0; f < noise.NumFacts(); ++f) {
+      const Fact& fact = noise.fact(f);
+      std::vector<ElementId> args;
+      for (ElementId el : fact.args) {
+        // Fresh namespace so the noise cannot break the core's blocks.
+        args.push_back(
+            db.elements().Intern("z" + noise.elements().Name(el)));
+      }
+      db.AddFact(fact.relation, std::move(args));
+    }
+    bool expected = ExhaustiveCertain(q6, db);
+    certain_count += expected ? 1 : 0;
+    EXPECT_EQ(CombinedCertain(q6, db, 4), expected) << db.ToString();
+  }
+  EXPECT_GT(certain_count, 0);
+}
+
+TEST(Combined, DecisionReportsComponent) {
+  auto q6 = ParseQuery(kQ6);
+  Database db = GluedTriangles(q6);
+  // k = 1 is too weak, so the matching component must decide.
+  CombinedDecision decision;
+  EXPECT_TRUE(CombinedCertain(q6, db, 1, &decision));
+  EXPECT_EQ(decision, CombinedDecision::kNotMatching);
+}
+
+TEST(Combined, TheoreticalBoundFormula) {
+  // l = 1: kappa = 1, k = 2^3 + 0 = 8.
+  EXPECT_EQ(TheoreticalCertKBound(1), 8u);
+  // l = 2: kappa = 4, k = 2^9 + 3 = 515.
+  EXPECT_EQ(TheoreticalCertKBound(2), 515u);
+}
+
+// --- Semantic lemmas --------------------------------------------------------
+
+// Lemma 7.1: for 2way-determined q, if q(a b) and q(a c) then b ~ c; if
+// q(a b) and q(c b) then c ~ a.
+class Lemma71Test : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Lemma71Test, SolutionsDeterminedUpToKeyEquality) {
+  auto q = ParseQuery(GetParam());
+  ASSERT_TRUE(Is2WayDetermined(q));
+  Rng rng(0x7171);
+  for (int round = 0; round < 20; ++round) {
+    Database db = SmallRandom(q, &rng, 16, 3);
+    SolutionSet s = ComputeSolutions(q, db);
+    for (const auto& [a, b] : s.pairs) {
+      for (const auto& [a2, c] : s.pairs) {
+        if (a == a2) EXPECT_TRUE(db.KeyEqual(b, c)) << db.ToString();
+        if (b == c) EXPECT_TRUE(db.KeyEqual(a, a2)) << db.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoWayDetermined, Lemma71Test,
+                         ::testing::Values(kQ2, kQ5, kQ6));
+
+// Lemma 6.2 (zig-zag): for q with the Theorem 6.1 hypothesis, if q(a b),
+// q(c b') with b ~ b', a !~ c, a != b, then q(a b').
+class ZigZagTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZigZagTest, ZigZagPropertyHolds) {
+  auto q = ParseQuery(GetParam());
+  ASSERT_TRUE(Theorem61Hypothesis(q));
+  Rng rng(0x2162);
+  for (int round = 0; round < 15; ++round) {
+    Database db = SmallRandom(q, &rng, 14, 3);
+    RelationBinding binding(q, db);
+    SolutionSet s = ComputeSolutions(q, db);
+    for (const auto& [a, b] : s.pairs) {
+      for (const auto& [c, bp] : s.pairs) {
+        if (!db.KeyEqual(b, bp)) continue;
+        if (db.KeyEqual(a, c) || a == b) continue;
+        EXPECT_TRUE(IsSolution(q, binding, db, a, bp))
+            << "zig-zag violated\n"
+            << db.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Theorem61Queries, ZigZagTest,
+                         ::testing::Values(kQ3, kQ4,
+                                           "R(x, y | z) R(y, x | w)"));
+
+// --- Stats plumbing ---------------------------------------------------------
+
+TEST(Stats, ExhaustiveReportsNodes) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  ExhaustiveStats stats;
+  ExhaustiveCertain(q3, db, &stats);
+  EXPECT_GT(stats.nodes_explored, 0u);
+}
+
+TEST(Stats, CertKReportsAntichain) {
+  auto q3 = ParseQuery(kQ3);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  CertKStats stats;
+  CertK(q3, db, 2, &stats);
+  EXPECT_GT(stats.minimal_sets, 0u);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,226 @@
+// Unit tests for src/base: interner, union-find, hashing, rng, strings.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/interner.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/union_find.h"
+
+namespace cqa {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("c"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(Interner, InternIsIdempotent) {
+  Interner interner;
+  ElementId a = interner.Intern("alpha");
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, FindReturnsNotFoundForUnknown) {
+  Interner interner;
+  interner.Intern("x");
+  EXPECT_EQ(interner.Find("y"), Interner::kNotFound);
+  EXPECT_EQ(interner.Find("x"), 0u);
+}
+
+TEST(Interner, NameRoundTrips) {
+  Interner interner;
+  ElementId id = interner.Intern("hello");
+  EXPECT_EQ(interner.Name(id), "hello");
+}
+
+TEST(Interner, FreshAvoidsCollisions) {
+  Interner interner;
+  interner.Intern("p#0");
+  ElementId f1 = interner.Fresh("p");
+  ElementId f2 = interner.Fresh("p");
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(interner.Name(f1), "p#0");
+  EXPECT_NE(interner.Name(f2), "p#0");
+}
+
+TEST(Interner, EmptyStringIsInternable) {
+  Interner interner;
+  ElementId id = interner.Intern("");
+  EXPECT_EQ(interner.Find(""), id);
+}
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.NumClasses(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFind, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Same(0, 2));
+  EXPECT_EQ(uf.NumClasses(), 3u);
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.NumClasses(), 2u);
+}
+
+TEST(UnionFind, TransitiveMerging) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 3));
+  EXPECT_FALSE(uf.Same(0, 4));
+  EXPECT_EQ(uf.NumClasses(), 2u);
+}
+
+TEST(UnionFind, AddCreatesFreshClass) {
+  UnionFind uf(2);
+  std::uint32_t c = uf.Add();
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(uf.NumClasses(), 3u);
+  EXPECT_FALSE(uf.Same(c, 0));
+}
+
+TEST(UnionFind, ResetRestoresSingletons) {
+  UnionFind uf(3);
+  uf.Union(0, 2);
+  uf.Reset(3);
+  EXPECT_FALSE(uf.Same(0, 2));
+  EXPECT_EQ(uf.NumClasses(), 3u);
+}
+
+TEST(UnionFind, CopyIsIndependent) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  UnionFind copy = uf;
+  copy.Union(2, 3);
+  EXPECT_TRUE(copy.Same(2, 3));
+  EXPECT_FALSE(uf.Same(2, 3));
+}
+
+TEST(Hash, RangeHashDiffersOnPermutation) {
+  std::vector<std::uint32_t> a = {1, 2, 3};
+  std::vector<std::uint32_t> b = {3, 2, 1};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+TEST(Hash, RangeHashIsDeterministic) {
+  std::vector<std::uint32_t> a = {7, 8, 9};
+  EXPECT_EQ(HashRange(a.begin(), a.end()), HashRange(a.begin(), a.end()));
+}
+
+TEST(Hash, VectorHashUsableAsFunctor) {
+  VectorHash h;
+  std::vector<std::uint32_t> a = {0};
+  std::vector<std::uint32_t> b = {1};
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Rng, Deterministic) {
+  Rng r1(42);
+  Rng r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.Next(), r2.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng r1(1);
+  Rng r2(2);
+  EXPECT_NE(r1.Next(), r2.Next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit with 500 draws.
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Strings, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Strings, SplitAndTrimBasic) {
+  auto parts = SplitAndTrim("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  auto parts = SplitAndTrim("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Strings, IdentifierRules) {
+  EXPECT_TRUE(IsIdentifier("x"));
+  EXPECT_TRUE(IsIdentifier("x1"));
+  EXPECT_TRUE(IsIdentifier("_tmp"));
+  EXPECT_TRUE(IsIdentifier("x'"));
+  EXPECT_TRUE(IsIdentifier("C1.s"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1x"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("'a"));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,138 @@
+// The dichotomy classification of the paper's query catalog (EXP-T1):
+// every worked example of Sections 4-10 must land in its stated class.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifier.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+Classification Classify(const char* text) {
+  return ClassifyQuery(ParseQuery(text));
+}
+
+TEST(Classifier, Q1HardBySyntacticCondition) {
+  // q1 = R(x u | x v) R(v y | u y): Theorem 4.2.
+  Classification c = Classify("R(x, u | x, v) R(v, y | u, y)");
+  EXPECT_EQ(c.query_class, QueryClass::kCoNPHardCondition);
+  EXPECT_EQ(c.complexity, Complexity::kCoNPComplete);
+}
+
+TEST(Classifier, Q2HardByForkTripath) {
+  // q2 = R(x u | x y) R(u y | x z): Theorem 9.1.
+  Classification c = Classify("R(x, u | x, y) R(u, y | x, z)");
+  EXPECT_EQ(c.query_class, QueryClass::kCoNPForkTripath);
+  EXPECT_EQ(c.complexity, Complexity::kCoNPComplete);
+  EXPECT_TRUE(c.two_way_determined);
+  EXPECT_TRUE(c.tripath_search.HasFork());
+}
+
+TEST(Classifier, Q3PolynomialViaCert2) {
+  // q3 = R(x | y) R(y | z): Theorem 6.1.
+  Classification c = Classify("R(x | y) R(y | z)");
+  EXPECT_EQ(c.query_class, QueryClass::kPTimeCert2);
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+}
+
+TEST(Classifier, Q4PolynomialViaCert2) {
+  // q4 = R(x x | u v) R(x y | u x): Theorem 6.1 (key(A) ⊆ key(B)).
+  Classification c = Classify("R(x, x | u, v) R(x, y | u, x)");
+  EXPECT_EQ(c.query_class, QueryClass::kPTimeCert2);
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+}
+
+TEST(Classifier, Q5PolynomialNoTripath) {
+  // q5 = R(x | y x) R(y | x u): Theorem 8.1 (no tripath possible).
+  Classification c = Classify("R(x | y, x) R(y | x, u)");
+  EXPECT_EQ(c.query_class, QueryClass::kPTimeNoTripath);
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_TRUE(c.two_way_determined);
+  EXPECT_TRUE(c.tripath_search.exhausted);
+}
+
+TEST(Classifier, Q6PolynomialTriangleOnly) {
+  // q6 = R(x | y z) R(z | x y): Theorem 10.5 (clique-query).
+  Classification c = Classify("R(x | y, z) R(z | x, y)");
+  EXPECT_EQ(c.query_class, QueryClass::kPTimeTriangleOnly);
+  EXPECT_EQ(c.complexity, Complexity::kPTime);
+  EXPECT_TRUE(c.tripath_search.HasTriangle());
+  EXPECT_FALSE(c.tripath_search.HasFork());
+}
+
+TEST(Classifier, TrivialHomomorphismCase) {
+  Classification c = Classify("R(x | y) R(y | y)");
+  EXPECT_EQ(c.query_class, QueryClass::kTrivial);
+  EXPECT_EQ(c.trivial_reason, TrivialReason::kHomToSingleAtom);
+}
+
+TEST(Classifier, TrivialEqualKeysCase) {
+  Classification c = Classify("R(x, y | u) R(x, y | v)");
+  EXPECT_EQ(c.query_class, QueryClass::kTrivial);
+  EXPECT_EQ(c.trivial_reason, TrivialReason::kEqualKeys);
+}
+
+TEST(Classifier, SjfHardCase) {
+  Classification c = Classify("R1(x, u | x, v) R2(v, y | u, y)");
+  EXPECT_EQ(c.query_class, QueryClass::kSjfCoNPComplete);
+  EXPECT_EQ(c.complexity, Complexity::kCoNPComplete);
+}
+
+TEST(Classifier, SjfEasyCases) {
+  EXPECT_EQ(Classify("R1(x | y) R2(y | z)").query_class,
+            QueryClass::kSjfFirstOrder);
+  EXPECT_EQ(Classify("R1(x | y) R2(y | x)").query_class,
+            QueryClass::kSjfPTime);
+}
+
+TEST(Classifier, ExplanationIsNonEmptyEverywhere) {
+  for (const char* text :
+       {"R(x, u | x, v) R(v, y | u, y)", "R(x, u | x, y) R(u, y | x, z)",
+        "R(x | y) R(y | z)", "R(x | y, x) R(y | x, u)",
+        "R(x | y, z) R(z | x, y)", "R(x | y) R(y | y)",
+        "R1(x | y) R2(y | x)"}) {
+    EXPECT_FALSE(Classify(text).explanation.empty()) << text;
+  }
+}
+
+TEST(Classifier, SwapInvariantComplexity) {
+  // certain(AB) == certain(BA): complexity classification must agree.
+  for (const char* text :
+       {"R(x, u | x, y) R(u, y | x, z)", "R(x | y) R(y | z)",
+        "R(x | y, x) R(y | x, u)", "R(x | y, z) R(z | x, y)"}) {
+    auto q = ParseQuery(text);
+    Classification c1 = ClassifyQuery(q);
+    Classification c2 = ClassifyQuery(q.Swapped());
+    EXPECT_EQ(c1.complexity, c2.complexity) << text;
+  }
+}
+
+// The 2way-determined example R(x|y) R(y|x): a clique-query-like case.
+TEST(Classifier, SymmetricSwapQuery) {
+  Classification c = Classify("R(x | y) R(y | x)");
+  EXPECT_TRUE(c.two_way_determined);
+  // Whatever the tripath outcome, the dichotomy must resolve it within
+  // bounds: the search space for arity 2 is tiny.
+  EXPECT_NE(c.query_class, QueryClass::kUnresolved);
+}
+
+// q7: the paper's challenge example — triangle-tripath exists, fork does
+// not. The search space is large (arity 14), so this uses trimmed limits;
+// the classification must still be a PTime class.
+TEST(Classifier, Q7IsPolynomial) {
+  auto q7 = ParseQuery(
+      "R(x1, x2, x3, y1, y1, y2, y3, z1, z2, z3 | z4, z4, z4, z4) "
+      "R(x3, x1, x2, y3, y1, y1, y2, z2, z3, z4 | z1, z2, z3, z4)");
+  TripathSearchLimits limits;
+  limits.max_up = 1;
+  limits.max_down = 1;
+  limits.max_merges = 1;
+  limits.max_candidates = 200000;
+  Classification c = ClassifyQuery(q7, limits);
+  EXPECT_TRUE(c.two_way_determined);
+  EXPECT_FALSE(c.tripath_search.HasFork());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,190 @@
+// Tests for the q-connected partition (Proposition 10.6) and the repair
+// sampling baseline.
+
+#include <gtest/gtest.h>
+
+#include "algo/certk.h"
+#include "algo/components.h"
+#include "algo/exhaustive.h"
+#include "algo/matching.h"
+#include "algo/sampling.h"
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+#include "query/solution_graph.h"
+#include "tripath/search.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQ2 = "R(x, u | x, y) R(u, y | x, z)";
+constexpr const char* kQ5 = "R(x | y, x) R(y | x, u)";
+constexpr const char* kQ6 = "R(x | y, z) R(z | x, y)";
+
+Database SmallRandom(const ConjunctiveQuery& q, Rng* rng) {
+  InstanceParams params;
+  params.num_facts = 16;
+  params.domain_size = 3;
+  return RandomInstance(q, params, rng);
+}
+
+TEST(Components, PartitionCoversAllFacts) {
+  auto q = ParseQuery(kQ6);
+  Rng rng(0xC0);
+  Database db = SmallRandom(q, &rng);
+  auto comps = QConnectedComponents(q, db);
+  std::size_t total = 0;
+  for (const auto& c : comps) total += c.db.NumFacts();
+  EXPECT_EQ(total, db.NumFacts());
+}
+
+TEST(Components, BlocksNeverSplitAcrossComponents) {
+  auto q = ParseQuery(kQ6);
+  Rng rng(0xC1);
+  Database db = SmallRandom(q, &rng);
+  auto comps = QConnectedComponents(q, db);
+  // Map original fact -> component; key-equal facts must agree.
+  std::vector<int> comp_of(db.NumFacts(), -1);
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    for (FactId orig : comps[ci].original_facts) {
+      comp_of[orig] = static_cast<int>(ci);
+    }
+  }
+  for (FactId a = 0; a < db.NumFacts(); ++a) {
+    for (FactId b = 0; b < db.NumFacts(); ++b) {
+      if (db.KeyEqual(a, b)) EXPECT_EQ(comp_of[a], comp_of[b]);
+    }
+  }
+}
+
+TEST(Components, SolutionsStayWithinComponents) {
+  auto q = ParseQuery(kQ2);
+  Rng rng(0xC2);
+  Database db = SmallRandom(q, &rng);
+  auto comps = QConnectedComponents(q, db);
+  std::vector<int> comp_of(db.NumFacts(), -1);
+  for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+    for (FactId orig : comps[ci].original_facts) {
+      comp_of[orig] = static_cast<int>(ci);
+    }
+  }
+  SolutionSet s = ComputeSolutions(q, db);
+  for (const auto& [a, b] : s.pairs) {
+    EXPECT_EQ(comp_of[a], comp_of[b]);
+  }
+}
+
+// Property (2) of Proposition 10.6: D certain iff some component certain.
+class ComponentsProp2Test : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ComponentsProp2Test, CertainIffSomeComponentCertain) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0xC3);
+  for (int round = 0; round < 25; ++round) {
+    Database db = SmallRandom(q, &rng);
+    bool whole = ExhaustiveCertain(q, db);
+    bool any_component = false;
+    for (const auto& comp : QConnectedComponents(q, db)) {
+      if (ExhaustiveCertain(q, comp.db)) {
+        any_component = true;
+        break;
+      }
+    }
+    EXPECT_EQ(whole, any_component) << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoWayDetermined, ComponentsProp2Test,
+                         ::testing::Values(kQ2, kQ5, kQ6));
+
+// Property (4): if D |= matching(q) then all components |= matching(q).
+TEST(Components, MatchingRestrictsToComponents) {
+  auto q = ParseQuery(kQ6);
+  Rng rng(0xC4);
+  for (int round = 0; round < 25; ++round) {
+    Database db = SmallRandom(q, &rng);
+    if (!MatchingAlgorithm(q, db)) continue;
+    for (const auto& comp : QConnectedComponents(q, db)) {
+      EXPECT_TRUE(MatchingAlgorithm(q, comp.db)) << db.ToString();
+    }
+  }
+}
+
+// Property (3): component-level Cert_k lifts to the whole database.
+TEST(Components, CertKLiftsFromComponents) {
+  auto q = ParseQuery(kQ6);
+  Rng rng(0xC5);
+  for (int round = 0; round < 25; ++round) {
+    Database db = SmallRandom(q, &rng);
+    for (const auto& comp : QConnectedComponents(q, db)) {
+      if (CertK(q, comp.db, 3)) {
+        EXPECT_TRUE(CertK(q, db, 3)) << db.ToString();
+        break;
+      }
+    }
+  }
+}
+
+// Property (1): without fork-tripaths, every component is clique or
+// tripath-free. We verify the clique half observationally for q6.
+TEST(Components, Q6ComponentsAreCliqueDatabases) {
+  auto q6 = ParseQuery(kQ6);
+  ASSERT_FALSE(SearchTripaths(q6).HasFork());
+  Rng rng(0xC6);
+  for (int round = 0; round < 10; ++round) {
+    Database db = SmallRandom(q6, &rng);
+    for (const auto& comp : QConnectedComponents(q6, db)) {
+      SolutionGraph sg = BuildSolutionGraph(q6, comp.db);
+      // q6 is a clique-query: every component must be a clique-database.
+      EXPECT_TRUE(IsCliqueDatabase(sg, comp.db)) << comp.db.ToString();
+    }
+  }
+}
+
+TEST(Components, ComponentwiseSolverAgreesOnQ6) {
+  auto q6 = ParseQuery(kQ6);
+  Rng rng(0xC7);
+  for (int round = 0; round < 30; ++round) {
+    Database db = SmallRandom(q6, &rng);
+    EXPECT_EQ(ComponentwiseCertain(q6, db, 3), ExhaustiveCertain(q6, db))
+        << db.ToString();
+  }
+}
+
+// --- Sampling ---------------------------------------------------------------
+
+TEST(Sampling, FalsifierProvesNotCertain) {
+  auto q = ParseQuery(kQ6);
+  Rng rng(0x5A);
+  for (int round = 0; round < 20; ++round) {
+    Database db = SmallRandom(q, &rng);
+    SamplingResult r = SampleRepairs(q, db, 64, round);
+    if (r.found_falsifier) {
+      EXPECT_FALSE(ExhaustiveCertain(q, db)) << db.ToString();
+    }
+  }
+}
+
+TEST(Sampling, CertainInstancesAlwaysSatisfy) {
+  auto q = ParseQuery(kQ6);
+  Database db(q.schema());
+  db.AddFactStr(0, "a b c");
+  db.AddFactStr(0, "c a b");
+  db.AddFactStr(0, "b c a");
+  SamplingResult r = SampleRepairs(q, db, 32, 7);
+  EXPECT_FALSE(r.found_falsifier);
+  EXPECT_EQ(r.satisfying, r.samples);
+  EXPECT_DOUBLE_EQ(r.SatisfyingFraction(), 1.0);
+}
+
+TEST(Sampling, EarlyStopOnFalsifier) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Database db(q.schema());
+  db.AddFactStr(0, "a b");  // No solution at all: every repair falsifies.
+  SamplingResult r = SampleRepairs(q, db, 1000, 3, /*stop_at_falsifier=*/true);
+  EXPECT_TRUE(r.found_falsifier);
+  EXPECT_EQ(r.samples, 1u);
+}
+
+}  // namespace
+}  // namespace cqa

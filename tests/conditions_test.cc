@@ -1,0 +1,162 @@
+// Tests for the syntactic classification conditions (Theorems 4.2 / 6.1,
+// 2way-determinedness) and the Koutris–Wijsen attack-graph substrate.
+
+#include <gtest/gtest.h>
+
+#include "classify/attack_graph.h"
+#include "classify/conditions.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQ1 = "R(x, u | x, v) R(v, y | u, y)";
+constexpr const char* kQ2 = "R(x, u | x, y) R(u, y | x, z)";
+constexpr const char* kQ3 = "R(x | y) R(y | z)";
+constexpr const char* kQ4 = "R(x, x | u, v) R(x, y | u, x)";
+constexpr const char* kQ5 = "R(x | y, x) R(y | x, u)";
+constexpr const char* kQ6 = "R(x | y, z) R(z | x, y)";
+constexpr const char* kQ7 =
+    "R(x1, x2, x3, y1, y1, y2, y3, z1, z2, z3 | z4, z4, z4, z4) "
+    "R(x3, x1, x2, y3, y1, y1, y2, z2, z3, z4 | z1, z2, z3, z4)";
+
+TEST(Conditions, Q1SatisfiesBothHardnessConditions) {
+  auto q = ParseQuery(kQ1);
+  EXPECT_TRUE(Theorem42Condition1(q));
+  EXPECT_TRUE(Theorem42Condition2(q));
+  EXPECT_FALSE(Is2WayDetermined(q));
+}
+
+TEST(Conditions, Q2IsTwoWayDetermined) {
+  auto q = ParseQuery(kQ2);
+  EXPECT_TRUE(Theorem42Condition1(q));
+  EXPECT_FALSE(Theorem42Condition2(q));
+  EXPECT_TRUE(Is2WayDetermined(q));
+}
+
+TEST(Conditions, Q3FailsCondition1ViaSharedVars) {
+  auto q = ParseQuery(kQ3);
+  EXPECT_FALSE(Theorem42Condition1(q));
+  EXPECT_TRUE(Theorem61Applies(q));
+  EXPECT_FALSE(Is2WayDetermined(q));
+}
+
+TEST(Conditions, Q4FailsCondition1ViaKeyInclusion) {
+  auto q = ParseQuery(kQ4);
+  EXPECT_FALSE(Theorem42Condition1(q));
+  EXPECT_TRUE(Theorem61Applies(q));
+}
+
+TEST(Conditions, Q5Q6Q7AreTwoWayDetermined) {
+  for (const char* text : {kQ5, kQ6, kQ7}) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(Is2WayDetermined(q)) << text;
+    EXPECT_TRUE(Theorem42Condition1(q)) << text;
+    EXPECT_FALSE(Theorem42Condition2(q)) << text;
+  }
+}
+
+TEST(Conditions, TwoWayDeterminedAndCondition1AreAligned) {
+  // 2way-determined implies condition (1) holds and condition (2) fails
+  // (footnote 3 of the paper).
+  for (const char* text : {kQ2, kQ5, kQ6, kQ7}) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(Is2WayDetermined(q));
+    EXPECT_TRUE(Theorem42Condition1(q)) << text;
+    EXPECT_FALSE(Theorem42Condition2(q)) << text;
+    EXPECT_FALSE(Theorem61Applies(q)) << text;
+  }
+}
+
+TEST(Conditions, Theorem61HypothesisIsDirectional) {
+  // key(A) = {x} is included in key(B) = {x, y}: hypothesis holds for AB
+  // but its swap needs the symmetric check.
+  auto q = ParseQuery("R(x, x | y) R(x, y | z)");
+  EXPECT_TRUE(Theorem61Hypothesis(q));
+  EXPECT_FALSE(Theorem61Hypothesis(q.Swapped()));
+  EXPECT_TRUE(Theorem61Applies(q));
+  EXPECT_TRUE(Theorem61Applies(q.Swapped()));
+}
+
+TEST(Conditions, SharedVarsMask) {
+  auto q = ParseQuery(kQ2);
+  VarMask shared = SharedVars(q);
+  int bits = 0;
+  for (VarId v = 0; v < q.NumVars(); ++v) {
+    if (shared & (VarMask{1} << v)) ++bits;
+  }
+  EXPECT_EQ(bits, 3);  // x, u, y.
+}
+
+// --- Attack graphs ----------------------------------------------------------
+
+TEST(AttackGraph, FdClosureSimple) {
+  auto q = ParseQuery("R1(x | y) R2(y | z)");
+  // closure({x}) under both FDs: x -> y (atom 0), then y -> z (atom 1).
+  VarMask start = q.KeyVarsOf(0);
+  VarMask closure = FdClosure(q, start, {0, 1});
+  EXPECT_EQ(closure, q.VarsOf(0) | q.VarsOf(1));
+}
+
+TEST(AttackGraph, PathQueryIsAcyclic) {
+  // R1(x|y) R2(y|z): R1 attacks R2 (y not in closure of {x} w.r.t. R2's
+  // FD y->z... closure of {x} under {key(R2)->vars(R2)} = {x}; y shared,
+  // not in closure -> attack. R2 attacks R1? closure of {y} under
+  // {x->x,y} = {y}; shared var y... y in closure -> no witness.
+  auto q = ParseQuery("R1(x | y) R2(y | z)");
+  AttackGraph g = BuildAttackGraph(q);
+  EXPECT_TRUE(g.Attacks(0, 1));
+  EXPECT_FALSE(g.Attacks(1, 0));
+  EXPECT_EQ(ClassifySjf(q), SjfComplexity::kFirstOrder);
+}
+
+TEST(AttackGraph, SymmetricCycleWeak) {
+  // R1(x|y) R2(y|x): mutual attacks; K(q) |= key(R1) -> key(R2)? closure
+  // of {x} under all FDs = {x,y}: contains key(R2) = {y} -> weak. Same the
+  // other way: weak cycle -> PTime, not FO.
+  auto q = ParseQuery("R1(x | y) R2(y | x)");
+  AttackGraph g = BuildAttackGraph(q);
+  EXPECT_TRUE(g.Attacks(0, 1));
+  EXPECT_TRUE(g.Attacks(1, 0));
+  EXPECT_FALSE(g.StrongAttack(0, 1));
+  EXPECT_FALSE(g.StrongAttack(1, 0));
+  EXPECT_EQ(ClassifySjf(q), SjfComplexity::kPTime);
+}
+
+TEST(AttackGraph, StrongCycleIsHard) {
+  // sjf(q1) with q1 = R(x,u|x,v) R(v,y|u,y): the Kolaitis–Pema hard case.
+  auto q = ParseQuery("R1(x, u | x, v) R2(v, y | u, y)");
+  EXPECT_EQ(ClassifySjf(q), SjfComplexity::kCoNPComplete);
+}
+
+TEST(AttackGraph, SjfQ2IsPolynomial) {
+  // The paper notes certain(sjf(q2)) is in PTime although q2 is hard.
+  auto q = ParseQuery("R1(x, u | x, y) R2(u, y | x, z)");
+  EXPECT_NE(ClassifySjf(q), SjfComplexity::kCoNPComplete);
+}
+
+TEST(AttackGraph, DisconnectedAtomsDoNotAttack) {
+  auto q = ParseQuery("R1(x | y) R2(u | v)");
+  AttackGraph g = BuildAttackGraph(q);
+  EXPECT_FALSE(g.Attacks(0, 1));
+  EXPECT_FALSE(g.Attacks(1, 0));
+  EXPECT_EQ(ClassifySjf(q), SjfComplexity::kFirstOrder);
+}
+
+TEST(AttackGraph, ThreeAtomPath) {
+  auto q = ParseQuery("R1(x | y) R2(y | z) R3(z | w)");
+  AttackGraph g = BuildAttackGraph(q);
+  // R1 attacks R2 and (transitively through the witness path) R3.
+  EXPECT_TRUE(g.Attacks(0, 1));
+  EXPECT_TRUE(g.Attacks(0, 2));
+  EXPECT_FALSE(g.Attacks(2, 0));
+  EXPECT_EQ(ClassifySjf(q), SjfComplexity::kFirstOrder);
+}
+
+TEST(AttackGraph, SjfOfQ5IsPolynomialOrBetter) {
+  auto q = ParseQuery("R1(x | y, x) R2(y | x, u)");
+  EXPECT_NE(ClassifySjf(q), SjfComplexity::kCoNPComplete);
+}
+
+}  // namespace
+}  // namespace cqa

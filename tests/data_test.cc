@@ -1,0 +1,232 @@
+// Unit tests for src/data: schemas, facts, databases, blocks, repairs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/database.h"
+#include "data/repair.h"
+#include "data/schema.h"
+
+namespace cqa {
+namespace {
+
+Schema OneRelation(std::uint32_t arity, std::uint32_t key_len) {
+  Schema s;
+  s.AddRelation("R", arity, key_len);
+  return s;
+}
+
+TEST(Schema, AddAndFind) {
+  Schema s;
+  RelationId r = s.AddRelation("R", 3, 1);
+  EXPECT_EQ(s.Find("R"), r);
+  EXPECT_EQ(s.Find("S"), Schema::kNotFound);
+  EXPECT_EQ(s.Relation(r).arity, 3u);
+  EXPECT_EQ(s.Relation(r).key_len, 1u);
+  EXPECT_EQ(s.NumRelations(), 1u);
+}
+
+TEST(Schema, MultipleRelations) {
+  Schema s;
+  RelationId r1 = s.AddRelation("R1", 2, 1);
+  RelationId r2 = s.AddRelation("R2", 2, 2);
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(s.NumRelations(), 2u);
+}
+
+TEST(Database, AddFactDeduplicates) {
+  Database db(OneRelation(2, 1));
+  FactId a = db.AddFactStr(0, "x y");
+  FactId b = db.AddFactStr(0, "x y");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.NumFacts(), 1u);
+}
+
+TEST(Database, DistinctFactsGetDistinctIds) {
+  Database db(OneRelation(2, 1));
+  FactId a = db.AddFactStr(0, "x y");
+  FactId b = db.AddFactStr(0, "x z");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db.NumFacts(), 2u);
+}
+
+TEST(Database, KeyOfTakesPrefix) {
+  Database db(OneRelation(3, 2));
+  FactId f = db.AddFactStr(0, "a b c");
+  auto key = db.KeyOf(f);
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(db.elements().Name(key[0]), "a");
+  EXPECT_EQ(db.elements().Name(key[1]), "b");
+}
+
+TEST(Database, KeyEqualSameKeyDifferentRest) {
+  Database db(OneRelation(3, 1));
+  FactId a = db.AddFactStr(0, "k p q");
+  FactId b = db.AddFactStr(0, "k r s");
+  FactId c = db.AddFactStr(0, "m p q");
+  EXPECT_TRUE(db.KeyEqual(a, b));
+  EXPECT_FALSE(db.KeyEqual(a, c));
+}
+
+TEST(Database, BlocksPartitionFacts) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k2 a");
+  ASSERT_EQ(db.blocks().size(), 2u);
+  std::size_t total = 0;
+  for (const Block& b : db.blocks()) total += b.facts.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Database, BlockOfIsConsistentWithBlocks) {
+  Database db(OneRelation(2, 1));
+  FactId a = db.AddFactStr(0, "k1 a");
+  FactId b = db.AddFactStr(0, "k1 b");
+  FactId c = db.AddFactStr(0, "k2 c");
+  EXPECT_EQ(db.BlockOf(a), db.BlockOf(b));
+  EXPECT_NE(db.BlockOf(a), db.BlockOf(c));
+}
+
+TEST(Database, BlockIndexRefreshesAfterInsert) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k a");
+  EXPECT_EQ(db.blocks().size(), 1u);
+  db.AddFactStr(0, "m b");
+  EXPECT_EQ(db.blocks().size(), 2u);
+}
+
+TEST(Database, EmptyKeyMakesOneBlock) {
+  Database db(OneRelation(2, 0));
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "c d");
+  EXPECT_EQ(db.blocks().size(), 1u);
+  EXPECT_EQ(db.blocks()[0].facts.size(), 2u);
+}
+
+TEST(Database, ConsistencyDetection) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k2 b");
+  EXPECT_TRUE(db.IsConsistent());
+  db.AddFactStr(0, "k1 c");
+  EXPECT_FALSE(db.IsConsistent());
+}
+
+TEST(Database, CountRepairsMultipliesBlockSizes) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k2 a");
+  db.AddFactStr(0, "k2 b");
+  db.AddFactStr(0, "k2 c");
+  EXPECT_DOUBLE_EQ(db.CountRepairs(), 6.0);
+}
+
+TEST(Database, FactToStringShowsKeyBar) {
+  Database db(OneRelation(3, 1));
+  FactId f = db.AddFactStr(0, "a b c");
+  EXPECT_EQ(db.FactToString(f), "R(a | b, c)");
+}
+
+TEST(Database, FindFactAndContains) {
+  Database db(OneRelation(2, 1));
+  FactId f = db.AddFactStr(0, "a b");
+  Fact probe{0, {db.elements().Find("a"), db.elements().Find("b")}};
+  EXPECT_TRUE(db.Contains(probe));
+  EXPECT_EQ(db.FindFact(probe), f);
+  Fact missing{0, {db.elements().Find("b"), db.elements().Find("a")}};
+  EXPECT_FALSE(db.Contains(missing));
+  EXPECT_EQ(db.FindFact(missing), Database::kNoFact);
+}
+
+TEST(Database, BlocksSeparatedByRelation) {
+  Schema s;
+  s.AddRelation("R1", 2, 1);
+  s.AddRelation("R2", 2, 1);
+  Database db(s);
+  db.AddFactStr(0, "k a");
+  db.AddFactStr(1, "k a");
+  // Same key tuple but different relations: two blocks.
+  EXPECT_EQ(db.blocks().size(), 2u);
+}
+
+TEST(RepairIterator, EnumeratesAllRepairs) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k2 a");
+  db.AddFactStr(0, "k2 b");
+  db.AddFactStr(0, "k2 c");
+  std::set<std::vector<FactId>> seen;
+  int count = 0;
+  for (RepairIterator it(db); it.HasValue(); it.Next()) {
+    seen.insert(it.Current().Facts());
+    ++count;
+  }
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(seen.size(), 6u);  // All distinct.
+}
+
+TEST(RepairIterator, EmptyDatabaseHasOneRepair) {
+  Database db(OneRelation(2, 1));
+  int count = 0;
+  for (RepairIterator it(db); it.HasValue(); it.Next()) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RepairIterator, RepairsPickOnePerBlock) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k2 c");
+  for (RepairIterator it(db); it.HasValue(); it.Next()) {
+    Repair r = it.Current();
+    std::set<BlockId> blocks;
+    for (FactId f : r.Facts()) blocks.insert(db.BlockOf(f));
+    EXPECT_EQ(blocks.size(), db.blocks().size());
+  }
+}
+
+TEST(Repair, ContainsAndSelect) {
+  Database db(OneRelation(2, 1));
+  FactId a = db.AddFactStr(0, "k1 a");
+  FactId b = db.AddFactStr(0, "k1 b");
+  RepairIterator it(db);
+  Repair r = it.Current();
+  EXPECT_TRUE(r.Contains(a));
+  EXPECT_FALSE(r.Contains(b));
+  r.Select(b);  // The paper's r[a -> b] operation.
+  EXPECT_FALSE(r.Contains(a));
+  EXPECT_TRUE(r.Contains(b));
+}
+
+TEST(RepairSampler, DeterministicGivenSeed) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k2 a");
+  db.AddFactStr(0, "k2 b");
+  RepairSampler s1(db, 99);
+  RepairSampler s2(db, 99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(s1.Sample().Facts(), s2.Sample().Facts());
+  }
+}
+
+TEST(RepairSampler, SamplesAreValidRepairs) {
+  Database db(OneRelation(2, 1));
+  db.AddFactStr(0, "k1 a");
+  db.AddFactStr(0, "k1 b");
+  db.AddFactStr(0, "k1 c");
+  db.AddFactStr(0, "k2 a");
+  RepairSampler sampler(db, 5);
+  for (int i = 0; i < 50; ++i) {
+    Repair r = sampler.Sample();
+    EXPECT_EQ(r.Facts().size(), db.blocks().size());
+  }
+}
+
+}  // namespace
+}  // namespace cqa

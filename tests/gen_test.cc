@@ -1,0 +1,74 @@
+// Tests for the workload generators.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "query/eval.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+TEST(Workloads, RandomInstanceDeterministic) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  InstanceParams params;
+  Rng r1(7);
+  Rng r2(7);
+  Database a = RandomInstance(q, params, &r1);
+  Database b = RandomInstance(q, params, &r2);
+  ASSERT_EQ(a.NumFacts(), b.NumFacts());
+  for (FactId f = 0; f < a.NumFacts(); ++f) {
+    EXPECT_EQ(a.FactToString(f), b.FactToString(f));
+  }
+}
+
+TEST(Workloads, RandomInstanceHitsRequestedSize) {
+  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  InstanceParams params;
+  params.num_facts = 50;
+  Rng rng(9);
+  Database db = RandomInstance(q, params, &rng);
+  EXPECT_EQ(db.NumFacts(), 50u);
+}
+
+TEST(Workloads, BlockmateBiasCreatesInconsistency) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  InstanceParams params;
+  params.num_facts = 60;
+  params.blockmate_bias = 0.6;
+  Rng rng(11);
+  Database db = RandomInstance(q, params, &rng);
+  EXPECT_FALSE(db.IsConsistent());
+  EXPECT_LT(db.blocks().size(), db.NumFacts());
+}
+
+TEST(Workloads, PatternBiasCreatesSolutions) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  InstanceParams params;
+  params.num_facts = 40;
+  params.domain_size = 3;
+  params.pattern_bias = 0.9;
+  params.blockmate_bias = 0.0;
+  Rng rng(13);
+  Database db = RandomInstance(q, params, &rng);
+  EXPECT_FALSE(ComputeSolutions(q, db).pairs.empty());
+}
+
+TEST(Workloads, ChainInstanceGrowsWithLinks) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Rng r1(17), r2(17);
+  Database small = ChainInstance(q, 5, 0.5, 0.5, &r1);
+  Database large = ChainInstance(q, 25, 0.5, 0.5, &r2);
+  EXPECT_GT(large.NumFacts(), small.NumFacts());
+}
+
+TEST(Workloads, ChainInstanceHasSolutions) {
+  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  Rng rng(19);
+  Database db = ChainInstance(q, 10, 0.5, 0.4, &rng);
+  EXPECT_FALSE(ComputeSolutions(q, db).pairs.empty());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,173 @@
+// Unit and property tests for src/graph: connected components and
+// Hopcroft–Karp maximum bipartite matching.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/undirected.h"
+
+namespace cqa {
+namespace {
+
+TEST(UndirectedGraph, BasicEdges) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(UndirectedGraph, SelfLoopsAndDuplicatesIgnored) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.Finalize();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+}
+
+TEST(Components, SingletonVerticesAreComponents) {
+  UndirectedGraph g(3);
+  g.Finalize();
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3u);
+}
+
+TEST(Components, ChainIsOneComponent) {
+  UndirectedGraph g(5);
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  g.Finalize();
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 1u);
+  auto groups = c.Groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 5u);
+}
+
+TEST(Components, TwoIslands) {
+  UndirectedGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.Finalize();
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) g.AddEdge(i, i);
+  MatchingResult r = MaximumMatching(g);
+  EXPECT_EQ(r.size, 4u);
+  EXPECT_TRUE(r.SaturatesLeft());
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // Classic case: greedy can pick (0,0) and block vertex 1.
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  MatchingResult r = MaximumMatching(g);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_TRUE(r.SaturatesLeft());
+}
+
+TEST(HopcroftKarp, UnsaturatedWhenRightTooSmall) {
+  BipartiteGraph g(3, 2);
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    g.AddEdge(l, 0);
+    g.AddEdge(l, 1);
+  }
+  MatchingResult r = MaximumMatching(g);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_FALSE(r.SaturatesLeft());
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  MatchingResult r = MaximumMatching(g);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_FALSE(r.SaturatesLeft());
+}
+
+TEST(HopcroftKarp, ZeroLeftVerticesSaturatesTrivially) {
+  BipartiteGraph g(0, 3);
+  MatchingResult r = MaximumMatching(g);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_TRUE(r.SaturatesLeft());
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  BipartiteGraph g(3, 3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  MatchingResult r = MaximumMatching(g);
+  // match_left and match_right are mutually consistent.
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    if (r.match_left[l] != MatchingResult::kUnmatched) {
+      EXPECT_EQ(r.match_right[r.match_left[l]], l);
+    }
+  }
+}
+
+/// Exponential reference: maximum matching by trying all subsets of left
+/// vertices in order (backtracking).
+std::size_t BruteForceMatching(const BipartiteGraph& g) {
+  std::vector<bool> used(g.NumRight(), false);
+  std::size_t best = 0;
+  // Backtracking over left vertices; each may stay unmatched.
+  std::function<void(std::uint32_t, std::size_t)> rec =
+      [&](std::uint32_t l, std::size_t matched) {
+        if (l == g.NumLeft()) {
+          best = std::max(best, matched);
+          return;
+        }
+        rec(l + 1, matched);
+        for (std::uint32_t r : g.Neighbors(l)) {
+          if (!used[r]) {
+            used[r] = true;
+            rec(l + 1, matched + 1);
+            used[r] = false;
+          }
+        }
+      };
+  rec(0, 0);
+  return best;
+}
+
+class HopcroftKarpRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopcroftKarpRandomTest, AgreesWithBruteForce) {
+  Rng rng(1234 + GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::size_t nl = 1 + rng.Below(6);
+    std::size_t nr = 1 + rng.Below(6);
+    BipartiteGraph g(nl, nr);
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      for (std::uint32_t r = 0; r < nr; ++r) {
+        if (rng.Chance(0.4)) g.AddEdge(l, r);
+      }
+    }
+    EXPECT_EQ(MaximumMatching(g).size, BruteForceMatching(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpRandomTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,292 @@
+// Unit tests for src/query: parser, masks, matching, solutions, evaluation,
+// homomorphisms, one-atom-equivalence, solution graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "query/eval.h"
+#include "query/hom.h"
+#include "query/query.h"
+#include "query/solution_graph.h"
+
+namespace cqa {
+namespace {
+
+VarMask Mask(const ConjunctiveQuery& q,
+             std::initializer_list<const char*> names) {
+  VarMask m = 0;
+  for (const char* name : names) {
+    for (VarId v = 0; v < q.NumVars(); ++v) {
+      if (q.VarName(v) == name) m |= VarMask{1} << v;
+    }
+  }
+  return m;
+}
+
+TEST(Parser, ParsesTwoAtomSelfJoin) {
+  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  EXPECT_EQ(q.NumAtoms(), 2u);
+  EXPECT_EQ(q.NumVars(), 4u);
+  EXPECT_EQ(q.schema().NumRelations(), 1u);
+  EXPECT_EQ(q.schema().Relation(0).arity, 4u);
+  EXPECT_EQ(q.schema().Relation(0).key_len, 2u);
+  EXPECT_FALSE(q.IsSelfJoinFree());
+}
+
+TEST(Parser, ParsesSjfQuery) {
+  auto q = ParseQuery("R1(x | y) R2(y | x)");
+  EXPECT_EQ(q.schema().NumRelations(), 2u);
+  EXPECT_TRUE(q.IsSelfJoinFree());
+}
+
+TEST(Parser, NoBarMeansEmptyKey) {
+  auto q = ParseQuery("R(x, y)");
+  EXPECT_EQ(q.schema().Relation(0).key_len, 0u);
+  EXPECT_EQ(q.schema().Relation(0).arity, 2u);
+}
+
+TEST(Parser, ToStringRoundTrips) {
+  const char* text = "R(x, u | x, y) R(u, y | x, z)";
+  auto q = ParseQuery(text);
+  EXPECT_EQ(q.ToString(), text);
+  // Re-parsing the printed form yields the same string again.
+  EXPECT_EQ(ParseQuery(q.ToString()).ToString(), text);
+}
+
+TEST(Parser, RejectsSignatureMismatch) {
+  EXPECT_THROW(ParseQuery("R(x | y) R(x | y, z)"), std::invalid_argument);
+  EXPECT_THROW(ParseQuery("R(x | y) R(x, y |)"), std::invalid_argument);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(ParseQuery(""), std::invalid_argument);
+  EXPECT_THROW(ParseQuery("R(x"), std::invalid_argument);
+  EXPECT_THROW(ParseQuery("R()"), std::invalid_argument);
+  EXPECT_THROW(ParseQuery("R(x,,y)"), std::invalid_argument);
+  EXPECT_THROW(ParseQuery("1R(x)"), std::invalid_argument);
+}
+
+TEST(Query, VarMasksMatchPaperExampleQ2) {
+  auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  EXPECT_EQ(q2.KeyVarsOf(0), Mask(q2, {"x", "u"}));
+  EXPECT_EQ(q2.KeyVarsOf(1), Mask(q2, {"u", "y"}));
+  EXPECT_EQ(q2.VarsOf(0), Mask(q2, {"x", "u", "y"}));
+  EXPECT_EQ(q2.VarsOf(1), Mask(q2, {"u", "y", "x", "z"}));
+}
+
+TEST(Query, KeyTupleIsOrdered) {
+  auto q = ParseQuery("R(x, y | z) R(y, x | z)");
+  EXPECT_NE(q.KeyTupleOf(0), q.KeyTupleOf(1));
+  EXPECT_EQ(q.KeyVarsOf(0), q.KeyVarsOf(1));  // Same set, different tuples.
+}
+
+TEST(Query, SwappedReversesAtoms) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  auto s = q.Swapped();
+  EXPECT_EQ(s.AtomToString(0), q.AtomToString(1));
+  EXPECT_EQ(s.AtomToString(1), q.AtomToString(0));
+}
+
+TEST(Eval, MatchesPatternRepeatedVars) {
+  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  Database db(q.schema());
+  FactId good = db.AddFactStr(0, "a b a c");
+  FactId bad = db.AddFactStr(0, "a b c d");
+  EXPECT_TRUE(MatchesPattern(q.atoms()[0], db.fact(good)));
+  EXPECT_FALSE(MatchesPattern(q.atoms()[0], db.fact(bad)));
+  // Atom B has no repeats: everything matches.
+  EXPECT_TRUE(MatchesPattern(q.atoms()[1], db.fact(bad)));
+}
+
+TEST(Eval, DirectedSolutionQ2) {
+  auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+  Database db(q2.schema());
+  // a = R(a b | a c): matches A with x=a, u=b, y=c.
+  // b = R(b c | a d): matches B with u=b, y=c, x=a, z=d. Consistent.
+  FactId a = db.AddFactStr(0, "a b a c");
+  FactId b = db.AddFactStr(0, "b c a d");
+  RelationBinding binding(q2, db);
+  EXPECT_TRUE(IsSolution(q2, binding, db, a, b));
+  EXPECT_FALSE(IsSolution(q2, binding, db, b, a));
+  EXPECT_TRUE(IsSolutionEither(q2, binding, db, b, a));
+}
+
+TEST(Eval, SelfSolution) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  FactId loop = db.AddFactStr(0, "a a");
+  FactId plain = db.AddFactStr(0, "a b");
+  RelationBinding binding(q3, db);
+  EXPECT_TRUE(IsSolution(q3, binding, db, loop, loop));
+  EXPECT_FALSE(IsSolution(q3, binding, db, plain, plain));
+}
+
+TEST(Eval, ComputeSolutionsFindsChains) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  FactId ab = db.AddFactStr(0, "a b");
+  FactId bc = db.AddFactStr(0, "b c");
+  FactId cd = db.AddFactStr(0, "c d");
+  SolutionSet s = ComputeSolutions(q3, db);
+  auto has = [&](FactId x, FactId y) {
+    return std::find(s.pairs.begin(), s.pairs.end(),
+                     std::make_pair(x, y)) != s.pairs.end();
+  };
+  EXPECT_TRUE(has(ab, bc));
+  EXPECT_TRUE(has(bc, cd));
+  EXPECT_FALSE(has(ab, cd));
+  EXPECT_FALSE(has(bc, ab));
+  EXPECT_EQ(s.pairs.size(), 2u);
+}
+
+// Property: the hash-join solution enumeration agrees with the quadratic
+// definition on random instances, for several catalog queries.
+class SolutionsAgreeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SolutionsAgreeTest, HashJoinMatchesNaive) {
+  auto q = ParseQuery(GetParam());
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 5; ++round) {
+    InstanceParams params;
+    params.num_facts = 25;
+    params.domain_size = 4;
+    Database db = RandomInstance(q, params, &rng);
+    RelationBinding binding(q, db);
+    SolutionSet fast = ComputeSolutions(q, db);
+    std::vector<std::pair<FactId, FactId>> naive;
+    for (FactId a = 0; a < db.NumFacts(); ++a) {
+      for (FactId b = 0; b < db.NumFacts(); ++b) {
+        if (IsSolution(q, binding, db, a, b)) naive.emplace_back(a, b);
+      }
+    }
+    std::sort(naive.begin(), naive.end());
+    EXPECT_EQ(fast.pairs, naive);
+    for (FactId a = 0; a < db.NumFacts(); ++a) {
+      EXPECT_EQ(fast.self[a], IsSolution(q, binding, db, a, a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, SolutionsAgreeTest,
+    ::testing::Values("R(x, u | x, y) R(u, y | x, z)",  // q2
+                      "R(x | y) R(y | z)",              // q3
+                      "R(x, x | u, v) R(x, y | u, x)",  // q4
+                      "R(x | y, x) R(y | x, u)",        // q5
+                      "R(x | y, z) R(z | x, y)",        // q6
+                      "R(x, u | x, v) R(v, y | u, y)"   // q1
+                      ));
+
+TEST(Eval, SatisfiesSubsetBacktracks) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  FactId ab = db.AddFactStr(0, "a b");
+  FactId bc = db.AddFactStr(0, "b c");
+  FactId xy = db.AddFactStr(0, "x y");
+  EXPECT_TRUE(SatisfiesSubset(q3, db, {ab, bc}));
+  EXPECT_FALSE(SatisfiesSubset(q3, db, {ab, xy}));
+  EXPECT_FALSE(SatisfiesSubset(q3, db, {ab}));
+  EXPECT_TRUE(Satisfies(q3, db));
+}
+
+TEST(Eval, SatisfiesRepair) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  db.AddFactStr(0, "b z");  // Blockmate of "b c": key b.
+  int satisfied = 0;
+  int total = 0;
+  for (RepairIterator it(db); it.HasValue(); it.Next()) {
+    satisfied += SatisfiesRepair(q3, db, it.Current()) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_EQ(total, 2);
+  EXPECT_EQ(satisfied, 2);  // Both choices continue the chain from a->b.
+}
+
+TEST(Hom, HomomorphismToSubAtom) {
+  // q = R(x | y) R(y | y): h(x) = y, h(y) = y maps A onto B and fixes B.
+  auto q = ParseQuery("R(x | y) R(y | y)");
+  auto sub = AtomSubquery(q, 1);
+  EXPECT_TRUE(FindHomomorphism(q, sub).has_value());
+  EXPECT_EQ(ClassifyTrivial(q), TrivialReason::kHomToSingleAtom);
+}
+
+TEST(Hom, NoHomomorphismForQ3) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  EXPECT_FALSE(FindHomomorphism(q3, AtomSubquery(q3, 0)).has_value());
+  EXPECT_FALSE(FindHomomorphism(q3, AtomSubquery(q3, 1)).has_value());
+  EXPECT_EQ(ClassifyTrivial(q3), TrivialReason::kNotTrivial);
+}
+
+TEST(Hom, EqualKeysDetected) {
+  auto q = ParseQuery("R(x, y | u) R(x, y | v)");
+  EXPECT_EQ(ClassifyTrivial(q), TrivialReason::kEqualKeys);
+}
+
+TEST(Hom, EqualKeySetsButDifferentTuplesNotTrivial) {
+  auto q = ParseQuery("R(x, y | u) R(y, x | v)");
+  EXPECT_EQ(ClassifyTrivial(q), TrivialReason::kNotTrivial);
+}
+
+TEST(Hom, IdenticalAtomsAreTrivial) {
+  auto q = ParseQuery("R(x | y) R(x | y)");
+  // key(A) = key(B) as tuples.
+  EXPECT_NE(ClassifyTrivial(q), TrivialReason::kNotTrivial);
+}
+
+TEST(Hom, CatalogQueriesAreNotTrivial) {
+  for (const char* text :
+       {"R(x, u | x, v) R(v, y | u, y)", "R(x, u | x, y) R(u, y | x, z)",
+        "R(x | y, x) R(y | x, u)", "R(x | y, z) R(z | x, y)"}) {
+    EXPECT_EQ(ClassifyTrivial(ParseQuery(text)), TrivialReason::kNotTrivial)
+        << text;
+  }
+}
+
+TEST(Hom, HomEquivalentSelf) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  EXPECT_TRUE(HomEquivalent(q, q));
+}
+
+TEST(SolutionGraph, EdgesAreUndirectedSolutions) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  FactId ab = db.AddFactStr(0, "a b");
+  FactId bc = db.AddFactStr(0, "b c");
+  FactId zz = db.AddFactStr(0, "q r");
+  SolutionGraph sg = BuildSolutionGraph(q3, db);
+  EXPECT_TRUE(sg.graph.HasEdge(ab, bc));
+  EXPECT_FALSE(sg.graph.HasEdge(ab, zz));
+  EXPECT_EQ(sg.components.count, 2u);
+}
+
+TEST(SolutionGraph, QuasiCliqueForQ6Triangle) {
+  auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+  Database db(q6.schema());
+  // Triangle: q6(a b) etc. R(a | b, c), R(c | a, b), R(b | c, a).
+  db.AddFactStr(0, "a b c");
+  db.AddFactStr(0, "c a b");
+  db.AddFactStr(0, "b c a");
+  SolutionGraph sg = BuildSolutionGraph(q6, db);
+  EXPECT_EQ(sg.components.count, 1u);
+  EXPECT_TRUE(IsCliqueDatabase(sg, db));
+}
+
+TEST(SolutionGraph, NonQuasiCliquePath) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  db.AddFactStr(0, "c d");
+  SolutionGraph sg = BuildSolutionGraph(q3, db);
+  // Path a-b-c with no edge a-c and a !~ c: not a quasi-clique.
+  EXPECT_FALSE(IsCliqueDatabase(sg, db));
+}
+
+}  // namespace
+}  // namespace cqa

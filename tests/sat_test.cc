@@ -1,0 +1,209 @@
+// Unit and property tests for src/sat: CNF machinery, DPLL, generators.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "sat/cnf.h"
+#include "sat/dpll.h"
+#include "sat/gen.h"
+
+namespace cqa {
+namespace {
+
+CnfFormula Parse(std::uint32_t num_vars,
+                 std::initializer_list<std::initializer_list<int>> clauses) {
+  // Positive literal i+1, negative -(i+1).
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (const auto& c : clauses) {
+    Clause clause;
+    for (int lit : c) {
+      clause.push_back(
+          Literal{static_cast<std::uint32_t>(std::abs(lit)) - 1, lit > 0});
+    }
+    f.clauses.push_back(clause);
+  }
+  return f;
+}
+
+TEST(Cnf, EvaluateBasics) {
+  CnfFormula f = Parse(2, {{1, -2}, {2}});
+  EXPECT_TRUE(f.Evaluate({true, true}));
+  EXPECT_FALSE(f.Evaluate({false, false}));
+  EXPECT_FALSE(f.Evaluate({true, false}));
+}
+
+TEST(Cnf, OccurrenceCounts) {
+  CnfFormula f = Parse(3, {{1, -2}, {2, 3}, {-1, 2}});
+  auto counts = f.OccurrenceCounts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Cnf, PolarityCounts) {
+  CnfFormula f = Parse(2, {{1, -2}, {1, 2}});
+  std::vector<std::uint32_t> pos, neg;
+  f.PolarityCounts(&pos, &neg);
+  EXPECT_EQ(pos[0], 2u);
+  EXPECT_EQ(neg[0], 0u);
+  EXPECT_EQ(pos[1], 1u);
+  EXPECT_EQ(neg[1], 1u);
+}
+
+TEST(Cnf, ReductionReadyChecks) {
+  EXPECT_TRUE(Parse(2, {{1, -2}, {-1, 2}}).IsReductionReady());
+  // Variable 1 occurs once: not ready.
+  EXPECT_FALSE(Parse(2, {{1, -2}, {-1}, {-1}}).IsReductionReady());
+  // Variable occurs 4 times: not ready.
+  EXPECT_FALSE(
+      Parse(2, {{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}).IsReductionReady());
+  // Single polarity: not ready.
+  EXPECT_FALSE(Parse(2, {{1, 2}, {1, -2}}).IsReductionReady());
+  // Duplicate variable in a clause: not ready.
+  EXPECT_FALSE(Parse(2, {{1, 1, -2}, {-1, 2}}).IsReductionReady());
+}
+
+TEST(Dpll, SimpleSat) {
+  SatResult r = SolveDpll(Parse(2, {{1, 2}, {-1, 2}}));
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[1]);  // 2 must be true? Not forced: -1,2 | 1,2.
+}
+
+TEST(Dpll, SimpleUnsat) {
+  SatResult r = SolveDpll(Parse(1, {{1}, {-1}}));
+  EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(Dpll, EmptyFormulaIsSat) {
+  CnfFormula f;
+  f.num_vars = 3;
+  EXPECT_TRUE(SolveDpll(f).satisfiable);
+}
+
+TEST(Dpll, EmptyClauseIsUnsat) {
+  CnfFormula f;
+  f.num_vars = 1;
+  f.clauses.push_back({});
+  EXPECT_FALSE(SolveDpll(f).satisfiable);
+}
+
+TEST(Dpll, UnitPropagationChain) {
+  // 1; -1|2; -2|3; -3|4 forces all true.
+  SatResult r = SolveDpll(Parse(4, {{1}, {-1, 2}, {-2, 3}, {-3, 4}}));
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[0]);
+  EXPECT_TRUE(r.assignment[3]);
+}
+
+TEST(Dpll, PigeonholeUnsat) {
+  // 3 pigeons, 2 holes. Variables p_{i,h} = 2i + h + 1.
+  CnfFormula f = Parse(6, {{1, 2},
+                           {3, 4},
+                           {5, 6},
+                           {-1, -3},
+                           {-1, -5},
+                           {-3, -5},
+                           {-2, -4},
+                           {-2, -6},
+                           {-4, -6}});
+  EXPECT_FALSE(SolveDpll(f).satisfiable);
+}
+
+class DpllRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpllRandomTest, AgreesWithBruteForce) {
+  Rng rng(777 + GetParam());
+  for (int round = 0; round < 30; ++round) {
+    std::uint32_t nv = 3 + rng.Below(6);
+    std::uint32_t nc = 2 + rng.Below(20);
+    CnfFormula f = RandomKSat(nv, nc, 3, &rng);
+    EXPECT_EQ(SolveDpll(f).satisfiable, SolveBruteForce(f).satisfiable)
+        << f.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpllRandomTest, ::testing::Range(0, 5));
+
+TEST(LimitOccurrences, CapsAtThree) {
+  Rng rng(42);
+  for (int round = 0; round < 10; ++round) {
+    CnfFormula f = RandomKSat(5, 25, 3, &rng);
+    CnfFormula limited = LimitOccurrences(f);
+    auto counts = limited.OccurrenceCounts();
+    for (std::uint32_t c : counts) EXPECT_LE(c, 3u);
+  }
+}
+
+TEST(LimitOccurrences, PreservesSatisfiability) {
+  Rng rng(43);
+  for (int round = 0; round < 20; ++round) {
+    CnfFormula f = RandomKSat(4 + rng.Below(3), 5 + rng.Below(15), 3, &rng);
+    CnfFormula limited = LimitOccurrences(f);
+    EXPECT_EQ(SolveDpll(f).satisfiable, SolveDpll(limited).satisfiable)
+        << f.ToString();
+  }
+}
+
+TEST(LimitOccurrences, DropsTautologies) {
+  CnfFormula f = Parse(2, {{1, -1, 2}});
+  CnfFormula limited = LimitOccurrences(f);
+  EXPECT_TRUE(limited.clauses.empty());
+}
+
+TEST(EliminatePure, RemovesSinglePolarityVariables) {
+  // Variable 1 occurs only positively: clauses containing it vanish.
+  CnfFormula f = Parse(3, {{1, 2}, {-2, 3}, {2, -3}});
+  CnfFormula out = EliminatePureAndSingletons(f);
+  // After removing clause {1,2}: var 2 occurs -2, +2; var 3 occurs +3, -3.
+  EXPECT_EQ(out.clauses.size(), 2u);
+}
+
+TEST(EliminatePure, PreservesSatisfiability) {
+  Rng rng(44);
+  for (int round = 0; round < 20; ++round) {
+    CnfFormula f = RandomKSat(5, 6 + rng.Below(10), 3, &rng);
+    CnfFormula out = EliminatePureAndSingletons(f);
+    // Pure elimination can only preserve or reveal satisfiability; it
+    // never turns SAT into UNSAT or vice versa.
+    EXPECT_EQ(SolveDpll(f).satisfiable, SolveDpll(out).satisfiable)
+        << f.ToString();
+  }
+}
+
+TEST(Generators, ReductionReady3SatIsReady) {
+  Rng rng(45);
+  for (int round = 0; round < 10; ++round) {
+    CnfFormula f = RandomReductionReady3Sat(6, 8, &rng);
+    EXPECT_TRUE(f.IsReductionReady());
+    EXPECT_TRUE(f.MaxClauseSize(3));
+    EXPECT_FALSE(f.clauses.empty());
+  }
+}
+
+TEST(Generators, Figure2FormulaMatchesPaper) {
+  CnfFormula f = Figure2Formula();
+  EXPECT_EQ(f.clauses.size(), 3u);
+  EXPECT_TRUE(f.IsReductionReady());
+  SatResult r = SolveDpll(f);
+  EXPECT_TRUE(r.satisfiable);  // E.g. s=false, t=false, u=false? Check:
+  // (~s|t|u)=T, (~s|~t|u)=T, (s|~t|~u)=T with all false. Yes.
+  EXPECT_TRUE(f.Evaluate({false, false, false}));
+}
+
+TEST(Generators, RandomKSatShape) {
+  Rng rng(46);
+  CnfFormula f = RandomKSat(7, 12, 3, &rng);
+  EXPECT_EQ(f.num_vars, 7u);
+  EXPECT_EQ(f.clauses.size(), 12u);
+  for (const Clause& c : f.clauses) {
+    EXPECT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(c[0].var, c[1].var);
+    EXPECT_NE(c[1].var, c[2].var);
+    EXPECT_NE(c[0].var, c[2].var);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

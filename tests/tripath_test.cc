@@ -1,0 +1,234 @@
+// Tests for the tripath machinery (Section 7): g(e), the validator on
+// hand-built structures (including the Figure 1c nice fork-tripath of q2),
+// and the bounded searcher on the paper's catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/eval.h"
+#include "query/query.h"
+#include "tripath/search.h"
+#include "tripath/tripath.h"
+#include "tripath/validate.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQ2 = "R(x, u | x, y) R(u, y | x, z)";
+constexpr const char* kQ5 = "R(x | y, x) R(y | x, u)";
+constexpr const char* kQ6 = "R(x | y, z) R(z | x, y)";
+
+/// Builds the Figure 1c tripath of q2 by hand (13 facts, 8 blocks).
+/// Blocks:           root {F7} -> {F5,F6} -> center {F1,F4}
+///   d-branch: center -> {F2,F10} -> {F11,F12} -> leaf {F13}
+///   f-branch: center -> {F3,F8} -> leaf {F9}
+Tripath Figure1cTripath(const ConjunctiveQuery& q2) {
+  Database db(q2.schema());
+  FactId f1 = db.AddFactStr(0, "a b a a");   // e = a(center)
+  FactId f2 = db.AddFactStr(0, "a a a b");   // d = b(child1)
+  FactId f3 = db.AddFactStr(0, "b a a a");   // f = b(child2)
+  FactId f4 = db.AddFactStr(0, "a b c a");   // b(center)
+  FactId f5 = db.AddFactStr(0, "c a c b");   // a(up1)
+  FactId f6 = db.AddFactStr(0, "c a h a");   // b(up1)
+  FactId f7 = db.AddFactStr(0, "h c h a");   // u0 = a(root)
+  FactId f8 = db.AddFactStr(0, "b a f a");   // a(f-branch block)
+  FactId f9 = db.AddFactStr(0, "f b f a");   // u2 = b(leaf2)
+  FactId f10 = db.AddFactStr(0, "a a d a");  // a(d-branch block 1)
+  FactId f11 = db.AddFactStr(0, "d a d a");  // b(d-branch block 2)
+  FactId f12 = db.AddFactStr(0, "d a e a");  // a(d-branch block 2)
+  FactId f13 = db.AddFactStr(0, "e d e a");  // u1 = b(leaf1)
+
+  Tripath t(std::move(db));
+  auto block = [&](int parent, FactId a, FactId b) {
+    t.blocks.push_back(TripathBlock{parent, a, b});
+    return static_cast<int>(t.blocks.size()) - 1;
+  };
+  const FactId kNone = TripathBlock::kNoFact;
+  int center = block(-1, f1, f4);
+  int up1 = block(-1, f5, f6);
+  int root = block(-1, f7, kNone);
+  t.blocks[center].parent = up1;
+  t.blocks[up1].parent = root;
+  int d1 = block(center, f10, f2);
+  int d2 = block(d1, f12, f11);
+  int leaf1 = block(d2, kNone, f13);
+  int fb = block(center, f8, f3);
+  int leaf2 = block(fb, kNone, f9);
+  t.root = root;
+  t.center = center;
+  t.leaf1 = leaf1;
+  t.leaf2 = leaf2;
+  t.d = f2;
+  t.e = f1;
+  t.f = f3;
+  return t;
+}
+
+TEST(GOfE, Case1KeyDInsideKeyE) {
+  auto q2 = ParseQuery(kQ2);
+  Tripath t = Figure1cTripath(q2);
+  // key(d) = {a} ⊆ key(e) = {a, b}; key(f) = {b, a} ⊆ key(e) and
+  // key(d) ⊆ key(f): case 3 of the definition gives g(e) = key(d) = {a}.
+  auto g = ComputeGOfE(t.db, t.d, t.e, t.f);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(t.db.elements().Name(g[0]), "a");
+}
+
+TEST(GOfE, DefaultCaseIsKeyE) {
+  auto q6 = ParseQuery(kQ6);
+  Database db(q6.schema());
+  FactId d = db.AddFactStr(0, "p a b");
+  FactId e = db.AddFactStr(0, "q c d");
+  FactId f = db.AddFactStr(0, "r e f");
+  auto g = ComputeGOfE(db, d, e, f);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(db.elements().Name(g[0]), "q");
+}
+
+TEST(Validator, Figure1cIsValidNiceFork) {
+  auto q2 = ParseQuery(kQ2);
+  Tripath t = Figure1cTripath(q2);
+  TripathValidation v = ValidateTripath(q2, t);
+  EXPECT_TRUE(v.valid) << v.error;
+  EXPECT_FALSE(v.triangle);
+  EXPECT_TRUE(v.variable_nice);
+  EXPECT_TRUE(v.solution_nice);
+  EXPECT_TRUE(v.nice);
+  // x = y = z = a in the paper's example.
+  EXPECT_EQ(t.db.elements().Name(v.x), "a");
+  EXPECT_EQ(t.db.elements().Name(v.y), "a");
+  EXPECT_EQ(t.db.elements().Name(v.z), "a");
+}
+
+TEST(Validator, RejectsMissingEdgeSolution) {
+  auto q2 = ParseQuery(kQ2);
+  Tripath t = Figure1cTripath(q2);
+  Tripath broken = t;
+  // Replace u0 = R(h c | h a) with R(h c | qq qq): key-equal, no solution.
+  Database db2(q2.schema());
+  for (FactId fid = 0; fid < t.db.NumFacts(); ++fid) {
+    const Fact& fact = t.db.fact(fid);
+    std::vector<ElementId> args;
+    for (ElementId el : fact.args) {
+      args.push_back(db2.elements().Intern(t.db.elements().Name(el)));
+    }
+    if (fid == t.blocks[t.root].a) {
+      args[2] = db2.elements().Intern("qq");
+      args[3] = db2.elements().Intern("qq");
+    }
+    db2.AddFact(fact.relation, std::move(args));
+  }
+  broken.db = std::move(db2);
+  TripathValidation v = ValidateTripath(q2, broken);
+  EXPECT_FALSE(v.valid);
+  EXPECT_FALSE(v.error.empty());
+}
+
+TEST(Validator, RejectsBadTreeShape) {
+  auto q2 = ParseQuery(kQ2);
+  Tripath t = Figure1cTripath(q2);
+  Tripath broken = t;
+  broken.blocks[broken.leaf1].parent = broken.root;  // Root gets a child.
+  TripathValidation v = ValidateTripath(q2, broken);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Validator, RejectsWrongCenterFacts) {
+  auto q2 = ParseQuery(kQ2);
+  Tripath t = Figure1cTripath(q2);
+  Tripath broken = t;
+  std::swap(broken.d, broken.f);  // q(d e) / q(e f) no longer directed.
+  TripathValidation v = ValidateTripath(q2, broken);
+  EXPECT_FALSE(v.valid);
+}
+
+// --- Searcher on the paper's catalog ---------------------------------------
+
+TEST(Search, Q2AdmitsForkTripath) {
+  auto q2 = ParseQuery(kQ2);
+  TripathSearchResult r = SearchTripaths(q2);
+  ASSERT_TRUE(r.HasFork());
+  // The searcher's witness must independently validate.
+  TripathValidation v = ValidateTripath(q2, r.fork->tripath);
+  EXPECT_TRUE(v.valid) << v.error;
+  EXPECT_FALSE(v.triangle);
+}
+
+TEST(Search, Q2AdmitsNiceForkTripath) {
+  auto q2 = ParseQuery(kQ2);
+  auto nice = FindNiceForkTripath(q2);
+  ASSERT_TRUE(nice.has_value());
+  EXPECT_TRUE(nice->validation.nice);
+  TripathValidation v = ValidateTripath(q2, nice->tripath);
+  EXPECT_TRUE(v.valid) << v.error;
+  EXPECT_TRUE(v.nice);
+  EXPECT_FALSE(v.triangle);
+}
+
+TEST(Search, Q5AdmitsNoTripath) {
+  auto q5 = ParseQuery(kQ5);
+  TripathSearchResult r = SearchTripaths(q5);
+  EXPECT_FALSE(r.HasFork());
+  EXPECT_FALSE(r.HasTriangle());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Search, Q6AdmitsTriangleButNoFork) {
+  auto q6 = ParseQuery(kQ6);
+  TripathSearchResult r = SearchTripaths(q6);
+  ASSERT_TRUE(r.HasTriangle());
+  EXPECT_FALSE(r.HasFork());
+  EXPECT_TRUE(r.exhausted);
+  TripathValidation v = ValidateTripath(q6, r.triangle->tripath);
+  EXPECT_TRUE(v.valid) << v.error;
+  EXPECT_TRUE(v.triangle);
+}
+
+TEST(Search, TriangleCenterFormsTriangleSolution) {
+  auto q6 = ParseQuery(kQ6);
+  TripathSearchResult r = SearchTripaths(q6);
+  ASSERT_TRUE(r.HasTriangle());
+  const Tripath& t = r.triangle->tripath;
+  RelationBinding binding(q6, t.db);
+  EXPECT_TRUE(IsSolution(q6, binding, t.db, t.d, t.e));
+  EXPECT_TRUE(IsSolution(q6, binding, t.db, t.e, t.f));
+  EXPECT_TRUE(IsSolution(q6, binding, t.db, t.f, t.d));
+}
+
+TEST(Search, ForkWitnessSatisfiesGCondition) {
+  auto q2 = ParseQuery(kQ2);
+  TripathSearchResult r = SearchTripaths(q2);
+  ASSERT_TRUE(r.HasFork());
+  const Tripath& t = r.fork->tripath;
+  auto g = ComputeGOfE(t.db, t.d, t.e, t.f);
+  for (FactId u : {t.u0(), t.u1(), t.u2()}) {
+    auto key = KeyElementSet(t.db, u);
+    bool subset = std::includes(key.begin(), key.end(), g.begin(), g.end());
+    EXPECT_FALSE(subset);
+  }
+}
+
+TEST(Search, CandidateCountIsReported) {
+  auto q5 = ParseQuery(kQ5);
+  TripathSearchResult r = SearchTripaths(q5);
+  // q5's center is degenerate under every partition, so zero candidates
+  // reach the validator.
+  EXPECT_EQ(r.candidates, 0u);
+}
+
+TEST(Search, RespectsCandidateBudget) {
+  auto q2 = ParseQuery(kQ2);
+  TripathSearchLimits limits;
+  limits.max_candidates = 1;
+  TripathSearchGoals goals;
+  goals.fork = true;
+  goals.triangle = true;
+  goals.nice_fork = true;  // Unreachable in 1 candidate.
+  TripathSearchResult r = SearchTripaths(q2, limits, goals);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.candidates, 1u);
+}
+
+}  // namespace
+}  // namespace cqa
