@@ -1,0 +1,108 @@
+// EXP-E1: batch throughput. Queries/sec of BatchSolver across 1-8 worker
+// threads vs a plain serial loop over CertainSolver::Solve, on the q3
+// (Cert_2), q5 (Cert_k) and q6 (Cert_k OR NOT matching) workloads. The
+// prepared query (classification + backend) is shared; each job builds its
+// own PreparedDatabase, exactly as in the serial loop, so the comparison
+// isolates the scheduling win.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "engine/batch.h"
+#include "engine/solver.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+constexpr std::uint32_t kBatchSize = 64;
+
+std::vector<Database> MakeWorkload(const ConjunctiveQuery& q,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Database> dbs;
+  dbs.reserve(kBatchSize);
+  for (std::uint32_t i = 0; i < kBatchSize; ++i) {
+    InstanceParams params;
+    params.num_facts = 48;
+    params.domain_size = 6;
+    dbs.push_back(RandomInstance(q, params, &rng));
+  }
+  return dbs;
+}
+
+void RunSerial(benchmark::State& state, const char* query_text,
+               std::uint64_t seed) {
+  auto q = ParseQuery(query_text);
+  CertainSolver solver(q);
+  std::vector<Database> dbs = MakeWorkload(q, seed);
+  std::uint64_t answered = 0;
+  for (auto _ : state) {
+    for (const Database& db : dbs) {
+      SolverAnswer answer = solver.Solve(db);
+      benchmark::DoNotOptimize(answer);
+      ++answered;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(answered));
+}
+
+void RunBatch(benchmark::State& state, const char* query_text,
+              std::uint64_t seed) {
+  auto q = ParseQuery(query_text);
+  CertainSolver solver(q);
+  std::vector<Database> dbs = MakeWorkload(q, seed);
+  BatchOptions options;
+  options.num_threads = static_cast<std::uint32_t>(state.range(0));
+  BatchSolver batch(solver, options);
+  std::uint64_t answered = 0;
+  double qps = 0.0;
+  for (auto _ : state) {
+    BatchStats stats;
+    std::vector<SolverAnswer> answers = batch.SolveAll(dbs, &stats);
+    benchmark::DoNotOptimize(answers);
+    answered += stats.queries;
+    qps = stats.queries_per_sec;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(answered));
+  state.counters["qps"] = qps;
+}
+
+void BM_Serial_Q3(benchmark::State& state) {
+  RunSerial(state, "R(x | y) R(y | z)", 42);
+}
+BENCHMARK(BM_Serial_Q3);
+
+void BM_Batch_Q3(benchmark::State& state) {
+  RunBatch(state, "R(x | y) R(y | z)", 42);
+}
+BENCHMARK(BM_Batch_Q3)->DenseRange(1, 8);
+
+void BM_Serial_Q5(benchmark::State& state) {
+  RunSerial(state, "R(x | y, x) R(y | x, u)", 43);
+}
+BENCHMARK(BM_Serial_Q5);
+
+void BM_Batch_Q5(benchmark::State& state) {
+  RunBatch(state, "R(x | y, x) R(y | x, u)", 43);
+}
+BENCHMARK(BM_Batch_Q5)->DenseRange(1, 8);
+
+void BM_Serial_Q6(benchmark::State& state) {
+  RunSerial(state, "R(x | y, z) R(z | x, y)", 44);
+}
+BENCHMARK(BM_Serial_Q6);
+
+void BM_Batch_Q6(benchmark::State& state) {
+  RunBatch(state, "R(x | y, z) R(z | x, y)", 44);
+}
+BENCHMARK(BM_Batch_Q6)->DenseRange(1, 8);
+
+}  // namespace
+}  // namespace cqa
+
+BENCHMARK_MAIN();

@@ -68,10 +68,10 @@ class Antichain {
 };
 
 /// Per-block conflict check: a k-set may contain at most one fact per block.
-bool ExtendableToRepair(const Database& db, const FactSet& s) {
+bool ExtendableToRepair(const PreparedDatabase& pdb, const FactSet& s) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     for (std::size_t j = i + 1; j < s.size(); ++j) {
-      if (db.BlockOf(s[i]) == db.BlockOf(s[j])) return false;
+      if (pdb.BlockOf(s[i]) == pdb.BlockOf(s[j])) return false;
     }
   }
   return true;
@@ -85,10 +85,10 @@ bool ExtendableToRepair(const Database& db, const FactSet& s) {
 /// everything.
 class BlockDeriver {
  public:
-  BlockDeriver(const Database& db, std::uint32_t k,
+  BlockDeriver(const PreparedDatabase& pdb, std::uint32_t k,
                const std::vector<std::vector<FactSet>>& pieces,
                Antichain* antichain, bool* changed)
-      : db_(&db),
+      : pdb_(&pdb),
         k_(k),
         pieces_(&pieces),
         antichain_(antichain),
@@ -102,7 +102,7 @@ class BlockDeriver {
     if (acc.size() > k_) return;
     if (antichain_->Implies(acc)) return;  // Already derivable; extensions
                                            // of acc are redundant.
-    if (!ExtendableToRepair(*db_, acc)) return;
+    if (!ExtendableToRepair(*pdb_, acc)) return;
     if (fact_index == pieces_->size()) {
       if (antichain_->Insert(acc)) *changed_ = true;
       return;
@@ -112,7 +112,7 @@ class BlockDeriver {
     }
   }
 
-  const Database* db_;
+  const PreparedDatabase* pdb_;
   std::uint32_t k_;
   const std::vector<std::vector<FactSet>>* pieces_;
   Antichain* antichain_;
@@ -121,8 +121,8 @@ class BlockDeriver {
 
 }  // namespace
 
-bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
-           CertKStats* stats) {
+bool CertK(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+           const SolutionSet& solutions, std::uint32_t k, CertKStats* stats) {
   CQA_CHECK(q.NumAtoms() == 2);
   CQA_CHECK(k >= 1);
 
@@ -131,17 +131,16 @@ bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
   // (init): minimal supports of solutions. A solution (a, b) needs both
   // facts in the same repair, so pairs within one block (a != b) are
   // discarded.
-  SolutionSet solutions = ComputeSolutions(q, db);
   for (const auto& [a, b] : solutions.pairs) {
     if (a == b) {
       antichain.Insert(FactSet{a});
-    } else if (db.BlockOf(a) != db.BlockOf(b)) {
+    } else if (pdb.BlockOf(a) != pdb.BlockOf(b)) {
       FactSet s = a < b ? FactSet{a, b} : FactSet{b, a};
       if (s.size() <= k) antichain.Insert(s);
     }
   }
 
-  const auto& blocks = db.blocks();
+  const auto& blocks = pdb.blocks();
   bool changed = true;
   std::uint64_t rounds = 0;
   while (changed && !antichain.ContainsEmpty()) {
@@ -188,7 +187,7 @@ bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
       }
       if (!feasible) continue;
 
-      BlockDeriver(db, k, pieces, &antichain, &changed).Run();
+      BlockDeriver(pdb, k, pieces, &antichain, &changed).Run();
       if (antichain.ContainsEmpty()) break;
     }
   }
@@ -198,6 +197,16 @@ bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
     stats->rounds = rounds;
   }
   return antichain.ContainsEmpty();
+}
+
+bool CertK(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+           std::uint32_t k, CertKStats* stats) {
+  return CertK(q, pdb, ComputeSolutions(q, pdb), k, stats);
+}
+
+bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
+           CertKStats* stats) {
+  return CertK(q, PreparedDatabase(db), k, stats);
 }
 
 }  // namespace cqa

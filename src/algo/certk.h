@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "data/database.h"
+#include "data/prepared.h"
+#include "query/eval.h"
 #include "query/query.h"
 
 namespace cqa {
@@ -43,8 +45,18 @@ struct CertKStats {
   std::uint64_t rounds = 0;        ///< Fixpoint iterations.
 };
 
-/// Runs Cert_k(q) on db. Sound: a true answer implies D |= certain(q).
-/// Two-atom queries only.
+/// Runs Cert_k(q) on a prepared database. Sound: a true answer implies
+/// D |= certain(q). Two-atom queries only.
+bool CertK(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+           std::uint32_t k, CertKStats* stats = nullptr);
+
+/// As above with a precomputed solution set (callers that also run the
+/// matching algorithm share one ComputeSolutions pass this way).
+bool CertK(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+           const SolutionSet& solutions, std::uint32_t k,
+           CertKStats* stats = nullptr);
+
+/// Convenience overload preparing the database on the fly.
 bool CertK(const ConjunctiveQuery& q, const Database& db, std::uint32_t k,
            CertKStats* stats = nullptr);
 

@@ -1,5 +1,7 @@
 #include "algo/combined.h"
 
+#include <utility>
+
 namespace cqa {
 
 std::uint64_t TheoreticalCertKBound(std::uint32_t key_len) {
@@ -13,18 +15,27 @@ std::uint64_t TheoreticalCertKBound(std::uint32_t key_len) {
   return power + kappa - 1;
 }
 
-bool CombinedCertain(const ConjunctiveQuery& q, const Database& db,
+bool CombinedCertain(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
                      std::uint32_t k, CombinedDecision* decision) {
-  if (CertK(q, db, k)) {
+  // One ComputeSolutions pass feeds both components; the graph's edge list
+  // and connected components are only materialized if Cert_k says no.
+  SolutionSet solutions = ComputeSolutions(q, pdb);
+  if (CertK(q, pdb, solutions, k)) {
     if (decision != nullptr) *decision = CombinedDecision::kCertK;
     return true;
   }
-  if (NotMatchingCertain(q, db)) {
+  SolutionGraph sg = BuildSolutionGraph(std::move(solutions), pdb.NumFacts());
+  if (NotMatchingCertain(pdb, sg)) {
     if (decision != nullptr) *decision = CombinedDecision::kNotMatching;
     return true;
   }
   if (decision != nullptr) *decision = CombinedDecision::kNotCertain;
   return false;
+}
+
+bool CombinedCertain(const ConjunctiveQuery& q, const Database& db,
+                     std::uint32_t k, CombinedDecision* decision) {
+  return CombinedCertain(q, PreparedDatabase(db), k, decision);
 }
 
 }  // namespace cqa

@@ -35,6 +35,11 @@ std::uint64_t TheoreticalCertKBound(std::uint32_t key_len);
 /// Runs Cert_k(q) OR ¬matching(q). Exact for 2way-determined queries with
 /// no fork-tripath when k is at least the theoretical bound; sound (only
 /// "certain" answers can be trusted) for every two-atom query and any k.
+/// The solution graph is computed once and shared by both components.
+bool CombinedCertain(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+                     std::uint32_t k, CombinedDecision* decision = nullptr);
+
+/// Convenience overload preparing the database on the fly.
 bool CombinedCertain(const ConjunctiveQuery& q, const Database& db,
                      std::uint32_t k, CombinedDecision* decision = nullptr);
 

@@ -19,15 +19,15 @@ namespace {
 /// pruning it buys).
 class FalsifierSearch {
  public:
-  FalsifierSearch(const Database& db, const SolutionGraph& sg)
-      : db_(&db), sg_(&sg) {
-    std::size_t n = db.NumFacts();
+  FalsifierSearch(const PreparedDatabase& pdb, const SolutionGraph& sg)
+      : db_(&pdb), sg_(&sg) {
+    std::size_t n = pdb.NumFacts();
     banned_count_.assign(n, 0);
     // Facts with a self-solution can never be part of a falsifying repair.
     for (FactId f = 0; f < n; ++f) {
       if (sg.solutions.self[f]) banned_count_[f] = 1;
     }
-    assigned_.assign(db.blocks().size(), false);
+    assigned_.assign(pdb.blocks().size(), false);
   }
 
   bool FindFalsifier(std::uint64_t* nodes) {
@@ -80,7 +80,7 @@ class FalsifierSearch {
     return false;
   }
 
-  const Database* db_;
+  const PreparedDatabase* db_;
   const SolutionGraph* sg_;
   std::vector<std::uint32_t> banned_count_;
   std::vector<bool> assigned_;
@@ -88,15 +88,24 @@ class FalsifierSearch {
 
 }  // namespace
 
-bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
+bool ExhaustiveCertain(const PreparedDatabase& pdb, const SolutionGraph& sg,
                        ExhaustiveStats* stats) {
-  CQA_CHECK(q.NumAtoms() == 2);
-  SolutionGraph sg = BuildSolutionGraph(q, db);
-  FalsifierSearch search(db, sg);
+  FalsifierSearch search(pdb, sg);
   std::uint64_t nodes = 0;
   bool falsifier_exists = search.FindFalsifier(&nodes);
   if (stats != nullptr) stats->nodes_explored = nodes;
   return !falsifier_exists;
+}
+
+bool ExhaustiveCertain(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+                       ExhaustiveStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  return ExhaustiveCertain(pdb, BuildSolutionGraph(q, pdb), stats);
+}
+
+bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
+                       ExhaustiveStats* stats) {
+  return ExhaustiveCertain(q, PreparedDatabase(db), stats);
 }
 
 bool CertainByEnumeration(const ConjunctiveQuery& q, const Database& db,

@@ -18,7 +18,9 @@
 #include <cstdint>
 
 #include "data/database.h"
+#include "data/prepared.h"
 #include "query/query.h"
+#include "query/solution_graph.h"
 
 namespace cqa {
 
@@ -27,7 +29,16 @@ struct ExhaustiveStats {
   std::uint64_t nodes_explored = 0;  ///< Backtracking nodes visited.
 };
 
-/// Exact: true iff q holds in every repair of db. Two-atom queries only.
+/// Exact: true iff q holds in every repair of the prepared database.
+/// Two-atom queries only.
+bool ExhaustiveCertain(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+                       ExhaustiveStats* stats = nullptr);
+
+/// As above with a prebuilt solution graph.
+bool ExhaustiveCertain(const PreparedDatabase& pdb, const SolutionGraph& sg,
+                       ExhaustiveStats* stats = nullptr);
+
+/// Convenience overload preparing the database on the fly.
 bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
                        ExhaustiveStats* stats = nullptr);
 

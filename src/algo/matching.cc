@@ -8,10 +8,9 @@
 
 namespace cqa {
 
-bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
+bool MatchingAlgorithm(const PreparedDatabase& pdb, const SolutionGraph& sg,
                        MatchingStats* stats) {
-  CQA_CHECK(q.NumAtoms() == 2);
-  SolutionGraph sg = BuildSolutionGraph(q, db);
+  const Database& db = pdb.db();
 
   // Identify which components are quasi-cliques.
   auto groups = sg.components.Groups();
@@ -44,7 +43,7 @@ bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
   // H(D, q): blocks on the left, cliques on the right; edge iff the block
   // has a fact of the clique with no self-solution. Duplicate edges are
   // harmless for Hopcroft–Karp but we dedupe per block for efficiency.
-  const auto& blocks = db.blocks();
+  const auto& blocks = pdb.blocks();
   BipartiteGraph h(blocks.size(), num_v2);
   for (BlockId b = 0; b < blocks.size(); ++b) {
     std::vector<std::uint32_t> targets;
@@ -65,6 +64,17 @@ bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
     stats->clique_database = all_quasi;
   }
   return result.SaturatesLeft();
+}
+
+bool MatchingAlgorithm(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+                       MatchingStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  return MatchingAlgorithm(pdb, BuildSolutionGraph(q, pdb), stats);
+}
+
+bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
+                       MatchingStats* stats) {
+  return MatchingAlgorithm(q, PreparedDatabase(db), stats);
 }
 
 }  // namespace cqa

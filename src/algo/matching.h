@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "data/database.h"
+#include "data/prepared.h"
 #include "query/query.h"
 #include "query/solution_graph.h"
 
@@ -31,7 +32,16 @@ struct MatchingStats {
   bool clique_database = false;        ///< Every component a quasi-clique.
 };
 
-/// Runs matching(q): true iff H(D, q) has a matching saturating the blocks.
+/// Runs matching(q) on a prebuilt solution graph: true iff H(D, q) has a
+/// matching saturating the blocks.
+bool MatchingAlgorithm(const PreparedDatabase& pdb, const SolutionGraph& sg,
+                       MatchingStats* stats = nullptr);
+
+/// As above, building the solution graph internally.
+bool MatchingAlgorithm(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
+                       MatchingStats* stats = nullptr);
+
+/// Convenience overload preparing the database on the fly.
 bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
                        MatchingStats* stats = nullptr);
 
@@ -39,6 +49,12 @@ bool MatchingAlgorithm(const ConjunctiveQuery& q, const Database& db,
 inline bool NotMatchingCertain(const ConjunctiveQuery& q, const Database& db,
                                MatchingStats* stats = nullptr) {
   return !MatchingAlgorithm(q, db, stats);
+}
+
+inline bool NotMatchingCertain(const PreparedDatabase& pdb,
+                               const SolutionGraph& sg,
+                               MatchingStats* stats = nullptr) {
+  return !MatchingAlgorithm(pdb, sg, stats);
 }
 
 }  // namespace cqa

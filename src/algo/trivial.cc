@@ -1,0 +1,62 @@
+#include "algo/trivial.h"
+
+#include "base/check.h"
+#include "query/eval.h"
+
+namespace cqa {
+
+bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
+                    const PreparedDatabase& pdb) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  CQA_CHECK(reason != TrivialReason::kNotTrivial);
+  const Database& db = pdb.db();
+  RelationBinding binding(q, db);
+
+  if (reason == TrivialReason::kEqualKeys) {
+    // Over consistent databases both atoms must be matched by the same
+    // fact, so a repair satisfies q iff it contains a fact a with q(a a).
+    // A falsifying repair avoids such facts; it exists iff every block has
+    // a fact without a self-solution.
+    for (const Block& block : pdb.blocks()) {
+      bool all_self = true;
+      for (FactId f : block.facts) {
+        if (!IsSolution(q, binding, db, f, f)) {
+          all_self = false;
+          break;
+        }
+      }
+      if (all_self) return true;
+    }
+    return false;
+  }
+
+  // Homomorphism case: q is equivalent to one of its atoms; find which.
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (!FindHomomorphism(q, AtomSubquery(q, i)).has_value()) continue;
+    const QueryAtom& atom = q.atoms()[i];
+    RelationId rel = binding.Resolve(atom.relation);
+    // Certain iff some block of the atom's relation consists entirely of
+    // facts matching its repeated-variable pattern; only those blocks are
+    // visited, via the prepared per-relation block index.
+    for (BlockId b : pdb.BlocksOf(rel)) {
+      const Block& block = pdb.blocks()[b];
+      bool all_match = true;
+      for (FactId f : block.facts) {
+        if (!MatchesPattern(atom, db.fact(f))) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) return true;
+    }
+    return false;
+  }
+  CQA_CHECK_MSG(false, "trivial reason does not match the query");
+}
+
+bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
+                    const Database& db) {
+  return TrivialCertain(q, reason, PreparedDatabase(db));
+}
+
+}  // namespace cqa

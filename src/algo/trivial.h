@@ -1,0 +1,28 @@
+// Exact certain answering for trivial (one-atom-equivalent) queries.
+//
+// certain(q) holds iff some block's facts all satisfy the one-atom residue
+// of q: for equal-key queries that residue is the self-solution pattern
+// q(a a); for homomorphism-trivial queries it is the repeated-variable
+// pattern of the equivalent atom. Linear in the database either way.
+
+#ifndef CQA_ALGO_TRIVIAL_H_
+#define CQA_ALGO_TRIVIAL_H_
+
+#include "data/database.h"
+#include "data/prepared.h"
+#include "query/hom.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// `reason` must be ClassifyTrivial(q) and must not be kNotTrivial.
+bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
+                    const PreparedDatabase& pdb);
+
+/// Convenience overload preparing the database on the fly.
+bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
+                    const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_TRIVIAL_H_

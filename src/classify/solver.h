@@ -1,77 +1,12 @@
-// Top-level certain-answer solver: classifies the query once, then
-// dispatches each database to the algorithm the dichotomy prescribes.
-//
-//   trivial            -> per-block pattern scan (exact, linear)
-//   Theorem 6.1 class  -> Cert_2 (exact)
-//   no-tripath class   -> Cert_k (exact for k at the Proposition 8.2 bound;
-//                         the configured practical k is used, which is
-//                         exact on all workloads we generate and always
-//                         sound)
-//   triangle-only      -> Cert_k OR NOT matching (Theorem 10.5)
-//   coNP-hard classes  -> exhaustive falsifier search (exact, exponential)
-//   sjf classes        -> Cert_2 for PTime/FO, exhaustive for coNP.
+// Compatibility header: the certain-answer dispatcher grew into the engine
+// layer. CertainSolver / SolverOptions / SolverAnswer now live in
+// engine/solver.h (dispatch over the backend registry) and TrivialCertain
+// in algo/trivial.h; both are re-exported here for existing includes.
 
 #ifndef CQA_CLASSIFY_SOLVER_H_
 #define CQA_CLASSIFY_SOLVER_H_
 
-#include <cstdint>
-#include <string>
-
-#include "classify/classifier.h"
-#include "data/database.h"
-#include "query/query.h"
-
-namespace cqa {
-
-/// Which algorithm actually answered.
-enum class SolverAlgorithm {
-  kTrivialScan,
-  kCert2,
-  kCertK,
-  kCertKOrMatching,
-  kExhaustive,
-};
-
-/// Options for the solver.
-struct SolverOptions {
-  /// Practical k for Cert_k in the no-tripath class. The theoretical bound
-  /// of Proposition 8.2 (already 8 for key length 1) is exact but usually
-  /// overkill; Cert_k is sound for every k.
-  std::uint32_t practical_k = 4;
-  TripathSearchLimits tripath_limits;
-};
-
-/// Answer with provenance.
-struct SolverAnswer {
-  bool certain = false;
-  SolverAlgorithm algorithm = SolverAlgorithm::kExhaustive;
-};
-
-/// Classify-once, solve-many certain-answer engine for two-atom queries.
-class CertainSolver {
- public:
-  explicit CertainSolver(ConjunctiveQuery query, SolverOptions options = {});
-
-  /// Decides whether `query()` is certain for db.
-  SolverAnswer Solve(const Database& db) const;
-
-  const Classification& classification() const { return classification_; }
-  const ConjunctiveQuery& query() const { return query_; }
-
- private:
-  ConjunctiveQuery query_;
-  SolverOptions options_;
-  Classification classification_;
-};
-
-/// Exact certain answering for trivial (one-atom-equivalent) queries:
-/// certain(q) holds iff some block's facts all satisfy the one-atom
-/// residue of q. Exposed for tests.
-bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
-                    const Database& db);
-
-std::string ToString(SolverAlgorithm a);
-
-}  // namespace cqa
+#include "algo/trivial.h"
+#include "engine/solver.h"
 
 #endif  // CQA_CLASSIFY_SOLVER_H_

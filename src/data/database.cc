@@ -46,40 +46,48 @@ FactId Database::AddFactStr(RelationId relation,
 }
 
 std::vector<ElementId> Database::KeyOf(FactId id) const {
-  const Fact& f = facts_[id];
-  std::uint32_t l = schema_.Relation(f.relation).key_len;
-  return std::vector<ElementId>(f.args.begin(), f.args.begin() + l);
+  KeyView k = KeyViewOf(id);
+  return std::vector<ElementId>(k.begin(), k.end());
 }
 
 bool Database::KeyEqual(FactId a, FactId b) const {
-  const Fact& fa = facts_[a];
-  const Fact& fb = facts_[b];
-  if (fa.relation != fb.relation) return false;
-  std::uint32_t l = schema_.Relation(fa.relation).key_len;
-  for (std::uint32_t i = 0; i < l; ++i) {
-    if (fa.args[i] != fb.args[i]) return false;
-  }
-  return true;
+  if (facts_[a].relation != facts_[b].relation) return false;
+  return KeyViewOf(a) == KeyViewOf(b);
 }
+
+namespace {
+
+/// Hash/equality over facts' (relation, key prefix), reading the key
+/// in place via KeyViewOf — block building allocates no per-fact vectors.
+struct FactKeyHash {
+  const Database* db;
+  std::size_t operator()(FactId id) const {
+    return HashRelationKey(db->fact(id).relation, db->KeyViewOf(id));
+  }
+};
+
+struct FactKeyEqual {
+  const Database* db;
+  bool operator()(FactId a, FactId b) const { return db->KeyEqual(a, b); }
+};
+
+}  // namespace
 
 void Database::EnsureBlocks() const {
   if (!blocks_dirty_) return;
   blocks_.clear();
   block_of_.assign(facts_.size(), 0);
-  // Key of the map: relation id prepended to the key tuple.
-  std::unordered_map<std::vector<ElementId>, BlockId, VectorHash> index;
+  // Maps a representative fact of each block to the block id; keys are
+  // compared through their in-place views.
+  std::unordered_map<FactId, BlockId, FactKeyHash, FactKeyEqual> index(
+      facts_.size() * 2 + 1, FactKeyHash{this}, FactKeyEqual{this});
   for (FactId id = 0; id < facts_.size(); ++id) {
-    const Fact& f = facts_[id];
-    std::uint32_t l = schema_.Relation(f.relation).key_len;
-    std::vector<ElementId> key;
-    key.reserve(l + 1);
-    key.push_back(f.relation);
-    key.insert(key.end(), f.args.begin(), f.args.begin() + l);
-    auto [it, inserted] = index.emplace(key, static_cast<BlockId>(blocks_.size()));
+    auto [it, inserted] = index.emplace(id, static_cast<BlockId>(blocks_.size()));
     if (inserted) {
+      KeyView k = KeyViewOf(id);
       Block b;
-      b.relation = f.relation;
-      b.key.assign(key.begin() + 1, key.end());
+      b.relation = facts_[id].relation;
+      b.key.assign(k.begin(), k.end());
       blocks_.push_back(std::move(b));
     }
     blocks_[it->second].facts.push_back(id);

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/hash.h"
 #include "base/interner.h"
 #include "data/fact.h"
 #include "data/schema.h"
@@ -27,6 +28,35 @@ struct Block {
   std::vector<ElementId> key;   ///< Key tuple shared by all facts.
   std::vector<FactId> facts;    ///< Members, in insertion order.
 };
+
+/// Non-owning view of a fact's key prefix (C++17 stand-in for std::span).
+/// Valid while the owning Database exists and no facts are added.
+struct KeyView {
+  const ElementId* data = nullptr;
+  std::uint32_t len = 0;
+
+  const ElementId* begin() const { return data; }
+  const ElementId* end() const { return data + len; }
+  std::uint32_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  ElementId operator[](std::uint32_t i) const { return data[i]; }
+
+  bool operator==(const KeyView& o) const {
+    if (len != o.len) return false;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      if (data[i] != o.data[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const KeyView& o) const { return !(*this == o); }
+};
+
+/// The one hash recipe for a (relation, key tuple) pair, shared by the
+/// block partition and PreparedDatabase's key index so the two can never
+/// drift apart.
+inline std::size_t HashRelationKey(RelationId relation, KeyView key) {
+  return HashCombine(HashRange(key.begin(), key.end()), relation);
+}
 
 /// A finite set of facts with set semantics (duplicate inserts are no-ops).
 class Database {
@@ -52,8 +82,16 @@ class Database {
   Interner& elements() { return elements_; }
   const Interner& elements() const { return elements_; }
 
-  /// Key tuple of a fact (first key_len args).
+  /// Key tuple of a fact (first key_len args), as an owned vector.
+  /// Allocates; hot paths should prefer KeyViewOf.
   std::vector<ElementId> KeyOf(FactId id) const;
+
+  /// Key prefix of a fact as a view into its args; no allocation. The view
+  /// is invalidated by AddFact (facts_ may reallocate).
+  KeyView KeyViewOf(FactId id) const {
+    const Fact& f = facts_[id];
+    return KeyView{f.args.data(), schema_.Relation(f.relation).key_len};
+  }
 
   /// True if the two facts are key-equal (same relation, same key tuple).
   bool KeyEqual(FactId a, FactId b) const;

@@ -1,0 +1,48 @@
+#include "data/prepared.h"
+
+namespace cqa {
+
+PreparedDatabase::PreparedDatabase(const Database& db) : db_(&db) {
+  const std::vector<Block>& blocks = db.blocks();  // Forces the partition.
+
+  block_of_.resize(db.NumFacts());
+  facts_by_relation_.resize(db.schema().NumRelations());
+  blocks_by_relation_.resize(db.schema().NumRelations());
+  for (FactId id = 0; id < db.NumFacts(); ++id) {
+    block_of_[id] = db.BlockOf(id);
+    facts_by_relation_[db.fact(id).relation].push_back(id);
+  }
+
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    blocks_by_relation_[blocks[b].relation].push_back(b);
+  }
+}
+
+void PreparedDatabase::EnsureKeyIndex() const {
+  std::call_once(key_index_once_, [this] {
+    const std::vector<Block>& blocks = db_->blocks();
+    key_index_.reserve(blocks.size() * 2 + 1);
+    for (BlockId b = 0; b < blocks.size(); ++b) {
+      KeyView key{blocks[b].key.data(),
+                  static_cast<std::uint32_t>(blocks[b].key.size())};
+      key_index_[HashRelationKey(blocks[b].relation, key)].push_back(b);
+    }
+  });
+}
+
+BlockId PreparedDatabase::FindBlock(RelationId relation, KeyView key) const {
+  EnsureKeyIndex();
+  auto it = key_index_.find(HashRelationKey(relation, key));
+  if (it == key_index_.end()) return kNoBlock;
+  const std::vector<Block>& blocks = db_->blocks();
+  for (BlockId b : it->second) {
+    const Block& block = blocks[b];
+    if (block.relation != relation) continue;
+    KeyView stored{block.key.data(),
+                   static_cast<std::uint32_t>(block.key.size())};
+    if (stored == key) return b;
+  }
+  return kNoBlock;
+}
+
+}  // namespace cqa

@@ -1,0 +1,82 @@
+// PreparedDatabase: eagerly-built, immutable per-database indexes.
+//
+// Every certain-answer backend needs the same access paths — the block
+// partition, the facts of a given relation, and key-based block lookup.
+// Before the engine layer each algorithm rebuilt those ad hoc on every call
+// (ComputeSolutions scanned all facts per atom, Cert_k re-forced the lazy
+// block index, the matching code rebuilt the block list). PreparedDatabase
+// builds them once, up front, and is then safe to share across backend
+// calls and to read concurrently from multiple threads (it never mutates
+// after construction, and construction forces the Database's own lazy
+// block index so later const reads are race-free).
+//
+// Precondition for all accessors: the underlying Database must not gain
+// facts after preparation (views and indexes would go stale).
+
+#ifndef CQA_DATA_PREPARED_H_
+#define CQA_DATA_PREPARED_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "data/database.h"
+
+namespace cqa {
+
+class PreparedDatabase {
+ public:
+  explicit PreparedDatabase(const Database& db);
+
+  const Database& db() const { return *db_; }
+  const Schema& schema() const { return db_->schema(); }
+  std::size_t NumFacts() const { return db_->NumFacts(); }
+  const Fact& fact(FactId id) const { return db_->fact(id); }
+
+  /// The block partition (forced at construction).
+  const std::vector<Block>& blocks() const { return db_->blocks(); }
+
+  /// Block containing fact `id` (O(1), no lazy rebuild).
+  BlockId BlockOf(FactId id) const { return block_of_[id]; }
+
+  /// Facts of a database relation, in insertion order.
+  const std::vector<FactId>& FactsOf(RelationId relation) const {
+    return facts_by_relation_[relation];
+  }
+
+  /// Blocks whose facts belong to a database relation, in block order.
+  const std::vector<BlockId>& BlocksOf(RelationId relation) const {
+    return blocks_by_relation_[relation];
+  }
+
+  /// Looks up the block with the given relation and key tuple, or kNoBlock.
+  /// No built-in backend does key point lookups (they scan blocks), so the
+  /// underlying index is built lazily on first call; this accessor exists
+  /// for engine-level consumers (routing, sharding, ingest dedup) and is
+  /// free when unused.
+  BlockId FindBlock(RelationId relation, KeyView key) const;
+
+  static constexpr BlockId kNoBlock = 0xffffffffu;
+
+ private:
+  void EnsureKeyIndex() const;
+
+  const Database* db_;
+  std::vector<BlockId> block_of_;
+  std::vector<std::vector<FactId>> facts_by_relation_;
+  std::vector<std::vector<BlockId>> blocks_by_relation_;
+  // Key index: hash of (relation, key tuple) -> blocks with that hash.
+  // Bucketing by explicit hash (instead of a vector key) keeps FindBlock
+  // allocation-free under C++17's homogeneous-lookup maps; the rare
+  // collisions are resolved by comparing the stored blocks' keys.
+  // Built on first FindBlock; call_once keeps the concurrent-read
+  // contract.
+  mutable std::once_flag key_index_once_;
+  mutable std::unordered_map<std::size_t, std::vector<BlockId>> key_index_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_PREPARED_H_

@@ -1,0 +1,71 @@
+// Pluggable certain-answer backends.
+//
+// A backend is one algorithm for answering certain(q): it is bound to a
+// query once (Prepare) and then answers any number of prepared databases
+// (Solve). The uniform interface makes the dichotomy's algorithms
+// interchangeable and benchmarkable against each other, and lets the
+// dispatcher (engine/solver.h) and the batch engine (engine/batch.h)
+// treat them opaquely.
+//
+// Thread-safety contract: after Prepare returns, Solve must be const and
+// safe to call concurrently from multiple threads on distinct
+// PreparedDatabase instances. All built-in backends keep their per-call
+// state on the stack.
+
+#ifndef CQA_ENGINE_BACKEND_H_
+#define CQA_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "data/prepared.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Which algorithm actually answered.
+enum class SolverAlgorithm {
+  kTrivialScan,
+  kCert2,
+  kCertK,
+  kCertKOrMatching,
+  kExhaustive,
+  kSat,
+};
+
+std::string ToString(SolverAlgorithm a);
+
+/// Knobs shared by all backends.
+struct BackendOptions {
+  /// Practical k for Cert_k-based backends. The theoretical bound of
+  /// Proposition 8.2 (already 8 for key length 1) is exact but usually
+  /// overkill; Cert_k is sound for every k.
+  std::uint32_t practical_k = 4;
+};
+
+/// One certain-answer algorithm behind a uniform prepare/solve interface.
+class CertainBackend {
+ public:
+  virtual ~CertainBackend() = default;
+
+  /// Registry name, e.g. "cert2".
+  virtual std::string_view name() const = 0;
+
+  /// Provenance tag reported in SolverAnswer.
+  virtual SolverAlgorithm algorithm() const = 0;
+
+  /// Binds the backend to a query. Must be called exactly once, before any
+  /// Solve. Returns false if the backend cannot answer this query (e.g.
+  /// the trivial scan on a query that is not one-atom-equivalent).
+  virtual bool Prepare(const ConjunctiveQuery& query) = 0;
+
+  /// Decides certain(query) on a prepared database. Exactness depends on
+  /// the backend and the query's dichotomy class; every built-in backend
+  /// is at least sound (a true answer implies certainty).
+  virtual bool Solve(const PreparedDatabase& pdb) const = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ENGINE_BACKEND_H_

@@ -1,0 +1,145 @@
+// The six built-in certain-answer backends and the global registry.
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "algo/certk.h"
+#include "algo/combined.h"
+#include "algo/exhaustive.h"
+#include "algo/trivial.h"
+#include "base/check.h"
+#include "engine/registry.h"
+#include "query/hom.h"
+#include "reduction/sat_reduction.h"
+#include "sat/dpll.h"
+
+namespace cqa {
+namespace {
+
+/// Common Prepare bookkeeping: all built-in backends answer two-atom
+/// queries bound once at prepare time.
+class TwoAtomBackend : public CertainBackend {
+ public:
+  bool Prepare(const ConjunctiveQuery& query) override {
+    CQA_CHECK_MSG(!query_.has_value(), "Prepare called twice");
+    if (query.NumAtoms() != 2) return false;
+    query_.emplace(query);
+    return PrepareImpl(*query_);
+  }
+
+ protected:
+  virtual bool PrepareImpl(const ConjunctiveQuery&) { return true; }
+
+  const ConjunctiveQuery& query() const {
+    CQA_CHECK_MSG(query_.has_value(), "Solve before Prepare");
+    return *query_;
+  }
+
+ private:
+  std::optional<ConjunctiveQuery> query_;
+};
+
+class TrivialScanBackend : public TwoAtomBackend {
+ public:
+  std::string_view name() const override { return "trivial"; }
+  SolverAlgorithm algorithm() const override {
+    return SolverAlgorithm::kTrivialScan;
+  }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    return TrivialCertain(query(), reason_, pdb);
+  }
+
+ protected:
+  bool PrepareImpl(const ConjunctiveQuery& q) override {
+    reason_ = ClassifyTrivial(q);
+    return reason_ != TrivialReason::kNotTrivial;
+  }
+
+ private:
+  TrivialReason reason_ = TrivialReason::kNotTrivial;
+};
+
+class Cert2Backend : public TwoAtomBackend {
+ public:
+  std::string_view name() const override { return "cert2"; }
+  SolverAlgorithm algorithm() const override { return SolverAlgorithm::kCert2; }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    return CertK(query(), pdb, 2);
+  }
+};
+
+class CertKBackend : public TwoAtomBackend {
+ public:
+  explicit CertKBackend(std::uint32_t k) : k_(k) {}
+  std::string_view name() const override { return "certk"; }
+  SolverAlgorithm algorithm() const override { return SolverAlgorithm::kCertK; }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    return CertK(query(), pdb, k_);
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+class CertKOrMatchingBackend : public TwoAtomBackend {
+ public:
+  explicit CertKOrMatchingBackend(std::uint32_t k) : k_(k) {}
+  std::string_view name() const override { return "certk+matching"; }
+  SolverAlgorithm algorithm() const override {
+    return SolverAlgorithm::kCertKOrMatching;
+  }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    return CombinedCertain(query(), pdb, k_);
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+class ExhaustiveBackend : public TwoAtomBackend {
+ public:
+  std::string_view name() const override { return "exhaustive"; }
+  SolverAlgorithm algorithm() const override {
+    return SolverAlgorithm::kExhaustive;
+  }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    return ExhaustiveCertain(query(), pdb);
+  }
+};
+
+class SatBackend : public TwoAtomBackend {
+ public:
+  std::string_view name() const override { return "sat"; }
+  SolverAlgorithm algorithm() const override { return SolverAlgorithm::kSat; }
+  bool Solve(const PreparedDatabase& pdb) const override {
+    SolutionSet solutions = ComputeSolutions(query(), pdb);
+    CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
+    return !SolveDpll(falsifier).satisfiable;
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinBackends(BackendRegistry* registry) {
+  registry->Register("trivial", [](const BackendOptions&) {
+    return std::make_unique<TrivialScanBackend>();
+  });
+  registry->Register("cert2", [](const BackendOptions&) {
+    return std::make_unique<Cert2Backend>();
+  });
+  registry->Register("certk", [](const BackendOptions& options) {
+    return std::make_unique<CertKBackend>(options.practical_k);
+  });
+  registry->Register("certk+matching", [](const BackendOptions& options) {
+    return std::make_unique<CertKOrMatchingBackend>(options.practical_k);
+  });
+  registry->Register("exhaustive", [](const BackendOptions&) {
+    return std::make_unique<ExhaustiveBackend>();
+  });
+  registry->Register("sat", [](const BackendOptions&) {
+    return std::make_unique<SatBackend>();
+  });
+}
+
+}  // namespace cqa

@@ -1,0 +1,85 @@
+#include "engine/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "data/prepared.h"
+
+namespace cqa {
+
+BatchSolver::BatchSolver(const CertainSolver& solver, BatchOptions options)
+    : solver_(&solver), num_threads_(options.num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::thread::hardware_concurrency();
+    if (num_threads_ == 0) num_threads_ = 1;
+  }
+}
+
+std::vector<SolverAnswer> BatchSolver::SolveAll(
+    const std::vector<const Database*>& dbs, BatchStats* stats) const {
+  {
+    std::unordered_set<const Database*> seen;
+    for (const Database* db : dbs) {
+      CQA_CHECK_MSG(db != nullptr, "null database in batch");
+      CQA_CHECK_MSG(seen.insert(db).second,
+                    "duplicate database pointer in batch (each job must "
+                    "own its lazy block index)");
+    }
+  }
+
+  std::vector<SolverAnswer> answers(dbs.size());
+  auto start = std::chrono::steady_clock::now();
+
+  // Work stealing via a shared atomic cursor: threads claim the next
+  // unclaimed job until none remain. Answers are written to disjoint
+  // slots, so no further synchronization is needed.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t job = next.fetch_add(1, std::memory_order_relaxed);
+      if (job >= dbs.size()) return;
+      PreparedDatabase pdb(*dbs[job]);
+      answers[job] = solver_->Solve(pdb);
+    }
+  };
+
+  std::uint32_t spawned =
+      static_cast<std::uint32_t>(std::min<std::size_t>(num_threads_,
+                                                       dbs.size()));
+  if (spawned <= 1) {
+    worker();
+    spawned = dbs.empty() ? 0 : 1;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(spawned);
+    for (std::uint32_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (stats != nullptr) {
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start);
+    stats->threads_used = spawned;
+    stats->queries = dbs.size();
+    stats->wall_seconds = elapsed.count();
+    stats->queries_per_sec =
+        stats->wall_seconds > 0.0
+            ? static_cast<double>(dbs.size()) / stats->wall_seconds
+            : 0.0;
+  }
+  return answers;
+}
+
+std::vector<SolverAnswer> BatchSolver::SolveAll(
+    const std::vector<Database>& dbs, BatchStats* stats) const {
+  std::vector<const Database*> pointers;
+  pointers.reserve(dbs.size());
+  for (const Database& db : dbs) pointers.push_back(&db);
+  return SolveAll(pointers, stats);
+}
+
+}  // namespace cqa

@@ -1,0 +1,63 @@
+// BatchSolver: answers one prepared query on N databases with a fixed-size
+// thread pool.
+//
+// The query is classified and its backend prepared exactly once (by the
+// CertainSolver the batch is built around); each job then builds its own
+// PreparedDatabase and solves independently. Answers are bit-identical to
+// calling CertainSolver::Solve per database — the pool only changes the
+// schedule, never the algorithm.
+//
+// Thread-safety: CertainSolver::Solve(const PreparedDatabase&) is const and
+// stateless, so one solver is shared across all workers. The Database
+// objects themselves must be distinct per job (their lazy block index is
+// forced from the worker thread that prepares them); SolveAll CHECKs that
+// no pointer is passed twice.
+
+#ifndef CQA_ENGINE_BATCH_H_
+#define CQA_ENGINE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/database.h"
+#include "engine/solver.h"
+
+namespace cqa {
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::uint32_t num_threads = 0;
+};
+
+/// Throughput accounting for one SolveAll call.
+struct BatchStats {
+  std::uint32_t threads_used = 0;
+  std::uint64_t queries = 0;
+  double wall_seconds = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+class BatchSolver {
+ public:
+  /// The solver must outlive the BatchSolver.
+  explicit BatchSolver(const CertainSolver& solver, BatchOptions options = {});
+
+  /// Answers every database, in input order. Each pointer must be non-null
+  /// and distinct.
+  std::vector<SolverAnswer> SolveAll(const std::vector<const Database*>& dbs,
+                                     BatchStats* stats = nullptr) const;
+
+  /// Convenience overload for owned databases.
+  std::vector<SolverAnswer> SolveAll(const std::vector<Database>& dbs,
+                                     BatchStats* stats = nullptr) const;
+
+  std::uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  const CertainSolver* solver_;
+  std::uint32_t num_threads_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ENGINE_BATCH_H_

@@ -1,0 +1,72 @@
+#include "engine/solver.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "base/check.h"
+#include "engine/registry.h"
+
+namespace cqa {
+namespace {
+
+/// The dichotomy dispatch: which registry backend answers each class.
+std::string_view BackendNameFor(QueryClass query_class) {
+  switch (query_class) {
+    case QueryClass::kTrivial:
+      return "trivial";
+    case QueryClass::kPTimeCert2:
+    case QueryClass::kSjfFirstOrder:
+    case QueryClass::kSjfPTime:
+      // [3] shows Cert_2 captures all PTime self-join-free two-atom cases;
+      // Theorem 6.1 covers the self-join ones.
+      return "cert2";
+    case QueryClass::kPTimeNoTripath:
+      return "certk";
+    case QueryClass::kPTimeTriangleOnly:
+      return "certk+matching";
+    case QueryClass::kCoNPHardCondition:
+    case QueryClass::kCoNPForkTripath:
+    case QueryClass::kSjfCoNPComplete:
+    case QueryClass::kUnresolved:
+      return "exhaustive";
+  }
+  CQA_CHECK_MSG(false, "unhandled query class");
+}
+
+}  // namespace
+
+CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options)
+    : query_(std::move(query)),
+      options_(std::move(options)),
+      classification_(ClassifyQuery(query_, options_.tripath_limits)) {
+  std::string_view name = options_.forced_backend.empty()
+                              ? BackendNameFor(classification_.query_class)
+                              : std::string_view(options_.forced_backend);
+  BackendOptions backend_options;
+  backend_options.practical_k = options_.practical_k;
+  backend_ = BackendRegistry::Global().Create(name, backend_options);
+  // forced_backend is user input; reject it like ParseQuery rejects bad
+  // query text rather than aborting.
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("unknown certain-answer backend \"" +
+                                std::string(name) + "\"");
+  }
+  if (!backend_->Prepare(query_)) {
+    throw std::invalid_argument("backend \"" + std::string(name) +
+                                "\" cannot answer query " +
+                                query_.ToString());
+  }
+}
+
+SolverAnswer CertainSolver::Solve(const PreparedDatabase& pdb) const {
+  SolverAnswer answer;
+  answer.algorithm = backend_->algorithm();
+  answer.certain = backend_->Solve(pdb);
+  return answer;
+}
+
+SolverAnswer CertainSolver::Solve(const Database& db) const {
+  return Solve(PreparedDatabase(db));
+}
+
+}  // namespace cqa

@@ -65,9 +65,14 @@ bool IsSolutionEither(const ConjunctiveQuery& q,
   return IsSolution(q, binding, db, a, b) || IsSolution(q, binding, db, b, a);
 }
 
-SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db) {
-  CQA_CHECK(q.NumAtoms() == 2);
-  RelationBinding binding(q, db);
+namespace {
+
+/// Shared hash-join core: candidates for each atom are given explicitly
+/// (per-relation index for the prepared path, a linear scan for the
+/// convenience path).
+SolutionSet JoinSolutions(const ConjunctiveQuery& q, const Database& db,
+                          const std::vector<FactId>& a_facts,
+                          const std::vector<FactId>& b_facts) {
   SolutionSet out;
   out.self.assign(db.NumFacts(), false);
 
@@ -88,28 +93,22 @@ SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db) {
     return sig;
   };
 
-  RelationId rel_a = binding.Resolve(q.atoms()[0].relation);
-  RelationId rel_b = binding.Resolve(q.atoms()[1].relation);
-
   // Bucket the facts matching each atom by their shared-variable signature.
   std::unordered_map<std::vector<ElementId>, std::vector<FactId>, VectorHash>
       a_side;
   std::unordered_map<std::vector<ElementId>, std::vector<FactId>, VectorHash>
       b_side;
   std::vector<ElementId> mu(q.NumVars(), kUnassigned);
-  for (FactId f = 0; f < db.NumFacts(); ++f) {
-    const Fact& fact = db.fact(f);
-    if (fact.relation == rel_a) {
-      std::fill(mu.begin(), mu.end(), kUnassigned);
-      if (ExtendMatch(q.atoms()[0], fact, &mu)) {
-        a_side[signature(mu)].push_back(f);
-      }
+  for (FactId f : a_facts) {
+    std::fill(mu.begin(), mu.end(), kUnassigned);
+    if (ExtendMatch(q.atoms()[0], db.fact(f), &mu)) {
+      a_side[signature(mu)].push_back(f);
     }
-    if (fact.relation == rel_b) {
-      std::fill(mu.begin(), mu.end(), kUnassigned);
-      if (ExtendMatch(q.atoms()[1], fact, &mu)) {
-        b_side[signature(mu)].push_back(f);
-      }
+  }
+  for (FactId f : b_facts) {
+    std::fill(mu.begin(), mu.end(), kUnassigned);
+    if (ExtendMatch(q.atoms()[1], db.fact(f), &mu)) {
+      b_side[signature(mu)].push_back(f);
     }
   }
 
@@ -125,6 +124,35 @@ SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db) {
   }
   std::sort(out.pairs.begin(), out.pairs.end());
   return out;
+}
+
+}  // namespace
+
+SolutionSet ComputeSolutions(const ConjunctiveQuery& q,
+                             const PreparedDatabase& pdb) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  RelationBinding binding(q, pdb.db());
+  return JoinSolutions(q, pdb.db(),
+                       pdb.FactsOf(binding.Resolve(q.atoms()[0].relation)),
+                       pdb.FactsOf(binding.Resolve(q.atoms()[1].relation)));
+}
+
+SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  RelationBinding binding(q, db);
+  // One linear scan instead of a throwaway PreparedDatabase: callers on
+  // this path (tripath validation, component analysis) neither need nor
+  // want the block partition forced.
+  RelationId rel_a = binding.Resolve(q.atoms()[0].relation);
+  RelationId rel_b = binding.Resolve(q.atoms()[1].relation);
+  std::vector<FactId> a_facts;
+  std::vector<FactId> b_facts;
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    RelationId rel = db.fact(f).relation;
+    if (rel == rel_a) a_facts.push_back(f);
+    if (rel == rel_b) b_facts.push_back(f);
+  }
+  return JoinSolutions(q, db, a_facts, b_facts);
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/database.h"
+#include "data/prepared.h"
 #include "data/repair.h"
 #include "query/query.h"
 
@@ -62,8 +63,14 @@ struct SolutionSet {
   std::vector<bool> self;
 };
 
-/// Enumerates all solutions via a hash join on the shared variables.
-/// Complexity: O(n + |output|) expected.
+/// Enumerates all solutions via a hash join on the shared variables, using
+/// the prepared per-relation fact index (only the facts of the two atoms'
+/// relations are scanned). Complexity: O(n + |output|) expected.
+SolutionSet ComputeSolutions(const ConjunctiveQuery& q,
+                             const PreparedDatabase& pdb);
+
+/// Convenience overload preparing the database on the fly (one extra O(n)
+/// indexing pass); batch callers should prepare once and reuse.
 SolutionSet ComputeSolutions(const ConjunctiveQuery& q, const Database& db);
 
 /// General conjunctive-query satisfaction over an explicit set of facts

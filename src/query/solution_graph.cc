@@ -1,10 +1,12 @@
 #include "query/solution_graph.h"
 
+#include <utility>
+
 namespace cqa {
 
-SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
-                                 const Database& db) {
-  SolutionGraph sg{ComputeSolutions(q, db), UndirectedGraph(db.NumFacts()),
+SolutionGraph BuildSolutionGraph(SolutionSet solutions,
+                                 std::size_t num_facts) {
+  SolutionGraph sg{std::move(solutions), UndirectedGraph(num_facts),
                    Components{}};
   for (const auto& [a, b] : sg.solutions.pairs) {
     if (a != b) sg.graph.AddEdge(a, b);
@@ -12,6 +14,16 @@ SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
   sg.graph.Finalize();
   sg.components = ConnectedComponents(sg.graph);
   return sg;
+}
+
+SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
+                                 const PreparedDatabase& pdb) {
+  return BuildSolutionGraph(ComputeSolutions(q, pdb), pdb.NumFacts());
+}
+
+SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
+                                 const Database& db) {
+  return BuildSolutionGraph(q, PreparedDatabase(db));
 }
 
 bool IsQuasiClique(const SolutionGraph& sg, const Database& db,

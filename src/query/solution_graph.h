@@ -7,6 +7,7 @@
 #ifndef CQA_QUERY_SOLUTION_GRAPH_H_
 #define CQA_QUERY_SOLUTION_GRAPH_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/database.h"
@@ -23,7 +24,17 @@ struct SolutionGraph {
   Components components;   ///< Connected components of `graph`.
 };
 
-/// Builds the solution graph of a two-atom query on a database.
+/// Builds the solution graph of a two-atom query on a prepared database.
+SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
+                                 const PreparedDatabase& pdb);
+
+/// Builds the graph from an already-computed solution set (callers that
+/// run Cert_k first reuse its ComputeSolutions pass and only pay for the
+/// edge list and components when they actually need the graph).
+SolutionGraph BuildSolutionGraph(SolutionSet solutions,
+                                 std::size_t num_facts);
+
+/// Convenience overload preparing the database on the fly.
 SolutionGraph BuildSolutionGraph(const ConjunctiveQuery& q,
                                  const Database& db);
 

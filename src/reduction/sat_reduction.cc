@@ -1,7 +1,9 @@
 #include "reduction/sat_reduction.h"
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/check.h"
@@ -162,6 +164,43 @@ SatGadget BuildSatGadget(const ConjunctiveQuery& q,
                   "a padding fact participates in a solution");
   }
   return out;
+}
+
+CnfFormula EncodeFalsifierCnf(const SolutionSet& solutions,
+                              const PreparedDatabase& pdb) {
+  CnfFormula f;
+  f.num_vars = static_cast<std::uint32_t>(pdb.NumFacts());
+
+  // A repair selects at least one fact from every block.
+  for (const Block& block : pdb.blocks()) {
+    Clause at_least_one;
+    at_least_one.reserve(block.facts.size());
+    for (FactId fact : block.facts) {
+      at_least_one.push_back(Literal{fact, true});
+    }
+    f.clauses.push_back(std::move(at_least_one));
+  }
+
+  // Self-solution facts are unusable.
+  for (FactId fact = 0; fact < solutions.self.size(); ++fact) {
+    if (solutions.self[fact]) f.clauses.push_back({Literal{fact, false}});
+  }
+
+  // No two selected facts may form a solution. Directed pairs (a, b) and
+  // (b, a) yield the same clause; normalize and dedupe. Same-block pairs
+  // are skipped: they never co-occur in the chosen one-per-block subset.
+  std::vector<std::pair<FactId, FactId>> edges;
+  edges.reserve(solutions.pairs.size());
+  for (const auto& [a, b] : solutions.pairs) {
+    if (a == b || pdb.BlockOf(a) == pdb.BlockOf(b)) continue;
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [a, b] : edges) {
+    f.clauses.push_back({Literal{a, false}, Literal{b, false}});
+  }
+  return f;
 }
 
 }  // namespace cqa

@@ -23,6 +23,8 @@
 #include <utility>
 
 #include "data/database.h"
+#include "data/prepared.h"
+#include "query/eval.h"
 #include "query/query.h"
 #include "sat/cnf.h"
 #include "tripath/search.h"
@@ -46,6 +48,20 @@ struct SatGadget {
 SatGadget BuildSatGadget(const ConjunctiveQuery& q,
                          const FoundTripath& nice_fork,
                          const CnfFormula& phi);
+
+/// The reverse direction of the Section 9 connection: encodes the existence
+/// of a falsifying repair as propositional satisfiability. One variable per
+/// fact; clauses:
+///   - at-least-one per block (a repair picks a fact from every block);
+///   - a unit ¬x_a for every self-solution fact (q(aa) facts can never be
+///     in a falsifying repair);
+///   - (¬x_a ∨ ¬x_b) for every cross-block solution pair {a, b}.
+/// Satisfiable iff some repair falsifies q, so D |= certain(q) iff the
+/// formula is unsatisfiable. At-most-one-per-block constraints are
+/// unnecessary: restricting a satisfying assignment to one chosen fact per
+/// block keeps it solution-free, and the chosen set is a falsifying repair.
+CnfFormula EncodeFalsifierCnf(const SolutionSet& solutions,
+                              const PreparedDatabase& pdb);
 
 }  // namespace cqa
 

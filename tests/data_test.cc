@@ -215,6 +215,39 @@ TEST(RepairSampler, DeterministicGivenSeed) {
   }
 }
 
+TEST(KeyViewTest, ViewMatchesOwnedKey) {
+  Database db(OneRelation(3, 2));
+  FactId f = db.AddFactStr(0, "a b c");
+  KeyView view = db.KeyViewOf(f);
+  std::vector<ElementId> owned = db.KeyOf(f);
+  ASSERT_EQ(view.size(), owned.size());
+  for (std::uint32_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i], owned[i]);
+  }
+  EXPECT_EQ(view.data, db.fact(f).args.data());  // No copy.
+}
+
+TEST(KeyViewTest, KeyEqualAgreesWithViews) {
+  Database db(OneRelation(3, 2));
+  FactId a = db.AddFactStr(0, "k1 k2 x");
+  FactId b = db.AddFactStr(0, "k1 k2 y");
+  FactId c = db.AddFactStr(0, "k1 k3 x");
+  EXPECT_TRUE(db.KeyEqual(a, b));
+  EXPECT_FALSE(db.KeyEqual(a, c));
+  EXPECT_TRUE(db.KeyViewOf(a) == db.KeyViewOf(b));
+  EXPECT_TRUE(db.KeyViewOf(a) != db.KeyViewOf(c));
+}
+
+TEST(KeyViewTest, ZeroLengthKeys) {
+  Database db(OneRelation(2, 0));
+  FactId a = db.AddFactStr(0, "x y");
+  FactId b = db.AddFactStr(0, "u v");
+  EXPECT_TRUE(db.KeyViewOf(a).empty());
+  // With an empty key all facts of the relation are key-equal (one block).
+  EXPECT_TRUE(db.KeyEqual(a, b));
+  EXPECT_EQ(db.blocks().size(), 1u);
+}
+
 TEST(RepairSampler, SamplesAreValidRepairs) {
   Database db(OneRelation(2, 1));
   db.AddFactStr(0, "k1 a");

@@ -1,0 +1,245 @@
+// Tests for the engine layer: the backend registry (every backend agrees
+// with or under-approximates the exhaustive ground truth), the prepared
+// database indexes, and BatchSolver parity with single-shot
+// CertainSolver::Solve on randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algo/exhaustive.h"
+#include "base/rng.h"
+#include "data/prepared.h"
+#include "engine/batch.h"
+#include "engine/registry.h"
+#include "engine/solver.h"
+#include "gen/workloads.h"
+#include "query/eval.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+const char* kCatalog[] = {
+    "R(x, u | x, v) R(v, y | u, y)",  // q1: coNP (condition).
+    "R(x, u | x, y) R(u, y | x, z)",  // q2: coNP (fork-tripath).
+    "R(x | y) R(y | z)",              // q3: Cert_2.
+    "R(x | y, x) R(y | x, u)",        // q5: Cert_k, no tripath.
+    "R(x | y, z) R(z | x, y)",        // q6: Cert_k OR NOT matching.
+    "R(x | y) R(y | y)",              // trivial (hom).
+};
+
+Database SmallInstance(const ConjunctiveQuery& q, Rng* rng) {
+  InstanceParams params;
+  params.num_facts = 12;
+  params.domain_size = 3;
+  return RandomInstance(q, params, rng);
+}
+
+TEST(BackendRegistry, ListsBuiltinBackends) {
+  std::vector<std::string> names = BackendRegistry::Global().Names();
+  for (const char* expected : {"cert2", "certk", "certk+matching",
+                               "exhaustive", "sat", "trivial"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected;
+  }
+  EXPECT_EQ(BackendRegistry::Global().Create("no-such-backend"), nullptr);
+}
+
+TEST(BackendRegistry, CreatedBackendsReportTheirNames) {
+  for (const std::string& name : BackendRegistry::Global().Names()) {
+    auto backend = BackendRegistry::Global().Create(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+  }
+}
+
+TEST(BackendRegistry, TrivialBackendRejectsNonTrivialQueries) {
+  auto backend = BackendRegistry::Global().Create("trivial");
+  EXPECT_FALSE(backend->Prepare(ParseQuery("R(x | y) R(y | z)")));
+}
+
+// Exact backends must reproduce the enumeration ground truth on every
+// query of the catalog; Cert_k-family backends must never overclaim.
+TEST(BackendRegistry, BackendsAgreeWithExhaustiveGroundTruth) {
+  for (const char* text : kCatalog) {
+    auto q = ParseQuery(text);
+    Rng rng(0xE1161);
+    for (int round = 0; round < 15; ++round) {
+      Database db = SmallInstance(q, &rng);
+      PreparedDatabase pdb(db);
+      bool truth = CertainByEnumeration(q, db);
+      for (const std::string& name : BackendRegistry::Global().Names()) {
+        auto backend = BackendRegistry::Global().Create(name);
+        if (!backend->Prepare(q)) continue;  // trivial on non-trivial q.
+        bool answer = backend->Solve(pdb);
+        bool exact = name == "exhaustive" || name == "sat" ||
+                     name == "trivial";
+        if (exact) {
+          EXPECT_EQ(answer, truth) << name << " on " << text << "\n"
+                                   << db.ToString();
+        } else {
+          // Sound under-approximations: only "certain" can be trusted.
+          EXPECT_TRUE(!answer || truth) << name << " overclaimed on "
+                                        << text << "\n"
+                                        << db.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(SatBackend, AgreesOnCertainInstance) {
+  auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+  SolverOptions options;
+  options.forced_backend = "sat";
+  CertainSolver solver(q6, options);
+  Database db(q6.schema());
+  db.AddFactStr(0, "e1 e2 e3");
+  db.AddFactStr(0, "e3 e1 e2");
+  db.AddFactStr(0, "e2 e3 e1");
+  db.AddFactStr(0, "e1 e3 e2");
+  db.AddFactStr(0, "e2 e1 e3");
+  db.AddFactStr(0, "e3 e2 e1");
+  SolverAnswer answer = solver.Solve(db);
+  EXPECT_TRUE(answer.certain);
+  EXPECT_EQ(answer.algorithm, SolverAlgorithm::kSat);
+}
+
+TEST(PreparedDatabaseTest, IndexesMatchTheDatabase) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Rng rng(0xBEEF);
+  InstanceParams params;
+  params.num_facts = 40;
+  params.domain_size = 6;
+  Database db = RandomInstance(q, params, &rng);
+  PreparedDatabase pdb(db);
+
+  std::size_t indexed = 0;
+  for (RelationId r = 0; r < db.schema().NumRelations(); ++r) {
+    for (FactId f : pdb.FactsOf(r)) EXPECT_EQ(db.fact(f).relation, r);
+    indexed += pdb.FactsOf(r).size();
+  }
+  EXPECT_EQ(indexed, db.NumFacts());
+
+  std::size_t blocks_indexed = 0;
+  for (RelationId r = 0; r < db.schema().NumRelations(); ++r) {
+    for (BlockId b : pdb.BlocksOf(r)) EXPECT_EQ(pdb.blocks()[b].relation, r);
+    blocks_indexed += pdb.BlocksOf(r).size();
+  }
+  EXPECT_EQ(blocks_indexed, pdb.blocks().size());
+
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    EXPECT_EQ(pdb.BlockOf(f), db.BlockOf(f));
+  }
+
+  // Every block is found by its own key; a fresh key is not.
+  for (BlockId b = 0; b < pdb.blocks().size(); ++b) {
+    const Block& block = pdb.blocks()[b];
+    KeyView key{block.key.data(),
+                static_cast<std::uint32_t>(block.key.size())};
+    EXPECT_EQ(pdb.FindBlock(block.relation, key), b);
+  }
+  ElementId fresh[] = {0xfffffff0u};
+  EXPECT_EQ(pdb.FindBlock(0, KeyView{fresh, 1}), PreparedDatabase::kNoBlock);
+}
+
+TEST(PreparedDatabaseTest, ComputeSolutionsMatchesPairwiseDefinition) {
+  auto q = ParseQuery("R(x | y, x) R(y | x, u)");
+  Rng rng(0x50105);
+  Database db = SmallInstance(q, &rng);
+  PreparedDatabase pdb(db);
+  SolutionSet solutions = ComputeSolutions(q, pdb);
+  RelationBinding binding(q, db);
+  for (FactId a = 0; a < db.NumFacts(); ++a) {
+    for (FactId b = 0; b < db.NumFacts(); ++b) {
+      bool expected = IsSolution(q, binding, db, a, b);
+      bool listed = std::binary_search(solutions.pairs.begin(),
+                                       solutions.pairs.end(),
+                                       std::make_pair(a, b));
+      EXPECT_EQ(listed, expected) << a << " " << b;
+    }
+  }
+}
+
+// The acceptance bar for the engine layer: BatchSolver must produce
+// bit-identical answers to per-database CertainSolver::Solve, across the
+// dichotomy's dispatch classes and any thread count.
+TEST(BatchSolverTest, MatchesSingleShotSolveOnRandomWorkloads) {
+  for (const char* text : kCatalog) {
+    auto q = ParseQuery(text);
+    CertainSolver solver(q);
+    Rng rng(0xBA7C4);
+    std::vector<Database> dbs;
+    dbs.reserve(24);
+    for (int i = 0; i < 24; ++i) dbs.push_back(SmallInstance(q, &rng));
+
+    std::vector<SolverAnswer> expected;
+    for (const Database& db : dbs) expected.push_back(solver.Solve(db));
+
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+      BatchOptions options;
+      options.num_threads = threads;
+      BatchSolver batch(solver, options);
+      BatchStats stats;
+      std::vector<SolverAnswer> actual = batch.SolveAll(dbs, &stats);
+      ASSERT_EQ(actual.size(), expected.size());
+      for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i].certain, expected[i].certain)
+            << text << " threads=" << threads << " db#" << i;
+        EXPECT_EQ(actual[i].algorithm, expected[i].algorithm)
+            << text << " threads=" << threads << " db#" << i;
+      }
+      EXPECT_EQ(stats.queries, dbs.size());
+      EXPECT_GT(stats.queries_per_sec, 0.0);
+      EXPECT_LE(stats.threads_used, threads);
+    }
+  }
+}
+
+TEST(BatchSolverTest, RejectsDuplicateDatabasePointers) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  CertainSolver solver(q);
+  Database db(q.schema());
+  db.AddFactStr(0, "a b");
+  BatchSolver batch(solver, BatchOptions{2});
+  std::vector<const Database*> twice{&db, &db};
+  EXPECT_DEATH(batch.SolveAll(twice), "duplicate database pointer");
+}
+
+TEST(BatchSolverTest, EmptyBatch) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  CertainSolver solver(q);
+  BatchSolver batch(solver, BatchOptions{4});
+  BatchStats stats;
+  EXPECT_TRUE(batch.SolveAll(std::vector<const Database*>{}, &stats).empty());
+  EXPECT_EQ(stats.queries, 0u);
+}
+
+TEST(SolverOptionsTest, UnknownOrUnsupportedForcedBackendThrows) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  SolverOptions unknown;
+  unknown.forced_backend = "SAT";  // Names are case-sensitive.
+  EXPECT_THROW(CertainSolver(q3, unknown), std::invalid_argument);
+  SolverOptions unsupported;
+  unsupported.forced_backend = "trivial";  // q3 is not one-atom-equivalent.
+  EXPECT_THROW(CertainSolver(q3, unsupported), std::invalid_argument);
+}
+
+TEST(SolverOptionsTest, ForcedBackendOverridesDispatch) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  SolverOptions options;
+  options.forced_backend = "exhaustive";
+  CertainSolver solver(q3, options);
+  Database db(q3.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  SolverAnswer answer = solver.Solve(db);
+  EXPECT_EQ(answer.algorithm, SolverAlgorithm::kExhaustive);
+}
+
+}  // namespace
+}  // namespace cqa
