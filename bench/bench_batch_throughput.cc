@@ -1,20 +1,19 @@
-// EXP-E1: batch throughput. Queries/sec of BatchSolver across 1-8 worker
-// threads vs a plain serial loop over CertainSolver::Solve, on the q3
-// (Cert_2), q5 (Cert_k) and q6 (Cert_k OR NOT matching) workloads. The
-// prepared query (classification + backend) is shared; each job builds its
-// own PreparedDatabase, exactly as in the serial loop, so the comparison
-// isolates the scheduling win.
+// EXP-E1: batch throughput through the public facade. Queries/sec of
+// Service::SolveBatch across 1-8 worker threads vs a plain serial loop of
+// Service::Solve, on the q3 (Cert_2), q5 (Cert_k) and q6 (Cert_k OR NOT
+// matching) workloads. The compiled query (classification + backend) is
+// shared; each job builds its own PreparedDatabase, exactly as in the
+// serial loop, so the comparison isolates the scheduling win.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <vector>
 
+#include "api/service.h"
+#include "base/check.h"
 #include "base/rng.h"
-#include "engine/batch.h"
-#include "engine/solver.h"
 #include "gen/workloads.h"
-#include "query/query.h"
 
 namespace cqa {
 namespace {
@@ -35,16 +34,22 @@ std::vector<Database> MakeWorkload(const ConjunctiveQuery& q,
   return dbs;
 }
 
+CompiledQuery MustCompile(Service& service, const char* query_text) {
+  StatusOr<CompiledQuery> q = service.Compile(query_text);
+  CQA_CHECK_MSG(q.ok(), "benchmark query failed to compile");
+  return *q;
+}
+
 void RunSerial(benchmark::State& state, const char* query_text,
                std::uint64_t seed) {
-  auto q = ParseQuery(query_text);
-  CertainSolver solver(q);
-  std::vector<Database> dbs = MakeWorkload(q, seed);
+  Service service;
+  CompiledQuery q = MustCompile(service, query_text);
+  std::vector<Database> dbs = MakeWorkload(q.query(), seed);
   std::uint64_t answered = 0;
   for (auto _ : state) {
     for (const Database& db : dbs) {
-      SolverAnswer answer = solver.Solve(db);
-      benchmark::DoNotOptimize(answer);
+      StatusOr<SolveReport> report = service.Solve(q, db);
+      benchmark::DoNotOptimize(report);
       ++answered;
     }
   }
@@ -53,18 +58,18 @@ void RunSerial(benchmark::State& state, const char* query_text,
 
 void RunBatch(benchmark::State& state, const char* query_text,
               std::uint64_t seed) {
-  auto q = ParseQuery(query_text);
-  CertainSolver solver(q);
-  std::vector<Database> dbs = MakeWorkload(q, seed);
-  BatchOptions options;
-  options.num_threads = static_cast<std::uint32_t>(state.range(0));
-  BatchSolver batch(solver, options);
+  ServiceOptions options;
+  options.batch_threads = static_cast<std::uint32_t>(state.range(0));
+  Service service(options);
+  CompiledQuery q = MustCompile(service, query_text);
+  std::vector<Database> dbs = MakeWorkload(q.query(), seed);
   std::uint64_t answered = 0;
   double qps = 0.0;
   for (auto _ : state) {
     BatchStats stats;
-    std::vector<SolverAnswer> answers = batch.SolveAll(dbs, &stats);
-    benchmark::DoNotOptimize(answers);
+    std::vector<StatusOr<SolveReport>> reports =
+        service.SolveBatch(q, dbs, &stats);
+    benchmark::DoNotOptimize(reports);
     answered += stats.queries;
     qps = stats.queries_per_sec;
   }

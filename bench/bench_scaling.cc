@@ -10,8 +10,9 @@
 #include "algo/combined.h"
 #include "algo/exhaustive.h"
 #include "algo/matching.h"
+#include "api/service.h"
+#include "base/check.h"
 #include "base/rng.h"
-#include "classify/solver.h"
 #include "gen/workloads.h"
 #include "query/query.h"
 
@@ -40,12 +41,14 @@ Database Make(const ConjunctiveQuery& q, std::uint32_t n,
 
 void BM_Dispatcher(benchmark::State& state) {
   const Workload& w = kWorkloads[state.range(0)];
-  auto q = ParseQuery(w.query);
-  CertainSolver solver(q);
-  Database db = Make(q, static_cast<std::uint32_t>(state.range(1)), 99);
+  Service service;
+  StatusOr<CompiledQuery> q = service.Compile(w.query);
+  CQA_CHECK_MSG(q.ok(), "benchmark query failed to compile");
+  Database db =
+      Make(q->query(), static_cast<std::uint32_t>(state.range(1)), 99);
   for (auto _ : state) {
-    SolverAnswer a = solver.Solve(db);
-    benchmark::DoNotOptimize(a.certain);
+    StatusOr<SolveReport> report = service.Solve(*q, db);
+    benchmark::DoNotOptimize(report);
   }
   state.SetLabel(w.name);
 }

@@ -1,6 +1,7 @@
-// cqa_solve: command-line certain-answer solver over a facts file.
+// cqa_solve: command-line certain-answer solver over a facts file, built
+// on the cqa::Service facade.
 //
-//   ./build/examples/cqa_solve "R(x | y) R(y | z)" facts.txt
+//   ./build/cqa_solve "R(x | y) R(y | z)" facts.txt
 //
 // The facts file has one fact per line: relation name followed by
 // whitespace-separated elements, e.g.
@@ -11,24 +12,27 @@
 // demo instance is generated from the query itself.
 
 #include <cstdio>
-#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "algo/sampling.h"
+#include "api/service.h"
 #include "base/rng.h"
-#include "classify/solver.h"
 #include "gen/workloads.h"
-#include "query/query.h"
 
 namespace {
 
-cqa::Database LoadFacts(const cqa::ConjunctiveQuery& q, const char* path) {
+/// Loads facts, reporting malformed lines as a Status instead of throwing.
+cqa::StatusOr<cqa::Database> LoadFacts(const cqa::ConjunctiveQuery& q,
+                                       const char* path) {
   cqa::Database db(q.schema());
   std::ifstream in(path);
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  if (!in) {
+    return cqa::Status(cqa::StatusCode::kNotFound,
+                       std::string("cannot open ") + path);
+  }
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -38,15 +42,17 @@ cqa::Database LoadFacts(const cqa::ConjunctiveQuery& q, const char* path) {
     if (!(tokens >> rel_name) || rel_name[0] == '#') continue;
     cqa::RelationId rel = db.schema().Find(rel_name);
     if (rel == cqa::Schema::kNotFound) {
-      throw std::runtime_error("line " + std::to_string(line_no) +
-                               ": unknown relation " + rel_name);
+      return cqa::Status(cqa::StatusCode::kSchemaMismatch,
+                         "line " + std::to_string(line_no) +
+                             ": unknown relation " + rel_name);
     }
     std::vector<std::string> elements;
     std::string token;
     while (tokens >> token) elements.push_back(token);
     if (elements.size() != db.schema().Relation(rel).arity) {
-      throw std::runtime_error("line " + std::to_string(line_no) +
-                               ": wrong arity for " + rel_name);
+      return cqa::Status(cqa::StatusCode::kSchemaMismatch,
+                         "line " + std::to_string(line_no) +
+                             ": wrong arity for " + rel_name);
     }
     db.AddFactNamed(rel, elements);
   }
@@ -64,41 +70,50 @@ int main(int argc, char** argv) {
                  argv[0], argv[0]);
     return 2;
   }
-  try {
-    ConjunctiveQuery q = ParseQuery(argv[1]);
-    CertainSolver solver(q);
-    std::printf("query: %s\n", q.ToString().c_str());
-    std::printf("classification: %s (%s)\n",
-                ToString(solver.classification().query_class).c_str(),
-                ToString(solver.classification().complexity).c_str());
 
-    Database db(q.schema());
-    if (argc >= 3) {
-      db = LoadFacts(q, argv[2]);
-    } else {
-      std::printf("(no facts file: generating a demo instance)\n");
-      Rng rng(1);
-      InstanceParams params;
-      params.num_facts = 20;
-      params.domain_size = 4;
-      db = RandomInstance(q, params, &rng);
-    }
-    std::printf("database: %zu facts, %zu blocks, %.3g repairs\n",
-                db.NumFacts(), db.blocks().size(), db.CountRepairs());
-
-    SolverAnswer answer = solver.Solve(db);
-    std::printf("certain(q): %s   [algorithm: %s]\n",
-                answer.certain ? "YES" : "NO",
-                ToString(answer.algorithm).c_str());
-
-    // Context: how often does a random repair satisfy q?
-    SamplingResult sample = SampleRepairs(q, db, 200, 42);
-    std::printf("random-repair satisfaction rate: %.1f%% (%llu samples)\n",
-                100.0 * sample.SatisfyingFraction(),
-                static_cast<unsigned long long>(sample.samples));
-    return answer.certain ? 0 : 1;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+  Service service;
+  StatusOr<CompiledQuery> q = service.Compile(argv[1]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "error: %s\n", q.status().ToString().c_str());
     return 2;
   }
+  std::printf("query: %s\n", q->text().c_str());
+  std::printf("classification: %s (%s)\n",
+              ToString(q->classification().query_class).c_str(),
+              ToString(q->classification().complexity).c_str());
+
+  Database db(q->query().schema());
+  if (argc >= 3) {
+    StatusOr<Database> loaded = LoadFacts(q->query(), argv[2]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    db = std::move(loaded).value();
+  } else {
+    std::printf("(no facts file: generating a demo instance)\n");
+    Rng rng(1);
+    InstanceParams params;
+    params.num_facts = 20;
+    params.domain_size = 4;
+    db = RandomInstance(q->query(), params, &rng);
+  }
+  std::printf("database: %zu facts, %zu blocks, %.3g repairs\n",
+              db.NumFacts(), db.blocks().size(), db.CountRepairs());
+
+  StatusOr<SolveReport> report = service.Solve(*q, db);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("certain(q): %s   [%s]\n",
+              report->certain ? "YES" : "NO", report->Summary().c_str());
+
+  // Context: how often does a random repair satisfy q?
+  SamplingResult sample = SampleRepairs(q->query(), db, 200, 42);
+  std::printf("random-repair satisfaction rate: %.1f%% (%llu samples)\n",
+              100.0 * sample.SatisfyingFraction(),
+              static_cast<unsigned long long>(sample.samples));
+  return report->certain ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 // Data-integration scenario: the motivating use case from the paper's
 // introduction. Two scraped sources disagree about an org chart; instead of
 // arbitrarily cleaning the merged table, we keep all tuples and answer
-// queries under certain-answer semantics.
+// queries under certain-answer semantics — through the cqa::Service
+// facade, whose reports explain non-certain answers with a falsifying
+// repair.
 //
 // Schema: Emp(name | dept, manager)  —  name is the primary key.
 // Boolean query ("is there an employee whose manager is recorded as an
@@ -9,23 +11,28 @@
 
 #include <cstdio>
 
-#include "classify/solver.h"
+#include "api/service.h"
 #include "data/repair.h"
 #include "query/eval.h"
-#include "query/query.h"
 
 int main() {
   using namespace cqa;
 
+  Service service;
+
   // Self-join over the employee table: x's manager y is also an employee.
-  ConjunctiveQuery q = ParseQuery("Emp(x | d, y) Emp(y | e, z)");
-  std::printf("query: %s\n", q.ToString().c_str());
-
-  CertainSolver solver(q);
+  // Force the exhaustive backend so non-certain reports carry a witness.
+  StatusOr<CompiledQuery> q = service.Compile(
+      "Emp(x | d, y) Emp(y | e, z)", CompileOptions{"exhaustive"});
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("query: %s\n", q->text().c_str());
   std::printf("classification: %s\n",
-              ToString(solver.classification().query_class).c_str());
+              ToString(q->classification().query_class).c_str());
 
-  Database db(q.schema());
+  Database db(q->query().schema());
   // Source 1 (HR export).
   db.AddFactStr(0, "ana eng bob");
   db.AddFactStr(0, "bob eng carol");
@@ -37,9 +44,13 @@ int main() {
   std::printf("merged, inconsistent table (%zu facts, %.0f repairs):\n%s",
               db.NumFacts(), db.CountRepairs(), db.ToString().c_str());
 
-  SolverAnswer a = solver.Solve(db);
-  std::printf("certain(q): %s  (via %s)\n", a.certain ? "yes" : "no",
-              ToString(a.algorithm).c_str());
+  StatusOr<SolveReport> a = service.Solve(*q, db);
+  if (!a.ok()) {
+    std::fprintf(stderr, "%s\n", a.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("certain(q): %s  (via %s)\n", a->certain ? "yes" : "no",
+              ToString(a->algorithm).c_str());
 
   // Why: whichever tuple each key keeps, some manager chain exists —
   // unless a repair picks rows whose managers are all absent. Enumerate
@@ -53,15 +64,28 @@ int main() {
       std::printf(" %s", db.FactToString(f).c_str());
     }
     std::printf("  ->  q %s\n",
-                SatisfiesRepair(q, db, r) ? "holds" : "fails");
+                SatisfiesRepair(q->query(), db, r) ? "holds" : "fails");
   }
 
-  // Adding a row whose manager is missing creates a falsifying repair.
+  // Adding a row whose manager is missing creates a falsifying repair —
+  // and the report hands it to us instead of a bare "no".
   db.AddFactStr(0, "carol mgmt nobody");
-  SolverAnswer b = solver.Solve(db);
+  StatusOr<SolveReport> b = service.Solve(*q, db);
+  if (!b.ok()) {
+    std::fprintf(stderr, "%s\n", b.status().ToString().c_str());
+    return 2;
+  }
   std::printf(
       "\nafter adding conflicting row Emp(carol | mgmt, nobody): "
       "certain(q) = %s\n",
-      b.certain ? "yes" : "no");
+      b->certain ? "yes" : "no");
+  if (b->witness.has_value()) {
+    std::printf("falsifying repair witness:");
+    for (FactId f : b->witness->Facts()) {
+      std::printf(" %s", db.FactToString(f).c_str());
+    }
+    std::printf("\n(checked: %s)\n",
+                VerifyWitness(q->query(), db, *b->witness).ToString().c_str());
+  }
   return 0;
 }

@@ -1,29 +1,40 @@
 // Dichotomy explorer: classify any two-atom query from the command line.
 //
-//   ./build/examples/dichotomy_explorer "R(x, u | x, y) R(u, y | x, z)"
+//   ./build/dichotomy_explorer "R(x, u | x, y) R(u, y | x, z)"
 //
 // With no arguments, classifies the paper's whole catalog. Prints the
 // class, the theorem it follows from, and — for 2way-determined queries —
-// the tripath witness the decision rests on.
+// the tripath witness the decision rests on. Queries come in through
+// Service::Compile, so malformed input is reported with line:column and a
+// caret instead of an exception.
 
 #include <cstdio>
-#include <exception>
 #include <string>
 
-#include "classify/classifier.h"
-#include "query/query.h"
+#include "api/service.h"
 
 namespace {
 
-void Explore(const std::string& text) {
+int Explore(cqa::Service& service, const std::string& text) {
   using namespace cqa;
   std::printf("----------------------------------------------------------\n");
   std::printf("query: %s\n", text.c_str());
-  ConjunctiveQuery q = ParseQuery(text);
-  Classification c = ClassifyQuery(q);
+  // allow_unresolved: the explorer reports the unresolved class rather
+  // than refusing to classify.
+  CompileOptions options;
+  options.allow_unresolved = true;
+  StatusOr<CompiledQuery> q = service.Compile(text, options);
+  if (!q.ok()) {
+    std::fprintf(stderr, "error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  const Classification& c = q->classification();
   std::printf("class: %s\n", ToString(c.query_class).c_str());
   std::printf("complexity: %s\n", ToString(c.complexity).c_str());
   std::printf("why: %s\n", c.explanation.c_str());
+  std::printf("dispatch: %s (backend \"%s\")\n",
+              ToString(q->algorithm()).c_str(),
+              std::string(q->backend_name()).c_str());
   if (c.two_way_determined) {
     const TripathSearchResult& search = c.tripath_search;
     std::printf("tripath search: %llu candidates, %s\n",
@@ -39,6 +50,7 @@ void Explore(const std::string& text) {
       std::printf("no tripath found.\n");
     }
   }
+  return 0;
 }
 
 }  // namespace
@@ -55,17 +67,14 @@ int main(int argc, char** argv) {
       "R(x | y) R(y | y)",
       "R1(x, u | x, v) R2(v, y | u, y)",
   };
-  try {
-    if (argc > 1) {
-      for (int i = 1; i < argc; ++i) Explore(argv[i]);
-    } else {
-      std::printf("(no query given: classifying the paper's catalog; pass "
-                  "a query string like \"R(x | y) R(y | z)\")\n");
-      for (const char* text : kCatalog) Explore(text);
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  cqa::Service service;
+  int rc = 0;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) rc |= Explore(service, argv[i]);
+  } else {
+    std::printf("(no query given: classifying the paper's catalog; pass "
+                "a query string like \"R(x | y) R(y | z)\")\n");
+    for (const char* text : kCatalog) rc |= Explore(service, text);
   }
-  return 0;
+  return rc;
 }

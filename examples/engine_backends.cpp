@@ -1,72 +1,85 @@
-// engine_backends: tour of the engine layer.
+// engine_backends: tour of the engine layer through the Service facade.
 //
 //   ./build/engine_backends ["query"]
 //
 // Classifies the query, shows which backend the dichotomy dispatches to,
 // runs every registered backend that supports the query on one random
-// instance, and finishes with a BatchSolver throughput measurement.
+// instance (forcing each via CompileOptions::forced_backend — backends
+// that cannot answer the query surface a CAPABILITY_MISMATCH status), and
+// finishes with a SolveBatch throughput measurement.
 
 #include <cstdio>
-#include <exception>
 #include <string>
 #include <vector>
 
+#include "api/service.h"
 #include "base/rng.h"
-#include "data/prepared.h"
-#include "engine/batch.h"
-#include "engine/registry.h"
-#include "engine/solver.h"
 #include "gen/workloads.h"
-#include "query/query.h"
 
 int main(int argc, char** argv) {
   using namespace cqa;
   const char* text = argc > 1 ? argv[1] : "R(x | y, z) R(z | x, y)";
-  try {
-    auto q = ParseQuery(text);
-    CertainSolver solver(q);
-    std::printf("query:     %s\n", q.ToString().c_str());
-    std::printf("class:     %s\n",
-                ToString(solver.classification().query_class).c_str());
-    std::printf("dispatch:  %s (backend \"%s\")\n\n",
-                ToString(solver.backend().algorithm()).c_str(),
-                std::string(solver.backend().name()).c_str());
 
-    Rng rng(2024);
-    InstanceParams params;
-    params.num_facts = 24;
-    params.domain_size = 4;
-    Database db = RandomInstance(q, params, &rng);
-    PreparedDatabase pdb(db);
-    std::printf("one random instance (%zu facts, %zu blocks):\n",
-                db.NumFacts(), pdb.blocks().size());
-    for (const std::string& name : BackendRegistry::Global().Names()) {
-      auto backend = BackendRegistry::Global().Create(name);
-      if (!backend->Prepare(q)) {
-        std::printf("  %-15s (not applicable)\n", name.c_str());
-        continue;
-      }
-      std::printf("  %-15s -> %s\n", name.c_str(),
-                  backend->Solve(pdb) ? "certain" : "not certain");
-    }
-
-    std::vector<Database> batch_dbs;
-    for (int i = 0; i < 64; ++i) {
-      batch_dbs.push_back(RandomInstance(q, params, &rng));
-    }
-    BatchSolver batch(solver);
-    BatchStats stats;
-    std::vector<SolverAnswer> answers = batch.SolveAll(batch_dbs, &stats);
-    std::size_t certain = 0;
-    for (const SolverAnswer& a : answers) certain += a.certain ? 1 : 0;
-    std::printf(
-        "\nbatch: %llu databases on %u threads in %.3fs (%.0f queries/sec), "
-        "%zu certain\n",
-        static_cast<unsigned long long>(stats.queries), stats.threads_used,
-        stats.wall_seconds, stats.queries_per_sec, certain);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+  Service service;
+  StatusOr<CompiledQuery> q = service.Compile(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "error: %s\n", q.status().ToString().c_str());
     return 1;
   }
+  std::printf("query:     %s\n", q->text().c_str());
+  std::printf("class:     %s\n",
+              ToString(q->classification().query_class).c_str());
+  std::printf("dispatch:  %s (backend \"%s\")\n\n",
+              ToString(q->algorithm()).c_str(),
+              std::string(q->backend_name()).c_str());
+
+  Rng rng(2024);
+  InstanceParams params;
+  params.num_facts = 24;
+  params.domain_size = 4;
+  Database db = RandomInstance(q->query(), params, &rng);
+  std::printf("one random instance (%zu facts, %zu blocks):\n",
+              db.NumFacts(), db.blocks().size());
+  for (const std::string& name : Service::BackendNames()) {
+    CompileOptions forced;
+    forced.forced_backend = name;
+    StatusOr<CompiledQuery> fq = service.Compile(text, forced);
+    if (!fq.ok()) {
+      std::printf("  %-15s (%s)\n", name.c_str(),
+                  std::string(ToString(fq.status().code())).c_str());
+      continue;
+    }
+    StatusOr<SolveReport> report = service.Solve(*fq, db);
+    if (!report.ok()) {
+      std::printf("  %-15s (%s)\n", name.c_str(),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-15s -> %s%s\n", name.c_str(),
+                report->certain ? "certain" : "not certain",
+                report->witness.has_value() ? "  [witness attached]" : "");
+  }
+
+  std::vector<Database> batch_dbs;
+  for (int i = 0; i < 64; ++i) {
+    batch_dbs.push_back(RandomInstance(q->query(), params, &rng));
+  }
+  BatchStats stats;
+  std::vector<StatusOr<SolveReport>> reports =
+      service.SolveBatch(*q, batch_dbs, &stats);
+  std::size_t certain = 0;
+  std::size_t failed = 0;
+  for (const StatusOr<SolveReport>& r : reports) {
+    if (!r.ok()) {
+      ++failed;
+    } else if (r->certain) {
+      ++certain;
+    }
+  }
+  std::printf(
+      "\nbatch: %llu databases on %u threads in %.3fs (%.0f queries/sec), "
+      "%zu certain, %zu failed\n",
+      static_cast<unsigned long long>(stats.queries), stats.threads_used,
+      stats.wall_seconds, stats.queries_per_sec, certain, failed);
   return 0;
 }

@@ -1,51 +1,84 @@
-// Quickstart: parse a query, build an inconsistent database, ask whether
-// the query is certain, and see which algorithm the dichotomy picked.
+// Quickstart: the public API in one screen. Compile a query, register an
+// inconsistent database, ask whether the query is certain, and inspect
+// the report — including the falsifying-repair witness when it is not.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
-#include "classify/solver.h"
-#include "query/query.h"
+#include "api/service.h"
 
 int main() {
   using namespace cqa;
 
-  // The paper's q3 = R(x | y) R(y | z): "some row points at a row that
-  // points at another row". PTime by Theorem 6.1.
-  ConjunctiveQuery q = ParseQuery("R(x | y) R(y | z)");
-  std::printf("query: %s\n", q.ToString().c_str());
+  Service service;
 
-  // An inconsistent database: key 'b' has two candidate tuples.
-  Database db(q.schema());
+  // The paper's q3 = R(x | y) R(y | z): "some row points at a row that
+  // points at another row". PTime by Theorem 6.1. Compile parses,
+  // classifies, and binds the dichotomy's algorithm once; errors come
+  // back as a typed Status, never an exception.
+  StatusOr<CompiledQuery> q = service.Compile("R(x | y) R(y | z)");
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("query: %s\n", q->text().c_str());
+  std::printf("classification: %s\n",
+              ToString(q->classification().query_class).c_str());
+  std::printf("why: %s\n", q->classification().explanation.c_str());
+
+  // An inconsistent database: key 'b' has two candidate tuples. Register
+  // it once; the service prepares its indexes eagerly.
+  Database db(q->query().schema());
   db.AddFactStr(0, "a b");
   db.AddFactStr(0, "b c");   // One candidate for key b ...
   db.AddFactStr(0, "b d");   // ... and another: a repair keeps exactly one.
   std::printf("database (%zu facts, %zu blocks, %.0f repairs):\n%s",
               db.NumFacts(), db.blocks().size(), db.CountRepairs(),
               db.ToString().c_str());
+  service.RegisterDatabase("demo", std::move(db));
 
-  // Classify once, then answer certain(q) per database.
-  CertainSolver solver(q);
-  std::printf("classification: %s\n",
-              ToString(solver.classification().query_class).c_str());
-  std::printf("why: %s\n", solver.classification().explanation.c_str());
-
-  SolverAnswer answer = solver.Solve(db);
+  StatusOr<SolveReport> report = service.Solve(*q, "demo");
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
   std::printf("certain(q): %s  (decided by: %s)\n",
-              answer.certain ? "yes" : "no",
-              ToString(answer.algorithm).c_str());
+              report->certain ? "yes" : "no",
+              ToString(report->algorithm).c_str());
 
   // Both repairs satisfy q — R(a|b) joins with whichever tuple key b
-  // keeps — so the answer is yes. Removing R(a|b)'s partner flips it:
-  Database db2(q.schema());
+  // keeps — so the answer is yes. Removing R(a|b)'s partner flips it,
+  // and the report then carries a witness: a repair falsifying q.
+  Database db2(q->query().schema());
   db2.AddFactStr(0, "a b");
   db2.AddFactStr(0, "b c");
   db2.AddFactStr(0, "a z");  // Now key 'a' can escape the join.
-  SolverAnswer answer2 = solver.Solve(db2);
+  // Unregistered databases can be solved ad hoc too. Force the
+  // exhaustive backend, which can explain non-certain answers.
+  StatusOr<CompiledQuery> q_explain =
+      service.Compile("R(x | y) R(y | z)", CompileOptions{"exhaustive"});
+  if (!q_explain.ok()) {
+    std::fprintf(stderr, "%s\n", q_explain.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<SolveReport> report2 = service.Solve(*q_explain, db2);
+  if (!report2.ok()) {
+    std::fprintf(stderr, "%s\n", report2.status().ToString().c_str());
+    return 2;
+  }
   std::printf("certain(q) on the second database: %s\n",
-              answer2.certain ? "yes" : "no");
+              report2->certain ? "yes" : "no");
+  if (report2->witness.has_value()) {
+    std::printf("falsifying repair:");
+    for (FactId f : report2->witness->Facts()) {
+      std::printf("  %s", db2.FactToString(f).c_str());
+    }
+    std::printf("\n");
+    Status checked = VerifyWitness(q->query(), db2, *report2->witness);
+    std::printf("witness verified: %s\n", checked.ToString().c_str());
+  }
   return 0;
 }

@@ -4,12 +4,14 @@
 //   (¬s ∨ t ∨ u) ∧ (¬s ∨ ¬t ∨ u) ∧ (s ∨ ¬t ∨ ¬u),
 // finds a *nice fork-tripath* of q2 = R(x,u | x,y) R(u,y | x,z), assembles
 // the database D[phi], and verifies Lemma 9.2 on it: phi is satisfiable
-// iff some repair of D[phi] falsifies q2.
+// iff some repair of D[phi] falsifies q2. The certain-answer side runs
+// through cqa::Service with the exact exhaustive backend forced; when phi
+// is satisfiable the report's witness is the falsifying repair the lemma
+// promises.
 
 #include <cstdio>
 
-#include "algo/exhaustive.h"
-#include "query/query.h"
+#include "api/service.h"
 #include "reduction/sat_reduction.h"
 #include "sat/dpll.h"
 #include "sat/gen.h"
@@ -18,12 +20,18 @@
 int main() {
   using namespace cqa;
 
-  ConjunctiveQuery q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
-  std::printf("query q2 = %s  (coNP-complete by Theorem 9.1)\n",
-              q2.ToString().c_str());
+  Service service;
+  StatusOr<CompiledQuery> q2 = service.Compile(
+      "R(x, u | x, y) R(u, y | x, z)", CompileOptions{"exhaustive"});
+  if (!q2.ok()) {
+    std::fprintf(stderr, "%s\n", q2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query q2 = %s  (%s)\n", q2->text().c_str(),
+              ToString(q2->classification().query_class).c_str());
 
   // Step 1: a nice fork-tripath of q2 (the Figure 1c normal form).
-  auto nice = FindNiceForkTripath(q2);
+  auto nice = FindNiceForkTripath(q2->query());
   if (!nice) {
     std::fprintf(stderr, "no nice fork-tripath found — unexpected for q2\n");
     return 1;
@@ -50,16 +58,28 @@ int main() {
   // Step 3: assemble D[phi] — one renamed copy of Theta per literal
   // occurrence, clause blocks shared through the root key, occurrence
   // copies chained through leaf keys, singleton blocks padded.
-  SatGadget gadget = BuildSatGadget(q2, *nice, phi);
+  SatGadget gadget = BuildSatGadget(q2->query(), *nice, phi);
   std::printf("\nD[phi]: %zu facts in %zu blocks (%zu padding facts)\n",
               gadget.db.NumFacts(), gadget.db.blocks().size(),
               gadget.num_padding_facts);
   std::printf("repairs: %.3g\n", gadget.db.CountRepairs());
 
-  // Step 4: Lemma 9.2.
-  bool certain = ExhaustiveCertain(q2, gadget.db);
-  std::printf("certain(q2) on D[phi]: %s\n", certain ? "yes" : "no");
-  bool lemma = (sat.satisfiable == !certain);
+  // Step 4: Lemma 9.2, answered through the facade.
+  StatusOr<SolveReport> report = service.Solve(*q2, gadget.db);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("certain(q2) on D[phi]: %s\n",
+              report->certain ? "yes" : "no");
+  if (report->witness.has_value()) {
+    Status checked =
+        VerifyWitness(q2->query(), gadget.db, *report->witness);
+    std::printf("falsifying repair witness (%zu facts): %s\n",
+                report->witness->Facts().size(),
+                checked.ToString().c_str());
+  }
+  bool lemma = (sat.satisfiable == !report->certain);
   std::printf("Lemma 9.2 (phi sat <=> D[phi] not certain): %s\n",
               lemma ? "verified" : "VIOLATED");
   return lemma ? 0 : 1;

@@ -28,11 +28,16 @@ class FalsifierSearch {
       if (sg.solutions.self[f]) banned_count_[f] = 1;
     }
     assigned_.assign(pdb.blocks().size(), false);
+    choice_.assign(pdb.blocks().size(), 0);
   }
 
   bool FindFalsifier(std::uint64_t* nodes) {
     return Search(nodes);
   }
+
+  /// Per-block selection of the falsifier; valid after FindFalsifier
+  /// returned true (every block was assigned on the success path).
+  const std::vector<std::uint32_t>& choice() const { return choice_; }
 
  private:
   /// Number of selectable facts in block b; also reports one of them.
@@ -68,9 +73,12 @@ class FalsifierSearch {
     if (best_count == 0) return false;   // Dead end.
 
     assigned_[best_block] = true;
-    for (FactId f : db_->blocks()[best_block].facts) {
+    const std::vector<FactId>& facts = db_->blocks()[best_block].facts;
+    for (std::uint32_t idx = 0; idx < facts.size(); ++idx) {
+      FactId f = facts[idx];
       if (banned_count_[f] != 0) continue;
       // Choose f: ban all its solution-graph neighbors.
+      choice_[best_block] = idx;
       for (FactId nb : sg_->graph.Neighbors(f)) ++banned_count_[nb];
       bool ok = Search(nodes);
       for (FactId nb : sg_->graph.Neighbors(f)) --banned_count_[nb];
@@ -84,17 +92,32 @@ class FalsifierSearch {
   const SolutionGraph* sg_;
   std::vector<std::uint32_t> banned_count_;
   std::vector<bool> assigned_;
+  std::vector<std::uint32_t> choice_;
 };
 
 }  // namespace
 
 bool ExhaustiveCertain(const PreparedDatabase& pdb, const SolutionGraph& sg,
                        ExhaustiveStats* stats) {
+  return !FindFalsifyingRepair(pdb, sg, stats).has_value();
+}
+
+std::optional<Repair> FindFalsifyingRepair(const PreparedDatabase& pdb,
+                                           const SolutionGraph& sg,
+                                           ExhaustiveStats* stats) {
   FalsifierSearch search(pdb, sg);
   std::uint64_t nodes = 0;
   bool falsifier_exists = search.FindFalsifier(&nodes);
   if (stats != nullptr) stats->nodes_explored = nodes;
-  return !falsifier_exists;
+  if (!falsifier_exists) return std::nullopt;
+  return Repair(&pdb.db(), search.choice());
+}
+
+std::optional<Repair> FindFalsifyingRepair(const ConjunctiveQuery& q,
+                                           const PreparedDatabase& pdb,
+                                           ExhaustiveStats* stats) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  return FindFalsifyingRepair(pdb, BuildSolutionGraph(q, pdb), stats);
 }
 
 bool ExhaustiveCertain(const ConjunctiveQuery& q, const PreparedDatabase& pdb,

@@ -16,9 +16,11 @@
 #define CQA_ALGO_EXHAUSTIVE_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "data/database.h"
 #include "data/prepared.h"
+#include "data/repair.h"
 #include "query/query.h"
 #include "query/solution_graph.h"
 
@@ -46,6 +48,18 @@ bool ExhaustiveCertain(const ConjunctiveQuery& q, const Database& db,
 /// that the number of repairs is at most `max_repairs`.
 bool CertainByEnumeration(const ConjunctiveQuery& q, const Database& db,
                           double max_repairs = 1e7);
+
+/// The witness form of ExhaustiveCertain: a repair of pdb.db() that
+/// falsifies q, or nullopt iff q is certain. The same backtracking search,
+/// returning the selection it found instead of discarding it.
+std::optional<Repair> FindFalsifyingRepair(const ConjunctiveQuery& q,
+                                           const PreparedDatabase& pdb,
+                                           ExhaustiveStats* stats = nullptr);
+
+/// As above with a prebuilt solution graph.
+std::optional<Repair> FindFalsifyingRepair(const PreparedDatabase& pdb,
+                                           const SolutionGraph& sg,
+                                           ExhaustiveStats* stats = nullptr);
 
 }  // namespace cqa
 

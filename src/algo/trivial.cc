@@ -4,6 +4,77 @@
 #include "query/eval.h"
 
 namespace cqa {
+namespace {
+
+/// Which one-atom residue decides the query. A repair satisfies a trivial
+/// q iff it contains a residue fact, so certain(q) iff some block of the
+/// residue's relation consists entirely of residue facts, and a
+/// falsifying repair is any per-block choice of a non-residue fact.
+struct Residue {
+  /// Equal-keys case: the residue is the self-solution pattern q(a a).
+  bool self_solution = false;
+  /// Homomorphism case: the residue is this atom's repeated-variable
+  /// pattern (null in the equal-keys case).
+  const QueryAtom* atom = nullptr;
+  /// Database relation the residue lives in; kAllRelations for the
+  /// equal-keys case (whose blocks() scan is relation-agnostic).
+  RelationId relation = kAllRelations;
+
+  static constexpr RelationId kAllRelations = 0xffffffffu;
+};
+
+Residue ResidueOf(const ConjunctiveQuery& q, TrivialReason reason,
+                  const RelationBinding& binding) {
+  Residue residue;
+  if (reason == TrivialReason::kEqualKeys) {
+    // Over consistent databases both atoms must be matched by the same
+    // fact, so a repair satisfies q iff it contains a fact a with q(a a).
+    residue.self_solution = true;
+    return residue;
+  }
+  // Homomorphism case: q is equivalent to one of its atoms; find which.
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (!FindHomomorphism(q, AtomSubquery(q, i)).has_value()) continue;
+    residue.atom = &q.atoms()[i];
+    residue.relation = binding.Resolve(residue.atom->relation);
+    return residue;
+  }
+  CQA_CHECK_MSG(false, "trivial reason does not match the query");
+}
+
+bool Holds(const Residue& residue, const ConjunctiveQuery& q,
+           const RelationBinding& binding, const Database& db, FactId f) {
+  if (residue.self_solution) return IsSolution(q, binding, db, f, f);
+  return MatchesPattern(*residue.atom, db.fact(f));
+}
+
+/// Index within `block` of the first non-residue fact, or nullopt if the
+/// block consists entirely of residue facts (the certain case).
+std::optional<std::uint32_t> NonResidueChoice(const Residue& residue,
+                                              const ConjunctiveQuery& q,
+                                              const RelationBinding& binding,
+                                              const Database& db,
+                                              const Block& block) {
+  for (std::uint32_t idx = 0; idx < block.facts.size(); ++idx) {
+    if (!Holds(residue, q, binding, db, block.facts[idx])) return idx;
+  }
+  return std::nullopt;
+}
+
+/// The blocks that can be all-residue: every block in the equal-keys
+/// case, only the residue relation's blocks (via the prepared
+/// per-relation index) in the homomorphism case.
+std::vector<BlockId> CandidateBlocks(const Residue& residue,
+                                     const PreparedDatabase& pdb) {
+  if (residue.relation != Residue::kAllRelations) {
+    return pdb.BlocksOf(residue.relation);
+  }
+  std::vector<BlockId> all(pdb.blocks().size());
+  for (BlockId b = 0; b < all.size(); ++b) all[b] = b;
+  return all;
+}
+
+}  // namespace
 
 bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
                     const PreparedDatabase& pdb) {
@@ -11,47 +82,35 @@ bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
   CQA_CHECK(reason != TrivialReason::kNotTrivial);
   const Database& db = pdb.db();
   RelationBinding binding(q, db);
-
-  if (reason == TrivialReason::kEqualKeys) {
-    // Over consistent databases both atoms must be matched by the same
-    // fact, so a repair satisfies q iff it contains a fact a with q(a a).
-    // A falsifying repair avoids such facts; it exists iff every block has
-    // a fact without a self-solution.
-    for (const Block& block : pdb.blocks()) {
-      bool all_self = true;
-      for (FactId f : block.facts) {
-        if (!IsSolution(q, binding, db, f, f)) {
-          all_self = false;
-          break;
-        }
-      }
-      if (all_self) return true;
+  Residue residue = ResidueOf(q, reason, binding);
+  for (BlockId b : CandidateBlocks(residue, pdb)) {
+    if (!NonResidueChoice(residue, q, binding, db, pdb.blocks()[b])
+             .has_value()) {
+      return true;
     }
-    return false;
   }
+  return false;
+}
 
-  // Homomorphism case: q is equivalent to one of its atoms; find which.
-  for (std::size_t i = 0; i < 2; ++i) {
-    if (!FindHomomorphism(q, AtomSubquery(q, i)).has_value()) continue;
-    const QueryAtom& atom = q.atoms()[i];
-    RelationId rel = binding.Resolve(atom.relation);
-    // Certain iff some block of the atom's relation consists entirely of
-    // facts matching its repeated-variable pattern; only those blocks are
-    // visited, via the prepared per-relation block index.
-    for (BlockId b : pdb.BlocksOf(rel)) {
-      const Block& block = pdb.blocks()[b];
-      bool all_match = true;
-      for (FactId f : block.facts) {
-        if (!MatchesPattern(atom, db.fact(f))) {
-          all_match = false;
-          break;
-        }
-      }
-      if (all_match) return true;
-    }
-    return false;
+std::optional<Repair> TrivialFalsifyingRepair(const ConjunctiveQuery& q,
+                                              TrivialReason reason,
+                                              const PreparedDatabase& pdb) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  CQA_CHECK(reason != TrivialReason::kNotTrivial);
+  const Database& db = pdb.db();
+  RelationBinding binding(q, db);
+  Residue residue = ResidueOf(q, reason, binding);
+  // Blocks outside the residue's relation cannot satisfy q no matter
+  // what they keep; any choice (0) falsifies there.
+  std::vector<std::uint32_t> choice(pdb.blocks().size(), 0);
+  for (BlockId b : CandidateBlocks(residue, pdb)) {
+    std::optional<std::uint32_t> idx =
+        NonResidueChoice(residue, q, binding, db, pdb.blocks()[b]);
+    // An all-residue block means every repair satisfies q: certain.
+    if (!idx.has_value()) return std::nullopt;
+    choice[b] = *idx;
   }
-  CQA_CHECK_MSG(false, "trivial reason does not match the query");
+  return Repair(&pdb.db(), std::move(choice));
 }
 
 bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,

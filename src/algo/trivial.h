@@ -8,8 +8,11 @@
 #ifndef CQA_ALGO_TRIVIAL_H_
 #define CQA_ALGO_TRIVIAL_H_
 
+#include <optional>
+
 #include "data/database.h"
 #include "data/prepared.h"
+#include "data/repair.h"
 #include "query/hom.h"
 #include "query/query.h"
 
@@ -22,6 +25,15 @@ bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
 /// Convenience overload preparing the database on the fly.
 bool TrivialCertain(const ConjunctiveQuery& q, TrivialReason reason,
                     const Database& db);
+
+/// The witness form of TrivialCertain: a repair of pdb.db() that falsifies
+/// q, or nullopt iff q is certain. Picks, in every block of the residue's
+/// relation, a fact that fails the one-atom residue (such a fact exists in
+/// each of them exactly when certain(q) is false); other relations'
+/// blocks keep an arbitrary fact. Linear in the database.
+std::optional<Repair> TrivialFalsifyingRepair(const ConjunctiveQuery& q,
+                                              TrivialReason reason,
+                                              const PreparedDatabase& pdb);
 
 }  // namespace cqa
 

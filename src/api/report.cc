@@ -1,0 +1,47 @@
+#include "api/report.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace cqa {
+
+std::string SolveReport::Summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "certain=%s class=[%s] algorithm=[%s] backend=%s "
+                "facts=%llu blocks=%llu solve=%.3fms%s",
+                certain ? "yes" : "no", ToString(query_class).c_str(),
+                ToString(algorithm).c_str(), backend_name.c_str(),
+                static_cast<unsigned long long>(num_facts),
+                static_cast<unsigned long long>(num_blocks),
+                timings.solve_seconds * 1e3,
+                witness.has_value() ? " witness=present" : "");
+  return buffer;
+}
+
+SolveReport ExecuteReport(const Classification& classification,
+                          const CertainBackend& backend,
+                          const PreparedDatabase& pdb, bool want_witness) {
+  SolveReport report;
+  report.query_class = classification.query_class;
+  report.complexity = classification.complexity;
+  report.algorithm = backend.algorithm();
+  report.backend_name = std::string(backend.name());
+  report.num_facts = pdb.NumFacts();
+  report.num_blocks = pdb.blocks().size();
+
+  auto start = std::chrono::steady_clock::now();
+  if (want_witness && backend.CanExplain()) {
+    // One pass answers both questions: certain iff no falsifier exists.
+    report.witness = backend.Explain(pdb);
+    report.certain = !report.witness.has_value();
+  } else {
+    report.certain = backend.Solve(pdb);
+  }
+  report.timings.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace cqa

@@ -1,0 +1,79 @@
+// SolveReport: the answer to certain(q) with full provenance.
+//
+// Like api/status.h, this is boundary *vocabulary*, not machinery: it
+// depends only on layers below engine/, so engine/batch.h can speak
+// StatusOr<SolveReport> without pulling the Service in — the dependency
+// between engine/ and the api/ machinery stays one-way (api uses engine).
+//
+// Replaces the bare SolverAnswer {bool, enum} at the API boundary: every
+// solve reports what was decided, by which dichotomy class and algorithm,
+// how long each phase took, how big the instance was, and — when the
+// answer is not certain and the backend supports Explain — a falsifying
+// repair witness that VerifyWitness (api/witness.h) can check
+// independently.
+
+#ifndef CQA_API_REPORT_H_
+#define CQA_API_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "classify/classifier.h"
+#include "data/prepared.h"
+#include "data/repair.h"
+#include "engine/backend.h"
+
+namespace cqa {
+
+/// Wall-clock seconds per phase. Parse and classify happen once per
+/// compiled query (Service::Compile) and are amortized over every solve
+/// with that handle; prepare happens once per registered database (or per
+/// ad-hoc solve); solve is per call.
+struct PhaseTimings {
+  double parse_seconds = 0.0;
+  double classify_seconds = 0.0;
+  double prepare_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Answer with provenance; the only result type the public API returns.
+struct SolveReport {
+  bool certain = false;
+
+  /// Where the query landed in the dichotomy and what answered.
+  QueryClass query_class = QueryClass::kUnresolved;
+  Complexity complexity = Complexity::kUnknown;
+  SolverAlgorithm algorithm = SolverAlgorithm::kExhaustive;
+  std::string backend_name;
+
+  PhaseTimings timings;
+
+  /// Instance size counters.
+  std::uint64_t num_facts = 0;
+  std::uint64_t num_blocks = 0;
+
+  /// A repair falsifying the query: present only when certain is false
+  /// and the backend supports Explain. Points into the solved database
+  /// and is valid while that database lives.
+  std::optional<Repair> witness;
+
+  /// One-line human-readable summary (never prints raw enum ints).
+  std::string Summary() const;
+};
+
+/// Runs a prepared `backend` on `pdb` and assembles the per-call part of
+/// the report: answer, provenance, counters, solve timing, and (when
+/// `want_witness` and not certain) the backend's witness. For backends
+/// with CanExplain the answer and witness come from one Explain pass
+/// (never Solve *and* Explain, which would double the expensive
+/// searches). Parse/classify/prepare timings are the caller's to fill
+/// in. Shared by Service and BatchSolver so single-shot and batch
+/// reports can never drift apart.
+SolveReport ExecuteReport(const Classification& classification,
+                          const CertainBackend& backend,
+                          const PreparedDatabase& pdb, bool want_witness);
+
+}  // namespace cqa
+
+#endif  // CQA_API_REPORT_H_

@@ -1,0 +1,236 @@
+#include "api/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "engine/registry.h"
+#include "query/eval.h"
+
+namespace cqa {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {}
+
+StatusOr<CompiledQuery> Service::Compile(std::string_view text,
+                                         const CompileOptions& options) {
+  auto parse_start = std::chrono::steady_clock::now();
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus(text);
+  if (!parsed.ok()) return parsed.status();
+  double parse_seconds = SecondsSince(parse_start);
+
+  // The cache key is the parser's canonical form, so formatting variants
+  // of one query share a compilation. allow_unresolved is deliberately
+  // not part of the key: the unresolved gate is re-applied on every hit.
+  std::string key = parsed->ToString();
+  key += '\x1f';
+  key += options.forced_backend;
+
+  std::shared_ptr<const CompiledQuery::State> cached;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = compiled_.find(key);
+    if (it != compiled_.end()) cached = it->second;
+  }
+  if (cached == nullptr) {
+    // Classify outside the lock: the tripath search can be slow, and a
+    // hard compile must not stall every other Compile and Solve. A lost
+    // race just means two threads classified the same query; the first
+    // insertion wins and the duplicate is discarded.
+    SolverOptions solver_options;
+    solver_options.practical_k = options_.practical_k;
+    solver_options.tripath_limits = options_.tripath_limits;
+    solver_options.forced_backend = options.forced_backend;
+    auto classify_start = std::chrono::steady_clock::now();
+    StatusOr<CertainSolver> solver =
+        CertainSolver::Create(std::move(parsed).value(),
+                              std::move(solver_options));
+    if (!solver.ok()) return solver.status();
+    double classify_seconds = SecondsSince(classify_start);
+
+    auto state = std::make_shared<CompiledQuery::State>(
+        solver->query().ToString(), std::move(solver).value());
+    state->parse_seconds = parse_seconds;
+    state->classify_seconds = classify_seconds;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached = compiled_.emplace(std::move(key), std::move(state))
+                 .first->second;
+  }
+
+  const CompiledQuery::State& state = *cached;
+  if (state.solver.classification().query_class == QueryClass::kUnresolved &&
+      options.forced_backend.empty() && !options.allow_unresolved) {
+    return Status(
+        StatusCode::kUnresolvedClass,
+        "classification unresolved within tripath search bounds for " +
+            state.text +
+            " (pass CompileOptions::allow_unresolved to fall back to the "
+            "exact exponential backend, or raise "
+            "ServiceOptions::tripath_limits): " +
+            state.solver.classification().explanation);
+  }
+  return CompiledQuery(std::move(cached));
+}
+
+std::size_t Service::CompiledCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compiled_.size();
+}
+
+Status Service::RegisterDatabase(std::string_view name, Database db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = databases_.find(name);
+  if (it != databases_.end()) {
+    return Status(StatusCode::kAlreadyExists,
+                  "database \"" + std::string(name) +
+                      "\" is already registered (DropDatabase first to "
+                      "replace it)");
+  }
+  auto entry = std::make_shared<DbEntry>(std::move(db));
+  auto prepare_start = std::chrono::steady_clock::now();
+  entry->prepared.emplace(entry->db);
+  entry->prepare_seconds = SecondsSince(prepare_start);
+  databases_.emplace(std::string(name), std::move(entry));
+  return Status::Ok();
+}
+
+Status Service::DropDatabase(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = databases_.find(name);
+  if (it == databases_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "unknown database \"" + std::string(name) + "\"");
+  }
+  databases_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> Service::DatabaseNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, entry] : databases_) names.push_back(name);
+  return names;
+}
+
+void Service::FillCompileTimings(const CompiledQuery& q,
+                                 SolveReport* report) const {
+  report->timings.parse_seconds = q.state_->parse_seconds;
+  report->timings.classify_seconds = q.state_->classify_seconds;
+}
+
+StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
+                                     std::string_view db_name) const {
+  if (!q.valid()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty CompiledQuery handle (use Service::Compile)");
+  }
+  // Copying the shared_ptr keeps the entry alive through the solve even
+  // if DropDatabase erases it concurrently.
+  std::shared_ptr<const DbEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = databases_.find(db_name);
+    if (it == databases_.end()) {
+      std::vector<std::string> names;
+      names.reserve(databases_.size());
+      for (const auto& [name, unused] : databases_) names.push_back(name);
+      return Status(StatusCode::kNotFound,
+                    "unknown database \"" + std::string(db_name) +
+                        "\" (registered: " + JoinNames(names) + ")");
+    }
+    entry = it->second;
+  }
+  Status bound = ValidateBinding(q.query(), entry->db);
+  if (!bound.ok()) return bound;
+  SolveReport report =
+      ExecuteReport(q.classification(), q.state_->solver.backend(),
+                    *entry->prepared, options_.explain_non_certain);
+  report.timings.prepare_seconds = entry->prepare_seconds;
+  FillCompileTimings(q, &report);
+  return report;
+}
+
+StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
+                                     const Database& db) const {
+  if (!q.valid()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "empty CompiledQuery handle (use Service::Compile)");
+  }
+  Status bound = ValidateBinding(q.query(), db);
+  if (!bound.ok()) return bound;
+  auto prepare_start = std::chrono::steady_clock::now();
+  PreparedDatabase pdb(db);
+  double prepare_seconds = SecondsSince(prepare_start);
+  SolveReport report =
+      ExecuteReport(q.classification(), q.state_->solver.backend(), pdb,
+                    options_.explain_non_certain);
+  report.timings.prepare_seconds = prepare_seconds;
+  FillCompileTimings(q, &report);
+  return report;
+}
+
+std::vector<StatusOr<SolveReport>> Service::SolveMany(
+    const CompiledQuery& q, const std::vector<std::string>& db_names) const {
+  std::vector<StatusOr<SolveReport>> reports;
+  reports.reserve(db_names.size());
+  for (const std::string& name : db_names) reports.push_back(Solve(q, name));
+  return reports;
+}
+
+std::vector<StatusOr<SolveReport>> Service::SolveBatch(
+    const CompiledQuery& q, const std::vector<const Database*>& dbs,
+    BatchStats* stats) const {
+  if (!q.valid()) {
+    std::vector<StatusOr<SolveReport>> reports;
+    reports.reserve(dbs.size());
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+      reports.push_back(
+          Status(StatusCode::kInvalidArgument,
+                 "empty CompiledQuery handle (use Service::Compile)"));
+    }
+    return reports;
+  }
+  BatchOptions batch_options;
+  batch_options.num_threads = options_.batch_threads;
+  batch_options.want_witness = options_.explain_non_certain;
+  BatchSolver batch(q.state_->solver, batch_options);
+  std::vector<StatusOr<SolveReport>> reports =
+      batch.SolveAllReports(dbs, stats);
+  for (StatusOr<SolveReport>& report : reports) {
+    if (report.ok()) FillCompileTimings(q, &report.value());
+  }
+  return reports;
+}
+
+std::vector<StatusOr<SolveReport>> Service::SolveBatch(
+    const CompiledQuery& q, const std::vector<Database>& dbs,
+    BatchStats* stats) const {
+  std::vector<const Database*> pointers;
+  pointers.reserve(dbs.size());
+  for (const Database& db : dbs) pointers.push_back(&db);
+  return SolveBatch(q, pointers, stats);
+}
+
+std::vector<std::string> Service::BackendNames() {
+  return BackendRegistry::Global().Names();
+}
+
+}  // namespace cqa

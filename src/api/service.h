@@ -1,0 +1,214 @@
+// cqa::Service — the one stable entry point to the certain-answer engine.
+//
+// Everything outside src/ and tests/ (examples, benches, future servers)
+// talks to this facade and nothing else:
+//
+//   Service service;
+//   auto q = service.Compile("R(x | y) R(y | z)");
+//   if (!q.ok()) { /* q.status(): typed code + line:column message */ }
+//   service.RegisterDatabase("orders", std::move(db));   // prepared once
+//   auto report = service.Solve(*q, "orders");
+//   if (report.ok() && !report->certain && report->witness) {
+//     // report->witness is a repair falsifying the query.
+//   }
+//
+// Design:
+//   - No exception crosses this boundary: every fallible call returns
+//     Status or StatusOr (api/status.h).
+//   - Compile parses, classifies, and binds the dichotomy backend once,
+//     caching the handle by canonical query text (so "R(x|y)  R(y|z)"
+//     and "R(x | y) R(y | z)" share one compilation) plus compile
+//     options. Handles are cheap shared_ptr copies and stay valid for
+//     the life of the Service.
+//   - RegisterDatabase ingests and prepares (block partition + indexes)
+//     once; every later solve against that name reuses the preparation.
+//   - Solves return SolveReport (api/report.h): answer, class,
+//     algorithm, per-phase timings, size counters, and a
+//     falsifying-repair witness for non-certain answers when the
+//     backend supports Explain.
+//
+// Thread-safety: all methods lock internally around the shared maps and
+// share prepared state read-only (as BatchSolver's workers do), so
+// Compile, registration, and Solve may run concurrently; a database
+// dropped mid-solve stays alive until the solve returns.
+
+#ifndef CQA_API_SERVICE_H_
+#define CQA_API_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/report.h"
+#include "api/status.h"
+#include "api/witness.h"
+#include "classify/classifier.h"
+#include "data/database.h"
+#include "data/prepared.h"
+#include "engine/batch.h"
+#include "engine/solver.h"
+
+namespace cqa {
+
+/// Service-wide knobs, fixed at construction.
+struct ServiceOptions {
+  /// Practical k for Cert_k-based backends (see SolverOptions).
+  std::uint32_t practical_k = 4;
+  /// Bounds for the classifier's tripath search.
+  TripathSearchLimits tripath_limits;
+  /// Worker threads for SolveBatch; 0 means hardware concurrency.
+  std::uint32_t batch_threads = 0;
+  /// Attach falsifying-repair witnesses to non-certain reports (backends
+  /// without Explain still report no witness).
+  bool explain_non_certain = true;
+};
+
+/// Per-Compile knobs; part of the cache key.
+struct CompileOptions {
+  /// When nonempty, bypass the dichotomy dispatch and answer with this
+  /// registry backend (e.g. "sat", "exhaustive").
+  std::string forced_backend;
+  /// Accept queries the classifier could not resolve within its tripath
+  /// bounds (they fall back to the exact, exponential backend). Off by
+  /// default: an unresolved classification is a typed error so callers
+  /// explicitly opt into potentially exponential work.
+  bool allow_unresolved = false;
+};
+
+/// A parsed + classified + backend-bound query; obtained from
+/// Service::Compile, valid for the life of the Service. Cheap to copy.
+class CompiledQuery {
+ public:
+  /// Empty handle; using it in a solve yields kInvalidArgument.
+  CompiledQuery() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Canonical text (the parser's normal form, e.g. "R(x | y) R(y | z)").
+  const std::string& text() const { return state_->text; }
+  const ConjunctiveQuery& query() const { return state_->solver.query(); }
+  const Classification& classification() const {
+    return state_->solver.classification();
+  }
+  /// Registry name of the backend the dichotomy bound, e.g. "cert2".
+  std::string_view backend_name() const {
+    return state_->solver.backend().name();
+  }
+  SolverAlgorithm algorithm() const {
+    return state_->solver.backend().algorithm();
+  }
+
+ private:
+  friend class Service;
+  struct State {
+    State(std::string text_in, CertainSolver solver_in)
+        : text(std::move(text_in)), solver(std::move(solver_in)) {}
+    std::string text;
+    CertainSolver solver;
+    double parse_seconds = 0.0;
+    double classify_seconds = 0.0;
+  };
+  explicit CompiledQuery(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<const State> state_;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  // Disallow copies: handles and prepared state point into this object.
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // -- Queries --------------------------------------------------------
+
+  /// Parses, classifies, and binds `text` (cached). Errors:
+  /// kInvalidQuery (with line:column + caret), kUnknownBackend,
+  /// kCapabilityMismatch, kUnresolvedClass.
+  StatusOr<CompiledQuery> Compile(std::string_view text,
+                                  const CompileOptions& options = {});
+
+  /// Number of distinct compilations currently cached.
+  std::size_t CompiledCount() const;
+
+  // -- Databases ------------------------------------------------------
+
+  /// Ingests `db` under `name`, preparing its indexes once. Errors:
+  /// kAlreadyExists.
+  Status RegisterDatabase(std::string_view name, Database db);
+
+  /// Removes a registered database. Errors: kNotFound. In-flight solves
+  /// keep the entry alive (shared ownership) and finish normally; the
+  /// storage is freed when the last of them returns. Witnesses held
+  /// beyond that point into freed memory — discard them with the report.
+  Status DropDatabase(std::string_view name);
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> DatabaseNames() const;
+
+  // -- Solving --------------------------------------------------------
+
+  /// Answers certain(q) on a registered database. Errors: kNotFound,
+  /// kSchemaMismatch, kInvalidArgument (empty handle).
+  StatusOr<SolveReport> Solve(const CompiledQuery& q,
+                              std::string_view db_name) const;
+
+  /// Answers certain(q) on a caller-owned database (prepared per call).
+  StatusOr<SolveReport> Solve(const CompiledQuery& q,
+                              const Database& db) const;
+
+  /// One report per registered name, in input order; per-slot errors.
+  std::vector<StatusOr<SolveReport>> SolveMany(
+      const CompiledQuery& q, const std::vector<std::string>& db_names) const;
+
+  /// Answers certain(q) on N caller-owned databases on the batch thread
+  /// pool; per-slot errors (see BatchSolver::SolveAllReports).
+  std::vector<StatusOr<SolveReport>> SolveBatch(
+      const CompiledQuery& q, const std::vector<const Database*>& dbs,
+      BatchStats* stats = nullptr) const;
+
+  /// Convenience overload for owned databases.
+  std::vector<StatusOr<SolveReport>> SolveBatch(
+      const CompiledQuery& q, const std::vector<Database>& dbs,
+      BatchStats* stats = nullptr) const;
+
+  // -- Introspection --------------------------------------------------
+
+  /// Registered backend names (the forced_backend vocabulary).
+  static std::vector<std::string> BackendNames();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct DbEntry {
+    explicit DbEntry(Database db_in) : db(std::move(db_in)) {}
+    Database db;
+    // Prepared after `db` has its final address (construction order).
+    std::optional<PreparedDatabase> prepared;
+    double prepare_seconds = 0.0;
+  };
+
+  /// Stamps the compile-time phase timings onto a finished report.
+  void FillCompileTimings(const CompiledQuery& q, SolveReport* report) const;
+
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const CompiledQuery::State>,
+           std::less<>>
+      compiled_;
+  // shared_ptr: a Solve copies the entry's ownership under the lock, so
+  // a concurrent DropDatabase cannot free the database under it.
+  std::map<std::string, std::shared_ptr<const DbEntry>, std::less<>>
+      databases_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_API_SERVICE_H_

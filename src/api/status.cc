@@ -1,0 +1,42 @@
+#include "api/status.h"
+
+namespace cqa {
+
+std::string_view ToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidQuery: return "INVALID_QUERY";
+    case StatusCode::kUnknownBackend: return "UNKNOWN_BACKEND";
+    case StatusCode::kCapabilityMismatch: return "CAPABILITY_MISMATCH";
+    case StatusCode::kUnresolvedClass: return "UNRESOLVED_CLASSIFICATION";
+    case StatusCode::kSchemaMismatch: return "SCHEMA_MISMATCH";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+  }
+  return "?";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,              StatusCode::kInvalidQuery,
+      StatusCode::kUnknownBackend,  StatusCode::kCapabilityMismatch,
+      StatusCode::kUnresolvedClass, StatusCode::kSchemaMismatch,
+      StatusCode::kNotFound,        StatusCode::kAlreadyExists,
+      StatusCode::kInvalidArgument,
+  };
+  for (StatusCode code : kAll) {
+    if (ToString(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(cqa::ToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace cqa

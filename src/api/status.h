@@ -1,0 +1,115 @@
+// Status / StatusOr: the exception-free error model of the public API.
+//
+// Nothing that crosses the cqa::Service boundary throws. Fallible
+// operations return Status (or StatusOr<T> when they also produce a
+// value) with a typed code and a human-readable message; the legacy
+// throwing entry points (ParseQuery, the CertainSolver constructor) are
+// thin shims over the Status-returning variants and exist only for source
+// compatibility inside the library.
+//
+// This header is deliberately a leaf: it depends on the standard library
+// only, so every layer (query/, engine/, api/) can return Status without
+// upward includes.
+
+#ifndef CQA_API_STATUS_H_
+#define CQA_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/check.h"
+
+namespace cqa {
+
+/// Why an API call failed. kOk is the only success code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidQuery,       ///< Malformed query text (parse error, with position).
+  kUnknownBackend,     ///< forced_backend names no registered backend.
+  kCapabilityMismatch, ///< The chosen backend cannot answer this query.
+  kUnresolvedClass,    ///< Classification hit its tripath search bounds.
+  kSchemaMismatch,     ///< Database lacks or disagrees on a query relation.
+  kNotFound,           ///< Unknown database name or stale handle.
+  kAlreadyExists,      ///< Duplicate database registration.
+  kInvalidArgument,    ///< Any other rejected input.
+};
+
+/// Stable UPPER_SNAKE name of a code, e.g. "UNKNOWN_BACKEND".
+std::string_view ToString(StatusCode code);
+
+/// Inverse of ToString(StatusCode); nullopt for unrecognized names.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
+
+/// Outcome of a fallible call: a code plus a message when not ok.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value of type T; exactly one is present.
+///
+/// The accessors CHECK instead of throwing: dereferencing an error
+/// StatusOr is a programming bug (the caller skipped the ok() test), not
+/// a runtime condition, and the API boundary must stay exception-free.
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state. CHECKs that `status` is not ok (an ok StatusOr must
+  /// carry a value).
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CQA_CHECK_MSG(!status_.ok(), "StatusOr built from an ok Status");
+  }
+
+  /// Value state.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CQA_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  T& value() & {
+    CQA_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  T&& value() && {
+    CQA_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_API_STATUS_H_

@@ -1,0 +1,39 @@
+#include "api/witness.h"
+
+#include <string>
+
+#include "query/eval.h"
+
+namespace cqa {
+
+Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
+                     const Repair& witness) {
+  Status bound = ValidateBinding(q, db);
+  if (!bound.ok()) return bound;
+  if (witness.database() != &db) {
+    return Status(StatusCode::kInvalidArgument,
+                  "witness repair is not bound to this database");
+  }
+  const std::vector<Block>& blocks = db.blocks();
+  if (witness.choice().size() != blocks.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "witness selects " +
+                      std::to_string(witness.choice().size()) +
+                      " blocks, database has " +
+                      std::to_string(blocks.size()));
+  }
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    if (witness.choice()[b] >= blocks[b].facts.size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "witness choice out of range in block " +
+                        std::to_string(b));
+    }
+  }
+  if (SatisfiesRepair(q, db, witness)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "witness repair satisfies the query (not falsifying)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cqa

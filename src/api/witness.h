@@ -1,0 +1,29 @@
+// VerifyWitness: independent check of a falsifying-repair witness.
+//
+// SolveReports carry a witness repair when the answer is not certain and
+// the answering backend supports CertainBackend::Explain. VerifyWitness
+// re-derives the claim from first principles — the witness is a
+// structurally valid repair of the database and the query fails on it —
+// using only the evaluator, never the backend that produced it, so a
+// buggy backend cannot vouch for itself.
+
+#ifndef CQA_API_WITNESS_H_
+#define CQA_API_WITNESS_H_
+
+#include "api/status.h"
+#include "data/database.h"
+#include "data/repair.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Ok iff `witness` is a well-formed repair of `db` (one in-range choice
+/// per block, bound to this database) and q fails on it. Error codes:
+/// kInvalidArgument for a malformed or satisfied witness, kSchemaMismatch
+/// when db cannot be bound to q at all.
+Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
+                     const Repair& witness);
+
+}  // namespace cqa
+
+#endif  // CQA_API_WITNESS_H_

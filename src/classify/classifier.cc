@@ -144,4 +144,30 @@ std::string ToString(Complexity c) {
   return "?";
 }
 
+std::optional<QueryClass> QueryClassFromString(std::string_view s) {
+  static constexpr QueryClass kAll[] = {
+      QueryClass::kTrivial,           QueryClass::kSjfFirstOrder,
+      QueryClass::kSjfPTime,          QueryClass::kSjfCoNPComplete,
+      QueryClass::kPTimeCert2,        QueryClass::kCoNPHardCondition,
+      QueryClass::kPTimeNoTripath,    QueryClass::kCoNPForkTripath,
+      QueryClass::kPTimeTriangleOnly, QueryClass::kUnresolved,
+  };
+  for (QueryClass c : kAll) {
+    if (ToString(c) == s) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<Complexity> ComplexityFromString(std::string_view s) {
+  static constexpr Complexity kAll[] = {
+      Complexity::kPTime,
+      Complexity::kCoNPComplete,
+      Complexity::kUnknown,
+  };
+  for (Complexity c : kAll) {
+    if (ToString(c) == s) return c;
+  }
+  return std::nullopt;
+}
+
 }  // namespace cqa

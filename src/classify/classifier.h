@@ -18,7 +18,9 @@
 #ifndef CQA_CLASSIFY_CLASSIFIER_H_
 #define CQA_CLASSIFY_CLASSIFIER_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "classify/attack_graph.h"
 #include "query/hom.h"
@@ -61,6 +63,12 @@ Classification ClassifyQuery(const ConjunctiveQuery& q,
 
 std::string ToString(QueryClass c);
 std::string ToString(Complexity c);
+
+/// Inverses of the ToString functions above (exact match of their
+/// output); nullopt for unrecognized strings. Reports and logs round-trip
+/// through these, so enums never surface as raw ints.
+std::optional<QueryClass> QueryClassFromString(std::string_view s);
+std::optional<Complexity> ComplexityFromString(std::string_view s);
 
 }  // namespace cqa
 

@@ -16,10 +16,12 @@
 #define CQA_ENGINE_BACKEND_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "data/prepared.h"
+#include "data/repair.h"
 #include "query/query.h"
 
 namespace cqa {
@@ -35,6 +37,9 @@ enum class SolverAlgorithm {
 };
 
 std::string ToString(SolverAlgorithm a);
+
+/// Inverse of ToString(SolverAlgorithm); nullopt for unrecognized strings.
+std::optional<SolverAlgorithm> SolverAlgorithmFromString(std::string_view s);
 
 /// Knobs shared by all backends.
 struct BackendOptions {
@@ -64,6 +69,22 @@ class CertainBackend {
   /// the backend and the query's dichotomy class; every built-in backend
   /// is at least sound (a true answer implies certainty).
   virtual bool Solve(const PreparedDatabase& pdb) const = 0;
+
+  /// True if Explain is implemented. For such backends Explain is an
+  /// exact replacement for Solve (certain iff no witness), so callers
+  /// wanting a witness ask Explain once instead of Solve + Explain.
+  virtual bool CanExplain() const { return false; }
+
+  /// Optional witness hook: a repair of pdb.db() that falsifies the query,
+  /// i.e. the evidence behind a Solve(pdb) == false answer. Backends that
+  /// cannot exhibit one (the Cert_k family decides via a fixpoint, not a
+  /// repair) return nullopt; so does every backend when the answer is
+  /// certain. The returned Repair points into pdb.db() and is valid while
+  /// that database lives. Same thread-safety contract as Solve.
+  virtual std::optional<Repair> Explain(const PreparedDatabase& pdb) const {
+    (void)pdb;
+    return std::nullopt;
+  }
 };
 
 }  // namespace cqa

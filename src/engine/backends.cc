@@ -49,6 +49,10 @@ class TrivialScanBackend : public TwoAtomBackend {
   bool Solve(const PreparedDatabase& pdb) const override {
     return TrivialCertain(query(), reason_, pdb);
   }
+  bool CanExplain() const override { return true; }
+  std::optional<Repair> Explain(const PreparedDatabase& pdb) const override {
+    return TrivialFalsifyingRepair(query(), reason_, pdb);
+  }
 
  protected:
   bool PrepareImpl(const ConjunctiveQuery& q) override {
@@ -106,6 +110,10 @@ class ExhaustiveBackend : public TwoAtomBackend {
   bool Solve(const PreparedDatabase& pdb) const override {
     return ExhaustiveCertain(query(), pdb);
   }
+  bool CanExplain() const override { return true; }
+  std::optional<Repair> Explain(const PreparedDatabase& pdb) const override {
+    return FindFalsifyingRepair(query(), pdb);
+  }
 };
 
 class SatBackend : public TwoAtomBackend {
@@ -116,6 +124,31 @@ class SatBackend : public TwoAtomBackend {
     SolutionSet solutions = ComputeSolutions(query(), pdb);
     CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
     return !SolveDpll(falsifier).satisfiable;
+  }
+  bool CanExplain() const override { return true; }
+  std::optional<Repair> Explain(const PreparedDatabase& pdb) const override {
+    SolutionSet solutions = ComputeSolutions(query(), pdb);
+    CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
+    SatResult sat = SolveDpll(falsifier);
+    if (!sat.satisfiable) return std::nullopt;
+    // CNF variables are fact ids; the at-least-one clauses guarantee a
+    // true fact in every block, and restricting the satisfying assignment
+    // to one true fact per block stays solution-free (see
+    // EncodeFalsifierCnf), so any such restriction is a falsifying repair.
+    std::vector<std::uint32_t> choice(pdb.blocks().size(), 0);
+    for (BlockId b = 0; b < pdb.blocks().size(); ++b) {
+      const Block& block = pdb.blocks()[b];
+      bool found = false;
+      for (std::uint32_t idx = 0; idx < block.facts.size(); ++idx) {
+        if (sat.assignment[block.facts[idx]]) {
+          choice[b] = idx;
+          found = true;
+          break;
+        }
+      }
+      CQA_CHECK_MSG(found, "satisfying assignment misses a block");
+    }
+    return Repair(&pdb.db(), std::move(choice));
   }
 };
 

@@ -3,16 +3,66 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 
 #include "base/check.h"
 #include "data/prepared.h"
+#include "query/eval.h"
 
 namespace cqa {
+namespace {
+
+/// Runs `worker(job)` for jobs 0..num_jobs-1 on up to `num_threads`
+/// threads (work stealing via a shared atomic cursor; workers write to
+/// disjoint slots, so no further synchronization is needed). Returns the
+/// number of threads actually used.
+template <typename Worker>
+std::uint32_t RunJobs(std::size_t num_jobs, std::uint32_t num_threads,
+                      const Worker& worker) {
+  std::atomic<std::size_t> next{0};
+  auto loop = [&]() {
+    for (;;) {
+      std::size_t job = next.fetch_add(1, std::memory_order_relaxed);
+      if (job >= num_jobs) return;
+      worker(job);
+    }
+  };
+  std::uint32_t spawned = static_cast<std::uint32_t>(
+      std::min<std::size_t>(num_threads, num_jobs));
+  if (spawned <= 1) {
+    loop();
+    return num_jobs == 0 ? 0 : 1;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(spawned);
+  for (std::uint32_t t = 0; t < spawned; ++t) pool.emplace_back(loop);
+  for (std::thread& t : pool) t.join();
+  return spawned;
+}
+
+void FillStats(BatchStats* stats, std::uint32_t threads_used,
+               std::uint64_t queries,
+               std::chrono::steady_clock::time_point start) {
+  if (stats == nullptr) return;
+  auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  stats->threads_used = threads_used;
+  stats->queries = queries;
+  stats->wall_seconds = elapsed.count();
+  stats->queries_per_sec =
+      stats->wall_seconds > 0.0
+          ? static_cast<double>(queries) / stats->wall_seconds
+          : 0.0;
+}
+
+}  // namespace
 
 BatchSolver::BatchSolver(const CertainSolver& solver, BatchOptions options)
-    : solver_(&solver), num_threads_(options.num_threads) {
+    : solver_(&solver),
+      num_threads_(options.num_threads),
+      want_witness_(options.want_witness) {
   if (num_threads_ == 0) {
     num_threads_ = std::thread::hardware_concurrency();
     if (num_threads_ == 0) num_threads_ = 1;
@@ -33,45 +83,77 @@ std::vector<SolverAnswer> BatchSolver::SolveAll(
 
   std::vector<SolverAnswer> answers(dbs.size());
   auto start = std::chrono::steady_clock::now();
-
-  // Work stealing via a shared atomic cursor: threads claim the next
-  // unclaimed job until none remain. Answers are written to disjoint
-  // slots, so no further synchronization is needed.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      std::size_t job = next.fetch_add(1, std::memory_order_relaxed);
-      if (job >= dbs.size()) return;
-      PreparedDatabase pdb(*dbs[job]);
-      answers[job] = solver_->Solve(pdb);
-    }
-  };
-
-  std::uint32_t spawned =
-      static_cast<std::uint32_t>(std::min<std::size_t>(num_threads_,
-                                                       dbs.size()));
-  if (spawned <= 1) {
-    worker();
-    spawned = dbs.empty() ? 0 : 1;
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(spawned);
-    for (std::uint32_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  if (stats != nullptr) {
-    auto elapsed = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start);
-    stats->threads_used = spawned;
-    stats->queries = dbs.size();
-    stats->wall_seconds = elapsed.count();
-    stats->queries_per_sec =
-        stats->wall_seconds > 0.0
-            ? static_cast<double>(dbs.size()) / stats->wall_seconds
-            : 0.0;
-  }
+  std::uint32_t spawned = RunJobs(dbs.size(), num_threads_,
+                                  [&](std::size_t job) {
+                                    PreparedDatabase pdb(*dbs[job]);
+                                    answers[job] = solver_->Solve(pdb);
+                                  });
+  FillStats(stats, spawned, dbs.size(), start);
   return answers;
+}
+
+std::vector<StatusOr<SolveReport>> BatchSolver::SolveAllReports(
+    const std::vector<const Database*>& dbs, BatchStats* stats) const {
+  // Pre-screen poisoned entries on the caller's thread: null and
+  // duplicate pointers (a duplicate's lazy block index is a data race
+  // between workers), and databases the query cannot bind to. Bad slots
+  // get their error Status here and are skipped by the workers.
+  std::vector<Status> slot_errors(dbs.size());
+  std::unordered_set<const Database*> seen;
+  std::uint64_t solvable = 0;
+  for (std::size_t i = 0; i < dbs.size(); ++i) {
+    if (dbs[i] == nullptr) {
+      slot_errors[i] = Status(StatusCode::kInvalidArgument,
+                              "null database in batch slot " +
+                                  std::to_string(i));
+    } else if (!seen.insert(dbs[i]).second) {
+      slot_errors[i] = Status(
+          StatusCode::kInvalidArgument,
+          "duplicate database pointer in batch slot " + std::to_string(i) +
+              " (each job must own its lazy block index)");
+    } else {
+      slot_errors[i] = ValidateBinding(solver_->query(), *dbs[i]);
+      if (slot_errors[i].ok()) ++solvable;
+    }
+  }
+
+  std::vector<std::optional<SolveReport>> reports(dbs.size());
+  auto start = std::chrono::steady_clock::now();
+  std::uint32_t spawned =
+      RunJobs(dbs.size(), num_threads_, [&](std::size_t job) {
+        if (!slot_errors[job].ok()) return;
+        auto prepare_start = std::chrono::steady_clock::now();
+        PreparedDatabase pdb(*dbs[job]);
+        double prepare_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          prepare_start)
+                .count();
+        SolveReport report =
+            ExecuteReport(solver_->classification(), solver_->backend(), pdb,
+                          want_witness_);
+        report.timings.prepare_seconds = prepare_seconds;
+        reports[job] = std::move(report);
+      });
+  FillStats(stats, spawned, solvable, start);
+
+  std::vector<StatusOr<SolveReport>> out;
+  out.reserve(dbs.size());
+  for (std::size_t i = 0; i < dbs.size(); ++i) {
+    if (reports[i].has_value()) {
+      out.push_back(std::move(*reports[i]));
+    } else {
+      out.push_back(std::move(slot_errors[i]));
+    }
+  }
+  return out;
+}
+
+std::vector<StatusOr<SolveReport>> BatchSolver::SolveAllReports(
+    const std::vector<Database>& dbs, BatchStats* stats) const {
+  std::vector<const Database*> pointers;
+  pointers.reserve(dbs.size());
+  for (const Database& db : dbs) pointers.push_back(&db);
+  return SolveAllReports(pointers, stats);
 }
 
 std::vector<SolverAnswer> BatchSolver::SolveAll(

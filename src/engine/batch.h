@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/report.h"
+#include "api/status.h"
 #include "data/database.h"
 #include "engine/solver.h"
 
@@ -27,6 +29,9 @@ namespace cqa {
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   std::uint32_t num_threads = 0;
+  /// SolveAllReports: attach falsifying-repair witnesses to non-certain
+  /// reports (backends without Explain still report no witness).
+  bool want_witness = true;
 };
 
 /// Throughput accounting for one SolveAll call.
@@ -43,7 +48,9 @@ class BatchSolver {
   explicit BatchSolver(const CertainSolver& solver, BatchOptions options = {});
 
   /// Answers every database, in input order. Each pointer must be non-null
-  /// and distinct.
+  /// and distinct (CHECKed); a schema-mismatched database aborts the
+  /// process via RelationBinding. Prefer SolveAllReports, which degrades
+  /// both into per-slot errors.
   std::vector<SolverAnswer> SolveAll(const std::vector<const Database*>& dbs,
                                      BatchStats* stats = nullptr) const;
 
@@ -51,11 +58,27 @@ class BatchSolver {
   std::vector<SolverAnswer> SolveAll(const std::vector<Database>& dbs,
                                      BatchStats* stats = nullptr) const;
 
+  /// Fault-isolating variant: one report per database, in input order. A
+  /// poisoned entry — null pointer, duplicate pointer (whose lazy block
+  /// index two workers would race on), or a database whose schema cannot
+  /// be bound to the query — yields an error Status in its slot and never
+  /// takes down the rest of the batch. Non-certain answers carry the
+  /// backend's falsifying-repair witness when it supports Explain.
+  /// BatchStats counts only the slots actually solved.
+  std::vector<StatusOr<SolveReport>> SolveAllReports(
+      const std::vector<const Database*>& dbs,
+      BatchStats* stats = nullptr) const;
+
+  /// Convenience overload for owned databases.
+  std::vector<StatusOr<SolveReport>> SolveAllReports(
+      const std::vector<Database>& dbs, BatchStats* stats = nullptr) const;
+
   std::uint32_t num_threads() const { return num_threads_; }
 
  private:
   const CertainSolver* solver_;
   std::uint32_t num_threads_;
+  bool want_witness_;
 };
 
 }  // namespace cqa

@@ -46,4 +46,16 @@ std::string ToString(SolverAlgorithm a) {
   return "?";
 }
 
+std::optional<SolverAlgorithm> SolverAlgorithmFromString(std::string_view s) {
+  static constexpr SolverAlgorithm kAll[] = {
+      SolverAlgorithm::kTrivialScan,     SolverAlgorithm::kCert2,
+      SolverAlgorithm::kCertK,           SolverAlgorithm::kCertKOrMatching,
+      SolverAlgorithm::kExhaustive,      SolverAlgorithm::kSat,
+  };
+  for (SolverAlgorithm a : kAll) {
+    if (ToString(a) == s) return a;
+  }
+  return std::nullopt;
+}
+
 }  // namespace cqa

@@ -33,30 +33,59 @@ std::string_view BackendNameFor(QueryClass query_class) {
   CQA_CHECK_MSG(false, "unhandled query class");
 }
 
+CertainSolver MakeSolverOrThrow(ConjunctiveQuery query,
+                                SolverOptions options) {
+  StatusOr<CertainSolver> solver =
+      CertainSolver::Create(std::move(query), std::move(options));
+  if (!solver.ok()) throw std::invalid_argument(solver.status().message());
+  return std::move(solver).value();
+}
+
 }  // namespace
 
+StatusOr<CertainSolver> CertainSolver::Create(ConjunctiveQuery query,
+                                              SolverOptions options) {
+  Classification classification =
+      ClassifyQuery(query, options.tripath_limits);
+  std::string_view name = options.forced_backend.empty()
+                              ? BackendNameFor(classification.query_class)
+                              : std::string_view(options.forced_backend);
+  BackendOptions backend_options;
+  backend_options.practical_k = options.practical_k;
+  std::unique_ptr<CertainBackend> backend =
+      BackendRegistry::Global().Create(name, backend_options);
+  // forced_backend is user input; reject it like the parser rejects bad
+  // query text rather than aborting.
+  if (backend == nullptr) {
+    std::string registered;
+    for (const std::string& n : BackendRegistry::Global().Names()) {
+      if (!registered.empty()) registered += ", ";
+      registered += n;
+    }
+    return Status(StatusCode::kUnknownBackend,
+                  "unknown certain-answer backend \"" + std::string(name) +
+                      "\" (registered: " + registered + ")");
+  }
+  if (!backend->Prepare(query)) {
+    return Status(StatusCode::kCapabilityMismatch,
+                  "backend \"" + std::string(name) +
+                      "\" cannot answer query " + query.ToString());
+  }
+  return CertainSolver(std::move(query), std::move(options),
+                       std::move(classification), std::move(backend));
+}
+
 CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options)
+    : CertainSolver(
+          MakeSolverOrThrow(std::move(query), std::move(options))) {}
+
+CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options,
+                             Classification classification,
+                             std::unique_ptr<CertainBackend> backend)
     : query_(std::move(query)),
       options_(std::move(options)),
-      classification_(ClassifyQuery(query_, options_.tripath_limits)) {
-  std::string_view name = options_.forced_backend.empty()
-                              ? BackendNameFor(classification_.query_class)
-                              : std::string_view(options_.forced_backend);
-  BackendOptions backend_options;
-  backend_options.practical_k = options_.practical_k;
-  backend_ = BackendRegistry::Global().Create(name, backend_options);
-  // forced_backend is user input; reject it like ParseQuery rejects bad
-  // query text rather than aborting.
-  if (backend_ == nullptr) {
-    throw std::invalid_argument("unknown certain-answer backend \"" +
-                                std::string(name) + "\"");
-  }
-  if (!backend_->Prepare(query_)) {
-    throw std::invalid_argument("backend \"" + std::string(name) +
-                                "\" cannot answer query " +
-                                query_.ToString());
-  }
-}
+      classification_(std::move(classification)),
+      backend_(std::move(backend)) {}
 
 SolverAnswer CertainSolver::Solve(const PreparedDatabase& pdb) const {
   SolverAnswer answer;

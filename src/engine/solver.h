@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "api/status.h"
 #include "classify/classifier.h"
 #include "data/database.h"
 #include "data/prepared.h"
@@ -52,8 +53,15 @@ struct SolverAnswer {
 /// Classify-once, solve-many certain-answer engine for two-atom queries.
 class CertainSolver {
  public:
-  /// Throws std::invalid_argument if `options.forced_backend` names an
-  /// unregistered backend or one that cannot answer `query`.
+  /// Exception-free construction: classifies the query and binds its
+  /// backend. Errors: kUnknownBackend when `options.forced_backend` names
+  /// no registered backend, kCapabilityMismatch when the chosen backend
+  /// cannot answer `query`.
+  static StatusOr<CertainSolver> Create(ConjunctiveQuery query,
+                                        SolverOptions options = {});
+
+  /// Throwing shim over Create for source compatibility: throws
+  /// std::invalid_argument with the Status message on error.
   explicit CertainSolver(ConjunctiveQuery query, SolverOptions options = {});
 
   /// Decides whether `query()` is certain for db.
@@ -68,6 +76,10 @@ class CertainSolver {
   const CertainBackend& backend() const { return *backend_; }
 
  private:
+  CertainSolver(ConjunctiveQuery query, SolverOptions options,
+                Classification classification,
+                std::unique_ptr<CertainBackend> backend);
+
   ConjunctiveQuery query_;
   SolverOptions options_;
   Classification classification_;

@@ -8,19 +8,43 @@
 
 namespace cqa {
 
-RelationBinding::RelationBinding(const ConjunctiveQuery& query,
-                                 const Database& db) {
-  map_.resize(query.schema().NumRelations());
+StatusOr<RelationBinding> RelationBinding::Create(
+    const ConjunctiveQuery& query, const Database& db) {
+  RelationBinding binding;
+  binding.map_.resize(query.schema().NumRelations());
   for (RelationId r = 0; r < query.schema().NumRelations(); ++r) {
     const RelationSchema& qrel = query.schema().Relation(r);
     RelationId db_rel = db.schema().Find(qrel.name);
-    CQA_CHECK_MSG(db_rel != Schema::kNotFound,
-                  "database lacks a relation used by the query");
+    if (db_rel == Schema::kNotFound) {
+      return Status(StatusCode::kSchemaMismatch,
+                    "database lacks relation '" + qrel.name +
+                        "' used by the query");
+    }
     const RelationSchema& drel = db.schema().Relation(db_rel);
-    CQA_CHECK_MSG(drel.arity == qrel.arity && drel.key_len == qrel.key_len,
-                  "relation signature mismatch between query and database");
-    map_[r] = db_rel;
+    if (drel.arity != qrel.arity || drel.key_len != qrel.key_len) {
+      return Status(
+          StatusCode::kSchemaMismatch,
+          "relation '" + qrel.name + "' signature mismatch: query wants " +
+              std::to_string(qrel.arity) + "/" +
+              std::to_string(qrel.key_len) + " (arity/key), database has " +
+              std::to_string(drel.arity) + "/" +
+              std::to_string(drel.key_len));
+    }
+    binding.map_[r] = db_rel;
   }
+  return binding;
+}
+
+Status ValidateBinding(const ConjunctiveQuery& query, const Database& db) {
+  StatusOr<RelationBinding> created = RelationBinding::Create(query, db);
+  return created.ok() ? Status::Ok() : created.status();
+}
+
+RelationBinding::RelationBinding(const ConjunctiveQuery& query,
+                                 const Database& db) {
+  StatusOr<RelationBinding> created = Create(query, db);
+  CQA_CHECK_MSG(created.ok(), "relation binding failed (see Create)");
+  *this = std::move(created).value();
 }
 
 bool ExtendMatch(const QueryAtom& atom, const Fact& fact,

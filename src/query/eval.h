@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/status.h"
 #include "data/database.h"
 #include "data/prepared.h"
 #include "data/repair.h"
@@ -27,14 +28,27 @@ inline constexpr ElementId kUnassigned = 0xffffffffu;
 /// against independent Schema values; this binding is the bridge.
 class RelationBinding {
  public:
+  /// CHECK-aborts on a mismatch; internal callers reach this point only
+  /// with pre-validated pairs. API-boundary callers use Create.
   RelationBinding(const ConjunctiveQuery& query, const Database& db);
+
+  /// Status-returning variant: kSchemaMismatch (naming the offending
+  /// relation) instead of aborting, so one bad database is a per-request
+  /// error rather than a process death.
+  static StatusOr<RelationBinding> Create(const ConjunctiveQuery& query,
+                                          const Database& db);
 
   /// Database relation id corresponding to query relation `query_rel`.
   RelationId Resolve(RelationId query_rel) const { return map_[query_rel]; }
 
  private:
+  RelationBinding() = default;
   std::vector<RelationId> map_;
 };
+
+/// Ok iff every relation the query uses exists in db with the same arity
+/// and key length (i.e. RelationBinding::Create would succeed).
+Status ValidateBinding(const ConjunctiveQuery& query, const Database& db);
 
 /// Tries to extend the partial assignment `mu` (indexed by VarId, with
 /// kUnassigned holes) so that `atom` maps onto `fact`. Returns false and

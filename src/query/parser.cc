@@ -8,26 +8,61 @@
 namespace cqa {
 namespace {
 
-[[noreturn]] void Fail(std::string_view text, std::size_t pos,
-                       const std::string& why) {
-  throw std::invalid_argument("query parse error at offset " +
-                              std::to_string(pos) + ": " + why + " in \"" +
-                              std::string(text) + "\"");
+/// Internal-only error signal; never escapes this translation unit.
+/// ParseQueryOrStatus converts it into a Status with a formatted message,
+/// so there is exactly one formatting path for both public entry points.
+struct ParseError {
+  std::size_t pos;
+  std::string why;
+};
+
+[[noreturn]] void Fail(std::size_t pos, std::string why) {
+  throw ParseError{pos, std::move(why)};
 }
 
-}  // namespace
+/// "line 2, column 5" plus the offending line with a caret under the
+/// column. Offsets are clamped to the text (end-of-input errors point one
+/// past the last character).
+std::string FormatParseError(std::string_view text, std::size_t pos,
+                             const std::string& why) {
+  if (pos > text.size()) pos = text.size();
+  std::size_t line = 1;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i < pos; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  std::size_t column = pos - line_start + 1;
+  std::size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string_view::npos) line_end = text.size();
+  std::string_view line_text = text.substr(line_start, line_end - line_start);
 
-ConjunctiveQuery ParseQuery(std::string_view text) {
+  std::string out = "query parse error at line " + std::to_string(line) +
+                    ", column " + std::to_string(column) + ": " + why;
+  out += "\n  ";
+  out += line_text;
+  out += "\n  ";
+  // Tabs in the offending line keep their width so the caret stays aligned.
+  for (std::size_t i = 0; i + 1 < column; ++i) {
+    out += line_text[i] == '\t' ? '\t' : ' ';
+  }
+  out += '^';
+  return out;
+}
+
+ConjunctiveQuery ParseImpl(std::string_view text) {
   Schema schema;
   std::vector<std::string> var_names;
   std::unordered_map<std::string, VarId> var_ids;
   std::vector<QueryAtom> atoms;
 
   auto var_id = [&](const std::string& name, std::size_t pos) -> VarId {
-    if (!IsIdentifier(name)) Fail(text, pos, "bad variable name '" + name + "'");
+    if (!IsIdentifier(name)) Fail(pos, "bad variable name '" + name + "'");
     auto it = var_ids.find(name);
     if (it != var_ids.end()) return it->second;
-    if (var_names.size() >= 64) Fail(text, pos, "more than 64 variables");
+    if (var_names.size() >= 64) Fail(pos, "more than 64 variables");
     VarId id = static_cast<VarId>(var_names.size());
     var_names.push_back(name);
     var_ids.emplace(name, id);
@@ -46,10 +81,10 @@ ConjunctiveQuery ParseQuery(std::string_view text) {
     // Relation name.
     std::size_t name_start = i;
     while (i < text.size() && text[i] != '(') ++i;
-    if (i == text.size()) Fail(text, name_start, "expected '('");
+    if (i == text.size()) Fail(name_start, "expected '('");
     std::string rel_name(Trim(text.substr(name_start, i - name_start)));
     if (!IsIdentifier(rel_name))
-      Fail(text, name_start, "bad relation name '" + rel_name + "'");
+      Fail(name_start, "bad relation name '" + rel_name + "'");
     ++i;  // consume '('
 
     // Argument list up to ')'.
@@ -60,7 +95,7 @@ ConjunctiveQuery ParseQuery(std::string_view text) {
       if (text[i] == ')') --depth;
       if (depth > 0) ++i;
     }
-    if (depth != 0) Fail(text, args_start, "unbalanced parentheses");
+    if (depth != 0) Fail(args_start, "unbalanced parentheses");
     std::string_view args = text.substr(args_start, i - args_start);
     ++i;  // consume ')'
 
@@ -83,15 +118,15 @@ ConjunctiveQuery ParseQuery(std::string_view text) {
 
     std::vector<VarId> vars;
     for (const std::string& n : key_part) {
-      if (n.empty()) Fail(text, args_start, "empty variable");
+      if (n.empty()) Fail(args_start, "empty variable");
       vars.push_back(var_id(n, args_start));
     }
     std::uint32_t key_len = static_cast<std::uint32_t>(vars.size());
     for (const std::string& n : rest_part) {
-      if (n.empty()) Fail(text, args_start, "empty variable");
+      if (n.empty()) Fail(args_start, "empty variable");
       vars.push_back(var_id(n, args_start));
     }
-    if (vars.empty()) Fail(text, args_start, "atom with no variables");
+    if (vars.empty()) Fail(args_start, "atom with no variables");
 
     std::uint32_t arity = static_cast<std::uint32_t>(vars.size());
     RelationId rel = schema.Find(rel_name);
@@ -100,7 +135,7 @@ ConjunctiveQuery ParseQuery(std::string_view text) {
     } else {
       const RelationSchema& existing = schema.Relation(rel);
       if (existing.arity != arity || existing.key_len != key_len) {
-        Fail(text, name_start,
+        Fail(name_start,
              "atoms over '" + rel_name + "' disagree on signature");
       }
     }
@@ -108,9 +143,26 @@ ConjunctiveQuery ParseQuery(std::string_view text) {
     skip_ws();
   }
 
-  if (atoms.empty()) Fail(text, 0, "no atoms");
+  if (atoms.empty()) Fail(0, "no atoms");
   return ConjunctiveQuery(std::move(schema), std::move(var_names),
                           std::move(atoms));
+}
+
+}  // namespace
+
+StatusOr<ConjunctiveQuery> ParseQueryOrStatus(std::string_view text) {
+  try {
+    return ParseImpl(text);
+  } catch (const ParseError& e) {
+    return Status(StatusCode::kInvalidQuery,
+                  FormatParseError(text, e.pos, e.why));
+  }
+}
+
+ConjunctiveQuery ParseQuery(std::string_view text) {
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus(text);
+  if (!parsed.ok()) throw std::invalid_argument(parsed.status().message());
+  return std::move(parsed).value();
 }
 
 }  // namespace cqa

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/status.h"
 #include "data/schema.h"
 
 namespace cqa {
@@ -96,7 +97,15 @@ class ConjunctiveQuery {
 ///   q2: "R(x, u | x, y) R(u, y | x, z)"
 ///   q3: "R(x | y) R(y | z)"
 ///   q6: "R(x | y, z) R(z | x, y)"
-/// Throws std::invalid_argument (with position info) on malformed input.
+/// Malformed input yields StatusCode::kInvalidQuery; the message locates
+/// the error as line:column and includes a caret snippet, e.g.
+///   query parse error at line 1, column 9: expected '('
+///     R(x | y R(y | z)
+///             ^
+StatusOr<ConjunctiveQuery> ParseQueryOrStatus(std::string_view text);
+
+/// Throwing shim over ParseQueryOrStatus for source compatibility:
+/// throws std::invalid_argument with the same message on malformed input.
 ConjunctiveQuery ParseQuery(std::string_view text);
 
 }  // namespace cqa

@@ -371,8 +371,12 @@ TEST_P(Lemma71Test, SolutionsDeterminedUpToKeyEquality) {
     SolutionSet s = ComputeSolutions(q, db);
     for (const auto& [a, b] : s.pairs) {
       for (const auto& [a2, c] : s.pairs) {
-        if (a == a2) EXPECT_TRUE(db.KeyEqual(b, c)) << db.ToString();
-        if (b == c) EXPECT_TRUE(db.KeyEqual(a, a2)) << db.ToString();
+        if (a == a2) {
+          EXPECT_TRUE(db.KeyEqual(b, c)) << db.ToString();
+        }
+        if (b == c) {
+          EXPECT_TRUE(db.KeyEqual(a, a2)) << db.ToString();
+        }
       }
     }
   }

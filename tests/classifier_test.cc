@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "classify/classifier.h"
 #include "query/query.h"
 
@@ -132,6 +135,45 @@ TEST(Classifier, Q7IsPolynomial) {
   Classification c = ClassifyQuery(q7, limits);
   EXPECT_TRUE(c.two_way_determined);
   EXPECT_FALSE(c.tripath_search.HasFork());
+}
+
+// Every enumerator must print a distinct, handled name (never the "?"
+// fallthrough) and parse back to itself, so reports and logs can always
+// round-trip the dichotomy vocabulary instead of leaking raw ints.
+TEST(ClassifierToString, QueryClassRoundTripsExhaustively) {
+  const QueryClass kAll[] = {
+      QueryClass::kTrivial,           QueryClass::kSjfFirstOrder,
+      QueryClass::kSjfPTime,          QueryClass::kSjfCoNPComplete,
+      QueryClass::kPTimeCert2,        QueryClass::kCoNPHardCondition,
+      QueryClass::kPTimeNoTripath,    QueryClass::kCoNPForkTripath,
+      QueryClass::kPTimeTriangleOnly, QueryClass::kUnresolved,
+  };
+  std::set<std::string> seen;
+  for (QueryClass c : kAll) {
+    std::string name = ToString(c);
+    EXPECT_NE(name, "?");
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+    auto parsed = QueryClassFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, c) << name;
+  }
+  EXPECT_FALSE(QueryClassFromString("no such class").has_value());
+}
+
+TEST(ClassifierToString, ComplexityRoundTripsExhaustively) {
+  const Complexity kAll[] = {Complexity::kPTime, Complexity::kCoNPComplete,
+                             Complexity::kUnknown};
+  std::set<std::string> seen;
+  for (Complexity c : kAll) {
+    std::string name = ToString(c);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+    auto parsed = ComplexityFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, c) << name;
+  }
+  EXPECT_FALSE(ComplexityFromString("easy").has_value());
 }
 
 }  // namespace

@@ -52,7 +52,9 @@ TEST(Components, BlocksNeverSplitAcrossComponents) {
   }
   for (FactId a = 0; a < db.NumFacts(); ++a) {
     for (FactId b = 0; b < db.NumFacts(); ++b) {
-      if (db.KeyEqual(a, b)) EXPECT_EQ(comp_of[a], comp_of[b]);
+      if (db.KeyEqual(a, b)) {
+        EXPECT_EQ(comp_of[a], comp_of[b]);
+      }
     }
   }
 }

@@ -229,6 +229,66 @@ TEST(SolverOptionsTest, UnknownOrUnsupportedForcedBackendThrows) {
   EXPECT_THROW(CertainSolver(q3, unsupported), std::invalid_argument);
 }
 
+TEST(SolverCreateTest, TypedErrorsInsteadOfExceptions) {
+  auto q3 = ParseQuery("R(x | y) R(y | z)");
+  SolverOptions unknown;
+  unknown.forced_backend = "SAT";  // Names are case-sensitive.
+  StatusOr<CertainSolver> bad_name = CertainSolver::Create(q3, unknown);
+  ASSERT_FALSE(bad_name.ok());
+  EXPECT_EQ(bad_name.status().code(), StatusCode::kUnknownBackend);
+
+  SolverOptions unsupported;
+  unsupported.forced_backend = "trivial";  // q3 is not one-atom-equivalent.
+  StatusOr<CertainSolver> mismatch = CertainSolver::Create(q3, unsupported);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kCapabilityMismatch);
+
+  StatusOr<CertainSolver> ok = CertainSolver::Create(q3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->backend().name(), "cert2");
+}
+
+TEST(SolverAlgorithmToString, RoundTripsExhaustively) {
+  const SolverAlgorithm kAll[] = {
+      SolverAlgorithm::kTrivialScan, SolverAlgorithm::kCert2,
+      SolverAlgorithm::kCertK,       SolverAlgorithm::kCertKOrMatching,
+      SolverAlgorithm::kExhaustive,  SolverAlgorithm::kSat,
+  };
+  for (SolverAlgorithm a : kAll) {
+    std::string name = ToString(a);
+    EXPECT_NE(name, "?");
+    auto parsed = SolverAlgorithmFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, a) << name;
+  }
+  EXPECT_FALSE(SolverAlgorithmFromString("oracle").has_value());
+}
+
+// SolveAllReports answers must be bit-identical to SolveAll on healthy
+// batches, with the report's extra provenance attached.
+TEST(BatchSolverTest, ReportsMatchAnswersOnHealthyBatches) {
+  auto q = ParseQuery("R(x | y, x) R(y | x, u)");
+  CertainSolver solver(q);
+  Rng rng(0x5CA1E);
+  std::vector<Database> dbs;
+  for (int i = 0; i < 12; ++i) dbs.push_back(SmallInstance(q, &rng));
+
+  BatchSolver batch(solver, BatchOptions{2});
+  std::vector<SolverAnswer> answers = batch.SolveAll(dbs);
+  BatchStats stats;
+  std::vector<StatusOr<SolveReport>> reports =
+      batch.SolveAllReports(dbs, &stats);
+  ASSERT_EQ(reports.size(), answers.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].ok()) << reports[i].status().ToString();
+    EXPECT_EQ(reports[i]->certain, answers[i].certain) << i;
+    EXPECT_EQ(reports[i]->algorithm, answers[i].algorithm) << i;
+    EXPECT_EQ(reports[i]->query_class, solver.classification().query_class);
+    EXPECT_EQ(reports[i]->num_facts, dbs[i].NumFacts());
+  }
+  EXPECT_EQ(stats.queries, dbs.size());
+}
+
 TEST(SolverOptionsTest, ForcedBackendOverridesDispatch) {
   auto q3 = ParseQuery("R(x | y) R(y | z)");
   SolverOptions options;

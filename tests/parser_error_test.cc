@@ -1,0 +1,112 @@
+// Parser error reporting: ParseQueryOrStatus returns typed
+// kInvalidQuery statuses whose messages locate the error as line:column
+// and carry a caret snippet; the ParseQuery shim throws the same message.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ParserStatus, WellFormedQueriesParse) {
+  for (const char* text : {"R(x | y) R(y | z)",
+                           "R(x, u | x, y) R(u, y | x, z)",
+                           "R(x | y, z) R(z | x, y)",
+                           "Emp(x | d, y) Emp(y | e, z)"}) {
+    StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->NumAtoms(), 2u);
+  }
+}
+
+TEST(ParserStatus, MalformedQueriesReturnInvalidQuery) {
+  for (const char* text : {"", "R(x", "R()", "R(x,,y)", "1R(x)",
+                           "R(x | y) R(x | y, z)", "R(x | y) R(x, y |)"}) {
+    StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidQuery) << text;
+    EXPECT_TRUE(Contains(parsed.status().message(), "query parse error"))
+        << parsed.status().message();
+  }
+}
+
+TEST(ParserStatus, ReportsLineAndColumn) {
+  // The second atom has no '(': the error points at its start, which is
+  // column 10 of line 1 (offset 9).
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus("R(x | y) Rx");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(Contains(parsed.status().message(), "line 1, column 10"))
+      << parsed.status().message();
+  EXPECT_TRUE(Contains(parsed.status().message(), "expected '('"))
+      << parsed.status().message();
+}
+
+TEST(ParserStatus, ReportsLinesPastTheFirst) {
+  // Multi-line query text: the unbalanced parenthesis is on line 2; its
+  // argument list starts at column 3.
+  StatusOr<ConjunctiveQuery> parsed =
+      ParseQueryOrStatus("R(x | y)\nR(y | z");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(Contains(parsed.status().message(), "line 2, column 3"))
+      << parsed.status().message();
+  EXPECT_TRUE(Contains(parsed.status().message(), "unbalanced parentheses"))
+      << parsed.status().message();
+  // The caret snippet shows the offending line only.
+  EXPECT_FALSE(Contains(parsed.status().message(), "\n  R(x | y)\n"))
+      << parsed.status().message();
+}
+
+TEST(ParserStatus, CaretPointsAtTheOffendingColumn) {
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus("R(x | y) Sx");
+  ASSERT_FALSE(parsed.ok());
+  const std::string& message = parsed.status().message();
+  // Snippet line, then a caret line whose '^' sits under column 10
+  // (the 'S' of the atom missing its parenthesis).
+  EXPECT_TRUE(Contains(message, "\n  R(x | y) Sx\n")) << message;
+  std::string caret_line = "\n  " + std::string(9, ' ') + "^";
+  EXPECT_TRUE(Contains(message, caret_line)) << message;
+}
+
+TEST(ParserStatus, SignatureDisagreementNamesTheRelation) {
+  StatusOr<ConjunctiveQuery> parsed =
+      ParseQueryOrStatus("R(x | y) R(x | y, z)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(Contains(parsed.status().message(),
+                       "atoms over 'R' disagree on signature"))
+      << parsed.status().message();
+}
+
+TEST(ParserStatus, TooManyVariables) {
+  std::string text = "R(";
+  for (int i = 0; i < 65; ++i) {
+    if (i > 0) text += ", ";
+    text += "v" + std::to_string(i);
+  }
+  text += ")";
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(Contains(parsed.status().message(), "more than 64 variables"))
+      << parsed.status().message();
+}
+
+TEST(ParserStatus, ThrowingShimMatchesStatusMessage) {
+  StatusOr<ConjunctiveQuery> parsed = ParseQueryOrStatus("R(x");
+  ASSERT_FALSE(parsed.ok());
+  try {
+    ParseQuery("R(x");
+    FAIL() << "ParseQuery did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(parsed.status().message(), e.what());
+  }
+}
+
+}  // namespace
+}  // namespace cqa
