@@ -1,0 +1,171 @@
+// EXP-E2: delta-solve vs rebuild-solve on mutating databases.
+//
+// The streaming-update scenario this PR opens: a large database absorbs
+// a small delta, then the certain answer is needed again. Two ways to
+// get it:
+//   - delta path: Service::InsertFacts/DeleteFacts (delta-maintained
+//     preparation + component partition) and a component-cache solve
+//     that re-runs the backend only on the components the delta touched;
+//   - rebuild path: what every caller had to do before — re-prepare the
+//     whole database and run the backend on all of it
+//     (Service::Solve(q, const Database&), the ad-hoc full path).
+//
+// The workload is cluster-structured (many small q-connected
+// components), which is where component-level re-solve is designed to
+// win; the delta size sweep (1, 16, 128 facts per round) shows the win
+// shrinking as the delta grows. The ISSUE acceptance bar: delta beats
+// rebuild by >= 5x for single-fact deltas on >= 10k-fact databases.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQuery = "R(x | y) R(y | z)";
+
+/// ~`num_facts` facts in independent 3-fact clusters
+///   R(k_i | a_i), R(a_i | b_i), R(a_i | c_i)
+/// — a join chain plus a blockmate, so every cluster is one inconsistent
+/// q-connected component of its own.
+std::vector<FactSpec> ClusteredFacts(std::uint32_t num_facts) {
+  std::vector<FactSpec> facts;
+  facts.reserve(num_facts);
+  for (std::uint32_t i = 0; facts.size() + 3 <= num_facts; ++i) {
+    std::string c = "c" + std::to_string(i) + "_";
+    facts.push_back({"R", {c + "k", c + "a"}});
+    facts.push_back({"R", {c + "a", c + "b"}});
+    facts.push_back({"R", {c + "a", c + "x"}});
+  }
+  return facts;
+}
+
+Database BuildDatabase(const Schema& schema,
+                       const std::vector<FactSpec>& facts) {
+  Database db(schema);
+  RelationId rel = schema.Find("R");
+  for (const FactSpec& spec : facts) db.AddFactNamed(rel, spec.args);
+  return db;
+}
+
+/// The delta for one round: `delta_size` fresh facts, each extending a
+/// distinct cluster's chain (touching that cluster's component only).
+std::vector<FactSpec> MakeDelta(std::uint32_t delta_size,
+                                std::uint32_t num_clusters, Rng* rng,
+                                std::uint64_t* fresh_counter) {
+  std::vector<FactSpec> delta;
+  delta.reserve(delta_size);
+  for (std::uint32_t d = 0; d < delta_size; ++d) {
+    std::string c = "c" + std::to_string(rng->Below(num_clusters)) + "_";
+    delta.push_back(
+        {"R", {c + "b", "fresh" + std::to_string((*fresh_counter)++)}});
+  }
+  return delta;
+}
+
+void BM_DeltaSolve(benchmark::State& state) {
+  std::uint32_t num_facts = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t delta_size = static_cast<std::uint32_t>(state.range(1));
+  std::uint32_t num_clusters = num_facts / 3;
+
+  Service service;
+  StatusOr<CompiledQuery> q = service.Compile(kQuery);
+  CQA_CHECK(q.ok());
+  std::vector<FactSpec> facts = ClusteredFacts(num_facts);
+  CQA_CHECK(service
+                .RegisterDatabase("stream",
+                                  BuildDatabase(q->query().schema(), facts))
+                .ok());
+  // Warm the component cache (first solve pays the full partition).
+  CQA_CHECK(service.Solve(*q, "stream").ok());
+
+  Rng rng(0xBE7C);
+  std::uint64_t fresh_counter = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t resolved = 0;
+  for (auto _ : state) {
+    std::vector<FactSpec> delta =
+        MakeDelta(delta_size, num_clusters, &rng, &fresh_counter);
+    CQA_CHECK(service.InsertFacts("stream", delta).ok());
+    StatusOr<SolveReport> after_insert = service.Solve(*q, "stream");
+    CQA_CHECK(after_insert.ok());
+    benchmark::DoNotOptimize(after_insert->certain);
+    cached += after_insert->components_cached;
+    resolved += after_insert->components_resolved;
+    // Deleting the delta restores the previous content: the steady state
+    // is stable no matter how long the benchmark runs.
+    CQA_CHECK(service.DeleteFacts("stream", delta).ok());
+    StatusOr<SolveReport> after_delete = service.Solve(*q, "stream");
+    CQA_CHECK(after_delete.ok());
+    benchmark::DoNotOptimize(after_delete->certain);
+    cached += after_delete->components_cached;
+    resolved += after_delete->components_resolved;
+  }
+  state.counters["solves"] = benchmark::Counter(
+      2.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["components_cached_per_solve"] =
+      cached / (2.0 * static_cast<double>(state.iterations()));
+  state.counters["components_resolved_per_solve"] =
+      resolved / (2.0 * static_cast<double>(state.iterations()));
+}
+
+void BM_RebuildSolve(benchmark::State& state) {
+  std::uint32_t num_facts = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t delta_size = static_cast<std::uint32_t>(state.range(1));
+  std::uint32_t num_clusters = num_facts / 3;
+
+  Service service;
+  StatusOr<CompiledQuery> q = service.Compile(kQuery);
+  CQA_CHECK(q.ok());
+  std::vector<FactSpec> facts = ClusteredFacts(num_facts);
+  Database db = BuildDatabase(q->query().schema(), facts);
+  RelationId rel = db.schema().Find("R");
+
+  Rng rng(0xBE7C);
+  std::uint64_t fresh_counter = 0;
+  for (auto _ : state) {
+    std::vector<FactSpec> delta =
+        MakeDelta(delta_size, num_clusters, &rng, &fresh_counter);
+    std::vector<FactId> ids;
+    ids.reserve(delta.size());
+    for (const FactSpec& spec : delta) {
+      ids.push_back(db.AddFactNamed(rel, spec.args));
+    }
+    // Ad-hoc solve: full preparation + full backend run, every time.
+    StatusOr<SolveReport> after_insert = service.Solve(*q, db);
+    CQA_CHECK(after_insert.ok());
+    benchmark::DoNotOptimize(after_insert->certain);
+    for (FactId id : ids) db.RemoveFact(id);
+    StatusOr<SolveReport> after_delete = service.Solve(*q, db);
+    CQA_CHECK(after_delete.ok());
+    benchmark::DoNotOptimize(after_delete->certain);
+  }
+  state.counters["solves"] = benchmark::Counter(
+      2.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void DeltaArgs(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t facts : {10002, 30000}) {
+    for (std::int64_t delta : {1, 16, 128}) {
+      bench->Args({facts, delta});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_DeltaSolve)->Apply(DeltaArgs);
+BENCHMARK(BM_RebuildSolve)->Apply(DeltaArgs);
+
+}  // namespace
+}  // namespace cqa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+#include "algo/dynamic_components.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+/// splitmix64 finalizer: decorrelates FactHash values before the
+/// commutative combines so that sum/xor over members behave like
+/// independent digests.
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ComponentFingerprint::Add(const Database& db, FactId f) {
+  const Fact& fact = db.fact(f);
+  std::uint64_t h = fact.relation;
+  for (ElementId el : fact.args) {
+    const std::string& name = db.elements().Name(el);
+    h = HashCombine(h, HashRange(name.begin(), name.end()));
+  }
+  sum += Mix(h + 0x9e3779b97f4a7c15ULL);
+  xr ^= Mix(h + 0x7f4a7c159e3779b9ULL);
+  ++count;
+}
+
+void ComponentFingerprint::Merge(const ComponentFingerprint& other) {
+  sum += other.sum;
+  xr ^= other.xr;
+  count += other.count;
+}
+
+DynamicComponents::DynamicComponents(const ConjunctiveQuery& q,
+                                     const PreparedDatabase& pdb)
+    : q_(&q), pdb_(&pdb), binding_(q, pdb.db()) {
+  CQA_CHECK(q.NumAtoms() == 2);
+  const Database& db = pdb.db();
+  parent_.resize(db.NumFacts());
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    parent_[f] = f;
+    if (db.alive(f)) MakeSingleton(f);
+  }
+  for (const Block& block : db.blocks()) {
+    for (FactId f : block.facts) Union(block.facts.front(), f);
+  }
+  // One full hash join at construction; every later delta is absorbed by
+  // the single-fact probe (insert) or a component-local join (delete).
+  for (const auto& [a, b] : ComputeSolutions(*q_, pdb).pairs) Union(a, b);
+}
+
+FactId DynamicComponents::Find(FactId f) {
+  FactId root = f;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[f] != root) {
+    FactId next = parent_[f];
+    parent_[f] = root;
+    f = next;
+  }
+  return root;
+}
+
+void DynamicComponents::MakeSingleton(FactId f) {
+  parent_[f] = f;
+  Component& comp = components_[f];
+  comp.members.assign(1, f);
+  comp.min_member = f;
+  comp.fingerprint = ComponentFingerprint();
+  comp.fingerprint.Add(pdb_->db(), f);
+}
+
+void DynamicComponents::Union(FactId a, FactId b) {
+  FactId ra = Find(a);
+  FactId rb = Find(b);
+  if (ra == rb) return;
+  // Splice the smaller member list into the larger: total union work over
+  // any merge sequence stays O(n log n).
+  if (components_[ra].members.size() < components_[rb].members.size()) {
+    std::swap(ra, rb);
+  }
+  Component& big = components_[ra];
+  Component& small = components_[rb];
+  parent_[rb] = ra;
+  big.members.insert(big.members.end(), small.members.begin(),
+                     small.members.end());
+  big.min_member = std::min(big.min_member, small.min_member);
+  big.fingerprint.Merge(small.fingerprint);
+  components_.erase(rb);
+}
+
+void DynamicComponents::ConnectWithinBlockAndSolutions(FactId f) {
+  const std::vector<FactId>& blockmates =
+      pdb_->blocks()[pdb_->BlockOf(f)].facts;
+  Union(f, blockmates.front());
+  for (FactId g : SolutionPartners(*q_, binding_, *pdb_, f)) Union(f, g);
+}
+
+void DynamicComponents::OnInsert(FactId f) {
+  CQA_CHECK(f == parent_.size());  // Ids are append-only.
+  parent_.push_back(f);
+  MakeSingleton(f);
+  ConnectWithinBlockAndSolutions(f);
+}
+
+void DynamicComponents::OnRemove(FactId f) {
+  CQA_CHECK(f < parent_.size());
+  FactId root = Find(f);
+  std::vector<FactId> members = std::move(components_[root].members);
+  components_.erase(root);
+
+  // Deletion can split the component; repartition its survivors locally.
+  // Resetting every survivor's parent also clears any compression chain
+  // that ran through f.
+  for (FactId m : members) {
+    if (m != f) MakeSingleton(m);
+  }
+  const Database& db = pdb_->db();
+  for (FactId m : members) {
+    if (m == f) continue;
+    Union(m, db.blocks()[db.BlockOf(m)].facts.front());
+  }
+  std::vector<FactId> survivors;
+  survivors.reserve(members.size() - 1);
+  for (FactId m : members) {
+    if (m != f) survivors.push_back(m);
+  }
+  for (const auto& [a, b] : ComputeSolutionsAmong(*q_, db, survivors).pairs) {
+    Union(a, b);
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,120 @@
+// Dynamically maintained q-connected components (Proposition 10.6).
+//
+// algo/components.h computes the q-connected partition from scratch; this
+// class keeps it alive across single-fact mutations so a streaming
+// workload never pays the full O(n + solutions) repartition:
+//
+//   - insert: the new fact is unioned with its blockmates and with its
+//     solution partners (a single-fact probe of the two atom relations)
+//     — components only merge, so a persistent union-find absorbs the
+//     change in near-constant time plus the probe;
+//   - delete: components can split, which union-find cannot express, so
+//     the deleted fact's component — and only that component — is
+//     repartitioned locally (blockmate edges plus a hash join restricted
+//     to its members).
+//
+// Each component carries a content fingerprint: an order-independent
+// combination of its member facts' tuple hashes. Fingerprints are the
+// cache key for per-component certain-answer verdicts (engine/
+// incremental.h): a component untouched by a delta keeps its fingerprint
+// bit-for-bit, while any member change moves it, so "fingerprint hit"
+// means "same fact content, verdict reusable" (up to 192-bit hash
+// collisions).
+//
+// The underlying fact-level union-find is sound because a q-connected
+// component is a union of blocks closed under solution pairs: key-equal
+// facts (blockmates) and solution partners generate exactly that closure.
+
+#ifndef CQA_ALGO_DYNAMIC_COMPONENTS_H_
+#define CQA_ALGO_DYNAMIC_COMPONENTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "data/prepared.h"
+#include "query/eval.h"
+#include "query/query.h"
+
+namespace cqa {
+
+/// Order-independent digest of a component's member fact tuples.
+/// Commutative combines (sum and xor of independently mixed tuple hashes,
+/// plus the member count) make membership changes cheap and splits
+/// recomputable from member lists. Tuples are hashed by element *names*,
+/// not ids, so equal content yields equal fingerprints regardless of
+/// interning order (databases that were mutated into a state and
+/// databases built directly in it agree).
+struct ComponentFingerprint {
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  std::uint64_t count = 0;
+
+  void Add(const Database& db, FactId f);
+  void Merge(const ComponentFingerprint& other);
+
+  bool operator==(const ComponentFingerprint& o) const {
+    return sum == o.sum && xr == o.xr && count == o.count;
+  }
+  bool operator!=(const ComponentFingerprint& o) const {
+    return !(*this == o);
+  }
+};
+
+struct ComponentFingerprintHash {
+  std::size_t operator()(const ComponentFingerprint& fp) const {
+    return HashCombine(HashCombine(fp.sum, fp.xr), fp.count);
+  }
+};
+
+/// The q-connected partition of a mutating database, for two-atom queries.
+class DynamicComponents {
+ public:
+  struct Component {
+    std::vector<FactId> members;  ///< Alive facts; unsorted.
+    FactId min_member = 0;        ///< Smallest member id (order handle).
+    ComponentFingerprint fingerprint;
+  };
+
+  /// Builds the partition of the current (alive) facts. `q` and `pdb`
+  /// must outlive this object; q must have exactly two atoms and bind to
+  /// pdb's schema.
+  DynamicComponents(const ConjunctiveQuery& q, const PreparedDatabase& pdb);
+
+  /// Absorbs a Database::AddFact of `f`. Call after the database and the
+  /// PreparedDatabase have been updated. O(alpha) plus the partner probe.
+  void OnInsert(FactId f);
+
+  /// Absorbs a Database::RemoveFact of `f`. Call after the database has
+  /// tombstoned `f` (its tuple must still be readable) and the
+  /// PreparedDatabase has been updated. Repartitions f's component only.
+  void OnRemove(FactId f);
+
+  /// Current components, keyed by representative member. Key stability is
+  /// not guaranteed across mutations; fingerprints are the stable handle.
+  const std::unordered_map<FactId, Component>& components() const {
+    return components_;
+  }
+
+  std::size_t NumComponents() const { return components_.size(); }
+
+ private:
+  FactId Find(FactId f);
+  /// Merges the components of a and b (no-op when already joined).
+  void Union(FactId a, FactId b);
+  /// Registers `f` as a fresh singleton component.
+  void MakeSingleton(FactId f);
+  /// Unions `f` with its blockmates and its solution partners.
+  void ConnectWithinBlockAndSolutions(FactId f);
+
+  const ConjunctiveQuery* q_;
+  const PreparedDatabase* pdb_;
+  RelationBinding binding_;
+  std::vector<FactId> parent_;  ///< Indexed by FactId; grows on insert.
+  std::unordered_map<FactId, Component> components_;  ///< By root.
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ALGO_DYNAMIC_COMPONENTS_H_

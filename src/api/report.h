@@ -49,13 +49,24 @@ struct SolveReport {
 
   PhaseTimings timings;
 
-  /// Instance size counters.
+  /// Instance size counters (num_facts counts alive facts).
   std::uint64_t num_facts = 0;
   std::uint64_t num_blocks = 0;
 
+  /// Component-level reuse (set only by the incremental solve path of
+  /// mutable registered databases; zero/false on the full-solve path).
+  /// components_resolved + components_cached == components_total.
+  bool incremental = false;
+  std::uint64_t components_total = 0;
+  std::uint64_t components_resolved = 0;
+  std::uint64_t components_cached = 0;
+
   /// A repair falsifying the query: present only when certain is false
   /// and the backend supports Explain. Points into the solved database
-  /// and is valid while that database lives.
+  /// and is valid while that database lives AND keeps its current
+  /// content: mutating a registered database (Service::InsertFacts/
+  /// DeleteFacts) shifts blocks and choices, so previously returned
+  /// witnesses must be discarded (re-solve for a fresh one).
   std::optional<Repair> witness;
 
   /// One-line human-readable summary (never prints raw enum ints).

@@ -1,6 +1,7 @@
 #include "api/service.h"
 
 #include <chrono>
+#include <unordered_set>
 #include <utility>
 
 #include "engine/registry.h"
@@ -22,6 +23,35 @@ std::string JoinNames(const std::vector<std::string>& names) {
     out += name;
   }
   return out;
+}
+
+std::string SpecToString(const FactSpec& spec) {
+  std::string out = spec.relation + "(";
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += spec.args[i];
+  }
+  return out + ")";
+}
+
+/// Resolves a FactSpec's relation against the database schema, checking
+/// the arity. Shared validation step of InsertFacts and DeleteFacts.
+StatusOr<RelationId> ResolveSpec(const Database& db, const FactSpec& spec) {
+  RelationId rel = db.schema().Find(spec.relation);
+  if (rel == Schema::kNotFound) {
+    return Status(StatusCode::kSchemaMismatch,
+                  "unknown relation '" + spec.relation + "' in fact " +
+                      SpecToString(spec));
+  }
+  std::uint32_t arity = db.schema().Relation(rel).arity;
+  if (spec.args.size() != arity) {
+    return Status(StatusCode::kSchemaMismatch,
+                  "fact " + SpecToString(spec) + " has " +
+                      std::to_string(spec.args.size()) +
+                      " arguments, relation '" + spec.relation +
+                      "' has arity " + std::to_string(arity));
+  }
+  return rel;
 }
 
 }  // namespace
@@ -136,36 +166,183 @@ void Service::FillCompileTimings(const CompiledQuery& q,
   report->timings.classify_seconds = q.state_->classify_seconds;
 }
 
+StatusOr<std::shared_ptr<Service::DbEntry>> Service::FindEntry(
+    std::string_view db_name) const {
+  // Copying the shared_ptr keeps the entry alive through the caller's
+  // work even if DropDatabase erases it concurrently.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) {
+    std::vector<std::string> names;
+    names.reserve(databases_.size());
+    for (const auto& [name, unused] : databases_) names.push_back(name);
+    return Status(StatusCode::kNotFound,
+                  "unknown database \"" + std::string(db_name) +
+                      "\" (registered: " + JoinNames(names) + ")");
+  }
+  return it->second;
+}
+
+namespace {
+
+// Keyed by canonical text + backend so formatting variants — and a
+// forced backend that matches the dichotomy's own choice — share one
+// component cache.
+std::string IncrementalKey(const CompiledQuery& q) {
+  std::string key = q.text();
+  key += '\x1f';
+  key += q.backend_name();
+  return key;
+}
+
+}  // namespace
+
+IncrementalSolver* Service::IncrementalFor(DbEntry& entry,
+                                           const CompiledQuery& q) const {
+  std::string key = IncrementalKey(q);
+  auto it = entry.incremental.find(key);
+  if (it == entry.incremental.end()) {
+    DbEntry::IncrementalEntry made;
+    made.state = q.state_;
+    made.solver = std::make_unique<IncrementalSolver>(q.state_->solver,
+                                                      *entry.prepared);
+    it = entry.incremental.emplace(std::move(key), std::move(made)).first;
+  }
+  return it->second.solver.get();
+}
+
 StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
                                      std::string_view db_name) const {
   if (!q.valid()) {
     return Status(StatusCode::kInvalidArgument,
                   "empty CompiledQuery handle (use Service::Compile)");
   }
-  // Copying the shared_ptr keeps the entry alive through the solve even
-  // if DropDatabase erases it concurrently.
-  std::shared_ptr<const DbEntry> entry;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = databases_.find(db_name);
-    if (it == databases_.end()) {
-      std::vector<std::string> names;
-      names.reserve(databases_.size());
-      for (const auto& [name, unused] : databases_) names.push_back(name);
-      return Status(StatusCode::kNotFound,
-                    "unknown database \"" + std::string(db_name) +
-                        "\" (registered: " + JoinNames(names) + ")");
-    }
-    entry = it->second;
-  }
-  Status bound = ValidateBinding(q.query(), entry->db);
+  StatusOr<std::shared_ptr<DbEntry>> entry = FindEntry(db_name);
+  if (!entry.ok()) return entry.status();
+  Status bound = ValidateBinding(q.query(), (*entry)->db);
   if (!bound.ok()) return bound;
-  SolveReport report =
-      ExecuteReport(q.classification(), q.state_->solver.backend(),
-                    *entry->prepared, options_.explain_non_certain);
-  report.timings.prepare_seconds = entry->prepare_seconds;
+
+  SolveReport report;
+  if (options_.incremental_solving && q.query().NumAtoms() == 2) {
+    // Steady state first: if the solver exists and every component
+    // verdict is cached, answer under the shared lock so read-heavy
+    // workloads on an unchanged database stay concurrent.
+    {
+      std::shared_lock<std::shared_mutex> lock((*entry)->rw);
+      auto it = (*entry)->incremental.find(IncrementalKey(q));
+      if (it != (*entry)->incremental.end()) {
+        std::optional<SolveReport> cached =
+            it->second.solver->SolveCached(options_.explain_non_certain);
+        if (cached.has_value()) {
+          report = *std::move(cached);
+          report.timings.prepare_seconds = (*entry)->prepare_seconds;
+          FillCompileTimings(q, &report);
+          return report;
+        }
+      }
+    }
+    // Cold or dirtied: the component-cache path writes the entry's
+    // incremental state, so it takes the write lock.
+    std::unique_lock<std::shared_mutex> lock((*entry)->rw);
+    IncrementalSolver* solver = IncrementalFor(**entry, q);
+    report = solver->Solve(options_.explain_non_certain);
+  } else {
+    std::shared_lock<std::shared_mutex> lock((*entry)->rw);
+    report = ExecuteReport(q.classification(), q.state_->solver.backend(),
+                           *(*entry)->prepared, options_.explain_non_certain);
+  }
+  report.timings.prepare_seconds = (*entry)->prepare_seconds;
   FillCompileTimings(q, &report);
   return report;
+}
+
+Status Service::InsertFacts(std::string_view db_name,
+                            const std::vector<FactSpec>& facts,
+                            MutationStats* stats) {
+  StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
+  if (!found.ok()) return found.status();
+  DbEntry& entry = **found;
+  std::unique_lock<std::shared_mutex> lock(entry.rw);
+
+  // Validate the whole batch before touching anything: a mutation either
+  // applies completely or not at all.
+  std::vector<RelationId> relations;
+  relations.reserve(facts.size());
+  for (const FactSpec& spec : facts) {
+    StatusOr<RelationId> rel = ResolveSpec(entry.db, spec);
+    if (!rel.ok()) return rel.status();
+    relations.push_back(*rel);
+  }
+
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    std::vector<ElementId> args;
+    args.reserve(facts[i].args.size());
+    for (const std::string& name : facts[i].args) {
+      args.push_back(entry.db.elements().Intern(name));
+    }
+    std::size_t slots_before = entry.db.NumFacts();
+    FactId id = entry.db.AddFact(relations[i], std::move(args));
+    if (entry.db.NumFacts() == slots_before) {
+      // Set semantics: the fact was already present.
+      if (stats != nullptr) ++stats->ignored_duplicates;
+      continue;
+    }
+    entry.prepared->ApplyInsert(id);
+    for (auto& [key, inc] : entry.incremental) inc.solver->OnInsert(id);
+    if (stats != nullptr) ++stats->applied;
+  }
+  return Status::Ok();
+}
+
+Status Service::DeleteFacts(std::string_view db_name,
+                            const std::vector<FactSpec>& facts,
+                            MutationStats* stats) {
+  StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
+  if (!found.ok()) return found.status();
+  DbEntry& entry = **found;
+  std::unique_lock<std::shared_mutex> lock(entry.rw);
+
+  // Validate and resolve the whole batch before touching anything.
+  std::vector<FactId> ids;
+  ids.reserve(facts.size());
+  std::unordered_set<FactId> seen;
+  seen.reserve(facts.size());
+  for (const FactSpec& spec : facts) {
+    StatusOr<RelationId> rel = ResolveSpec(entry.db, spec);
+    if (!rel.ok()) return rel.status();
+    Fact fact;
+    fact.relation = *rel;
+    fact.args.reserve(spec.args.size());
+    bool exists = true;
+    for (const std::string& name : spec.args) {
+      ElementId el = entry.db.elements().Find(name);
+      if (el == Interner::kNotFound) {
+        exists = false;
+        break;
+      }
+      fact.args.push_back(el);
+    }
+    FactId id = exists ? entry.db.FindFact(fact) : Database::kNoFact;
+    if (id == Database::kNoFact) {
+      return Status(StatusCode::kNotFound,
+                    "no such fact " + SpecToString(spec) + " in database \"" +
+                        std::string(db_name) + "\"");
+    }
+    if (!seen.insert(id).second) {
+      return Status(StatusCode::kInvalidArgument,
+                    "fact " + SpecToString(spec) +
+                        " named twice in one DeleteFacts batch");
+    }
+    ids.push_back(id);
+  }
+
+  for (FactId id : ids) {
+    Database::RemovedFact removed = entry.db.RemoveFact(id);
+    entry.prepared->ApplyRemove(id, removed);
+    for (auto& [key, inc] : entry.incremental) inc.solver->OnRemove(id);
+    if (stats != nullptr) ++stats->applied;
+  }
+  return Status::Ok();
 }
 
 StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,

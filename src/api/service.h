@@ -22,15 +22,25 @@
 //     the life of the Service.
 //   - RegisterDatabase ingests and prepares (block partition + indexes)
 //     once; every later solve against that name reuses the preparation.
+//   - InsertFacts/DeleteFacts mutate a registered database in place:
+//     the preparation is delta-maintained (never rebuilt) and solves
+//     after a delta re-solve only the q-connected components the delta
+//     touched, merging cached verdicts for the rest (see
+//     engine/incremental.h; SolveReport::components_* report the reuse).
 //   - Solves return SolveReport (api/report.h): answer, class,
 //     algorithm, per-phase timings, size counters, and a
 //     falsifying-repair witness for non-certain answers when the
 //     backend supports Explain.
 //
-// Thread-safety: all methods lock internally around the shared maps and
-// share prepared state read-only (as BatchSolver's workers do), so
-// Compile, registration, and Solve may run concurrently; a database
-// dropped mid-solve stays alive until the solve returns.
+// Thread-safety: all methods lock internally around the shared maps, and
+// each registered database carries a reader/writer lock: mutations and
+// cache-filling incremental solves are exclusive per database, while
+// full-path solves and steady-state incremental solves (every component
+// verdict already cached — the common case on an unchanged database)
+// share. Compile, registration, and solves on different databases still
+// run concurrently; a database dropped mid-solve stays alive until the
+// solve returns. Finer-grained concurrent mutation is an open roadmap
+// item.
 
 #ifndef CQA_API_SERVICE_H_
 #define CQA_API_SERVICE_H_
@@ -40,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +62,7 @@
 #include "data/database.h"
 #include "data/prepared.h"
 #include "engine/batch.h"
+#include "engine/incremental.h"
 #include "engine/solver.h"
 
 namespace cqa {
@@ -66,6 +78,24 @@ struct ServiceOptions {
   /// Attach falsifying-repair witnesses to non-certain reports (backends
   /// without Explain still report no witness).
   bool explain_non_certain = true;
+  /// Solve registered databases through the per-component verdict cache
+  /// (two-atom queries only; others always take the full-solve path).
+  /// Costs one component partition per (database, query) pair up front;
+  /// pays off as soon as the database mutates between solves.
+  bool incremental_solving = true;
+};
+
+/// One fact named at the API boundary: a relation name plus element names
+/// (interned on insert). The schema decides which prefix is the key.
+struct FactSpec {
+  std::string relation;
+  std::vector<std::string> args;
+};
+
+/// What a mutation batch did.
+struct MutationStats {
+  std::uint64_t applied = 0;             ///< Facts inserted or deleted.
+  std::uint64_t ignored_duplicates = 0;  ///< Insert-only: already present.
 };
 
 /// Per-Compile knobs; part of the cache key.
@@ -152,6 +182,29 @@ class Service {
   /// Registered names in lexicographic order.
   std::vector<std::string> DatabaseNames() const;
 
+  // -- Mutations ------------------------------------------------------
+
+  /// Inserts facts into a registered database, delta-maintaining its
+  /// preparation and component partitions. All-or-nothing: the whole
+  /// batch is validated against the schema before anything is applied.
+  /// Re-inserting an existing fact is a counted no-op (set semantics).
+  /// Any mutation invalidates witnesses from earlier reports on this
+  /// database (their block/choice indexes shift) — discard them.
+  /// Errors: kNotFound (database), kSchemaMismatch (unknown relation or
+  /// arity mismatch).
+  Status InsertFacts(std::string_view db_name,
+                     const std::vector<FactSpec>& facts,
+                     MutationStats* stats = nullptr);
+
+  /// Deletes facts from a registered database, delta-maintaining its
+  /// preparation and component partitions. All-or-nothing: every named
+  /// fact must exist (and be named once) or nothing is deleted. Errors:
+  /// kNotFound (database or fact), kSchemaMismatch (unknown relation or
+  /// arity mismatch), kInvalidArgument (fact named twice in the batch).
+  Status DeleteFacts(std::string_view db_name,
+                     const std::vector<FactSpec>& facts,
+                     MutationStats* stats = nullptr);
+
   // -- Solving --------------------------------------------------------
 
   /// Answers certain(q) on a registered database. Errors: kNotFound,
@@ -192,7 +245,29 @@ class Service {
     // Prepared after `db` has its final address (construction order).
     std::optional<PreparedDatabase> prepared;
     double prepare_seconds = 0.0;
+    // Entry-level reader/writer lock: full-path solves and cache-hit
+    // incremental solves share; mutations and cache-filling incremental
+    // solves are exclusive.
+    mutable std::shared_mutex rw;
+    struct IncrementalEntry {
+      // Pins the compiled state the solver points into — a handle
+      // compiled by another Service (or a future evictable compile
+      // cache) must not be freed while this entry can still use it.
+      std::shared_ptr<const CompiledQuery::State> state;
+      std::unique_ptr<IncrementalSolver> solver;
+    };
+    // Incremental solver per compiled query, keyed by canonical query
+    // text + backend name; created on first incremental solve.
+    std::map<std::string, IncrementalEntry, std::less<>> incremental;
   };
+
+  /// Looks up a registered database (service lock held inside).
+  StatusOr<std::shared_ptr<DbEntry>> FindEntry(std::string_view db_name) const;
+
+  /// The entry's incremental solver for `q`, created on first use.
+  /// Caller holds the entry's write lock.
+  IncrementalSolver* IncrementalFor(DbEntry& entry,
+                                    const CompiledQuery& q) const;
 
   /// Stamps the compile-time phase timings onto a finished report.
   void FillCompileTimings(const CompiledQuery& q, SolveReport* report) const;
@@ -205,8 +280,7 @@ class Service {
       compiled_;
   // shared_ptr: a Solve copies the entry's ownership under the lock, so
   // a concurrent DropDatabase cannot free the database under it.
-  std::map<std::string, std::shared_ptr<const DbEntry>, std::less<>>
-      databases_;
+  std::map<std::string, std::shared_ptr<DbEntry>, std::less<>> databases_;
 };
 
 }  // namespace cqa

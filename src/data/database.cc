@@ -1,5 +1,6 @@
 #include "data/database.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/check.h"
@@ -16,9 +17,88 @@ FactId Database::AddFact(RelationId relation, std::vector<ElementId> args) {
   if (it != fact_ids_.end()) return it->second;
   FactId id = static_cast<FactId>(facts_.size());
   facts_.push_back(f);
+  alive_.push_back(1);
+  ++num_alive_;
   fact_ids_.emplace(std::move(f), id);
-  blocks_dirty_ = true;
+  // Bulk loads stay lazy (one linear build on first read); once the
+  // partition exists it is maintained in place.
+  if (!blocks_dirty_) {
+    block_of_.push_back(0);
+    InsertIntoBlocks(id);
+  }
   return id;
+}
+
+Database::RemovedFact Database::RemoveFact(FactId id) {
+  CQA_CHECK(id < facts_.size());
+  CQA_CHECK_MSG(alive_[id], "RemoveFact on a tombstoned fact");
+  alive_[id] = 0;
+  --num_alive_;
+  fact_ids_.erase(facts_[id]);
+
+  RemovedFact info;
+  if (blocks_dirty_) return info;  // Partition not built; nothing to patch.
+
+  BlockId b = block_of_[id];
+  info.block = b;
+  std::vector<FactId>& members = blocks_[b].facts;
+  members.erase(std::find(members.begin(), members.end(), id));
+  if (!members.empty()) {
+    info.moved_from = b;
+    return info;
+  }
+
+  // Block emptied: swap-remove it so BlockIds stay dense. The previously
+  // last block takes over id `b`; its facts and key-index entry follow.
+  info.block_removed = true;
+  EraseBlockIndexEntry(b);
+  BlockId last = static_cast<BlockId>(blocks_.size() - 1);
+  info.moved_from = last;
+  if (b != last) {
+    EraseBlockIndexEntry(last);
+    blocks_[b] = std::move(blocks_[last]);
+    for (FactId f : blocks_[b].facts) block_of_[f] = b;
+    KeyView key{blocks_[b].key.data(),
+                static_cast<std::uint32_t>(blocks_[b].key.size())};
+    block_index_[HashRelationKey(blocks_[b].relation, key)].push_back(b);
+  }
+  blocks_.pop_back();
+  return info;
+}
+
+void Database::InsertIntoBlocks(FactId id) const {
+  KeyView key = KeyViewOf(id);
+  RelationId relation = facts_[id].relation;
+  std::vector<BlockId>& bucket =
+      block_index_[HashRelationKey(relation, key)];
+  for (BlockId b : bucket) {
+    if (blocks_[b].relation != relation) continue;
+    KeyView stored{blocks_[b].key.data(),
+                   static_cast<std::uint32_t>(blocks_[b].key.size())};
+    if (stored == key) {
+      blocks_[b].facts.push_back(id);
+      block_of_[id] = b;
+      return;
+    }
+  }
+  BlockId b = static_cast<BlockId>(blocks_.size());
+  Block block;
+  block.relation = relation;
+  block.key.assign(key.begin(), key.end());
+  block.facts.push_back(id);
+  blocks_.push_back(std::move(block));
+  bucket.push_back(b);
+  block_of_[id] = b;
+}
+
+void Database::EraseBlockIndexEntry(BlockId b) const {
+  KeyView key{blocks_[b].key.data(),
+              static_cast<std::uint32_t>(blocks_[b].key.size())};
+  auto it = block_index_.find(HashRelationKey(blocks_[b].relation, key));
+  CQA_CHECK(it != block_index_.end());
+  std::vector<BlockId>& bucket = it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), b));
+  if (bucket.empty()) block_index_.erase(it);
 }
 
 FactId Database::AddFactNamed(RelationId relation,
@@ -55,45 +135,30 @@ bool Database::KeyEqual(FactId a, FactId b) const {
   return KeyViewOf(a) == KeyViewOf(b);
 }
 
-namespace {
-
-/// Hash/equality over facts' (relation, key prefix), reading the key
-/// in place via KeyViewOf — block building allocates no per-fact vectors.
-struct FactKeyHash {
-  const Database* db;
-  std::size_t operator()(FactId id) const {
-    return HashRelationKey(db->fact(id).relation, db->KeyViewOf(id));
-  }
-};
-
-struct FactKeyEqual {
-  const Database* db;
-  bool operator()(FactId a, FactId b) const { return db->KeyEqual(a, b); }
-};
-
-}  // namespace
-
 void Database::EnsureBlocks() const {
   if (!blocks_dirty_) return;
   blocks_.clear();
+  block_index_.clear();
+  block_index_.reserve(facts_.size() * 2 + 1);
   block_of_.assign(facts_.size(), 0);
-  // Maps a representative fact of each block to the block id; keys are
-  // compared through their in-place views.
-  std::unordered_map<FactId, BlockId, FactKeyHash, FactKeyEqual> index(
-      facts_.size() * 2 + 1, FactKeyHash{this}, FactKeyEqual{this});
   for (FactId id = 0; id < facts_.size(); ++id) {
-    auto [it, inserted] = index.emplace(id, static_cast<BlockId>(blocks_.size()));
-    if (inserted) {
-      KeyView k = KeyViewOf(id);
-      Block b;
-      b.relation = facts_[id].relation;
-      b.key.assign(k.begin(), k.end());
-      blocks_.push_back(std::move(b));
-    }
-    blocks_[it->second].facts.push_back(id);
-    block_of_[id] = it->second;
+    if (alive_[id]) InsertIntoBlocks(id);
   }
   blocks_dirty_ = false;
+}
+
+BlockId Database::FindBlock(RelationId relation, KeyView key) const {
+  EnsureBlocks();
+  auto it = block_index_.find(HashRelationKey(relation, key));
+  if (it == block_index_.end()) return kNoBlock;
+  for (BlockId b : it->second) {
+    const Block& block = blocks_[b];
+    if (block.relation != relation) continue;
+    KeyView stored{block.key.data(),
+                   static_cast<std::uint32_t>(block.key.size())};
+    if (stored == key) return b;
+  }
+  return kNoBlock;
 }
 
 const std::vector<Block>& Database::blocks() const {
@@ -104,6 +169,7 @@ const std::vector<Block>& Database::blocks() const {
 BlockId Database::BlockOf(FactId id) const {
   EnsureBlocks();
   CQA_CHECK(id < block_of_.size());
+  CQA_DCHECK(alive_[id]);
   return block_of_[id];
 }
 

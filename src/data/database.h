@@ -4,6 +4,16 @@
 // exactly one fact from every block. Database owns its element Interner and
 // its Schema so that generated instances (reductions, workload generators)
 // are self-contained value types.
+//
+// Mutation model: FactIds are stable for the life of the database.
+// AddFact appends (never reuses a slot); RemoveFact tombstones its slot
+// instead of compacting, so ids held by indexes, components, and cached
+// witnesses stay valid across deletions. The block partition is built
+// lazily on first read (cheap bulk loads) and from then on maintained
+// incrementally: an insert appends to its key's block (or opens one) via
+// a persistent key index, a delete shrinks its block and swap-removes it
+// when emptied. Tombstoned slots are never reclaimed — compaction under
+// sustained churn is an open roadmap item.
 
 #ifndef CQA_DATA_DATABASE_H_
 #define CQA_DATA_DATABASE_H_
@@ -74,7 +84,36 @@ class Database {
   /// Convenience: parse "a b c d" (whitespace-separated element names).
   FactId AddFactStr(RelationId relation, std::string_view spaced_names);
 
+  /// What RemoveFact did to the block partition; consumed by
+  /// PreparedDatabase::ApplyRemove to mirror the change in O(1) lookups.
+  struct RemovedFact {
+    BlockId block = 0;          ///< Block the fact was removed from.
+    bool block_removed = false; ///< True if that block became empty.
+    /// When block_removed: the id the (previously last) block that was
+    /// swapped into `block`'s slot used to have; equal to `block` when the
+    /// removed block already was the last one (no swap happened).
+    BlockId moved_from = 0;
+  };
+
+  /// Tombstones an alive fact: its slot, id, and stored tuple remain (so
+  /// held FactIds stay valid and the tuple stays printable), but the fact
+  /// leaves the block partition, Contains/FindFact, and NumAliveFacts.
+  /// Re-adding the same tuple later creates a fresh slot. If the block
+  /// partition has been built it is maintained incrementally; an emptied
+  /// block is swap-removed (the last block takes its id — see the returned
+  /// RemovedFact, which is meaningful only when the partition was built).
+  RemovedFact RemoveFact(FactId id);
+
+  /// Number of fact slots ever allocated; the iteration bound for
+  /// id-indexed arrays. Tombstoned slots count.
   std::size_t NumFacts() const { return facts_.size(); }
+
+  /// Number of facts currently alive (NumFacts minus tombstones).
+  std::size_t NumAliveFacts() const { return num_alive_; }
+
+  /// True if slot `id` holds a live fact (false after RemoveFact).
+  bool alive(FactId id) const { return alive_[id]; }
+
   const Fact& fact(FactId id) const { return facts_[id]; }
   const std::vector<Fact>& facts() const { return facts_; }
 
@@ -96,11 +135,19 @@ class Database {
   /// True if the two facts are key-equal (same relation, same key tuple).
   bool KeyEqual(FactId a, FactId b) const;
 
-  /// The block partition. Built lazily, cached, invalidated by AddFact.
+  /// The block partition. Built lazily on first read, then maintained
+  /// incrementally across AddFact/RemoveFact (never rebuilt from scratch).
   const std::vector<Block>& blocks() const;
 
-  /// Block containing fact `id`.
+  /// Block containing fact `id`. Precondition: alive(id).
   BlockId BlockOf(FactId id) const;
+
+  /// Looks up the block with the given relation and key tuple, or kNoBlock.
+  /// Served by the same persistent key index that maintains the partition,
+  /// so it stays correct across mutations.
+  BlockId FindBlock(RelationId relation, KeyView key) const;
+
+  static constexpr BlockId kNoBlock = 0xffffffffu;
 
   /// True if no block has two distinct facts.
   bool IsConsistent() const;
@@ -124,16 +171,28 @@ class Database {
 
  private:
   void EnsureBlocks() const;
+  /// Appends `id` to its key's block (creating the block if needed),
+  /// maintaining blocks_, block_of_, and block_index_. Requires the
+  /// partition to be built.
+  void InsertIntoBlocks(FactId id) const;
+  /// Removes `b` from block_index_'s bucket for its key hash.
+  void EraseBlockIndexEntry(BlockId b) const;
 
   Schema schema_;
   Interner elements_;
   std::vector<Fact> facts_;
+  std::vector<char> alive_;  // vector<char>: mutable per-slot, no bitproxy.
+  std::size_t num_alive_ = 0;
   std::unordered_map<Fact, FactId, FactHash> fact_ids_;
 
-  // Lazy block index.
+  // Block partition: lazily built, then incrementally maintained. The key
+  // index buckets blocks by HashRelationKey (collisions resolved by
+  // comparing stored keys) and is the partition's single source of truth
+  // for key lookup, shared with PreparedDatabase::FindBlock.
   mutable bool blocks_dirty_ = true;
   mutable std::vector<Block> blocks_;
   mutable std::vector<BlockId> block_of_;
+  mutable std::unordered_map<std::size_t, std::vector<BlockId>> block_index_;
 };
 
 }  // namespace cqa

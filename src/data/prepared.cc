@@ -1,15 +1,18 @@
 #include "data/prepared.h"
 
+#include <algorithm>
+
+#include "base/check.h"
+
 namespace cqa {
 
 PreparedDatabase::PreparedDatabase(const Database& db) : db_(&db) {
   const std::vector<Block>& blocks = db.blocks();  // Forces the partition.
 
-  block_of_.resize(db.NumFacts());
   facts_by_relation_.resize(db.schema().NumRelations());
   blocks_by_relation_.resize(db.schema().NumRelations());
   for (FactId id = 0; id < db.NumFacts(); ++id) {
-    block_of_[id] = db.BlockOf(id);
+    if (!db.alive(id)) continue;
     facts_by_relation_[db.fact(id).relation].push_back(id);
   }
 
@@ -18,31 +21,36 @@ PreparedDatabase::PreparedDatabase(const Database& db) : db_(&db) {
   }
 }
 
-void PreparedDatabase::EnsureKeyIndex() const {
-  std::call_once(key_index_once_, [this] {
-    const std::vector<Block>& blocks = db_->blocks();
-    key_index_.reserve(blocks.size() * 2 + 1);
-    for (BlockId b = 0; b < blocks.size(); ++b) {
-      KeyView key{blocks[b].key.data(),
-                  static_cast<std::uint32_t>(blocks[b].key.size())};
-      key_index_[HashRelationKey(blocks[b].relation, key)].push_back(b);
-    }
-  });
+void PreparedDatabase::ApplyInsert(FactId id) {
+  CQA_CHECK(db_->alive(id));
+  RelationId relation = db_->fact(id).relation;
+  facts_by_relation_[relation].push_back(id);
+  BlockId b = db_->BlockOf(id);
+  // A freshly opened block holds exactly the new fact; an insert into an
+  // existing block changes no block index.
+  if (db_->blocks()[b].facts.size() == 1) {
+    blocks_by_relation_[relation].push_back(b);
+  }
 }
 
-BlockId PreparedDatabase::FindBlock(RelationId relation, KeyView key) const {
-  EnsureKeyIndex();
-  auto it = key_index_.find(HashRelationKey(relation, key));
-  if (it == key_index_.end()) return kNoBlock;
-  const std::vector<Block>& blocks = db_->blocks();
-  for (BlockId b : it->second) {
-    const Block& block = blocks[b];
-    if (block.relation != relation) continue;
-    KeyView stored{block.key.data(),
-                   static_cast<std::uint32_t>(block.key.size())};
-    if (stored == key) return b;
+void PreparedDatabase::ApplyRemove(FactId id,
+                                   const Database::RemovedFact& removed) {
+  CQA_CHECK(!db_->alive(id));
+  RelationId relation = db_->fact(id).relation;
+  std::vector<FactId>& facts = facts_by_relation_[relation];
+  facts.erase(std::find(facts.begin(), facts.end(), id));
+
+  if (!removed.block_removed) return;
+  // The emptied block vanished and (unless it was last) the previously
+  // last block was renumbered onto its id; patch both relations' lists.
+  std::vector<BlockId>& blocks = blocks_by_relation_[relation];
+  blocks.erase(std::find(blocks.begin(), blocks.end(), removed.block));
+  if (removed.moved_from != removed.block) {
+    RelationId moved_rel = db_->blocks()[removed.block].relation;
+    std::vector<BlockId>& moved = blocks_by_relation_[moved_rel];
+    *std::find(moved.begin(), moved.end(), removed.moved_from) =
+        removed.block;
   }
-  return kNoBlock;
 }
 
 }  // namespace cqa

@@ -1,4 +1,4 @@
-// PreparedDatabase: eagerly-built, immutable per-database indexes.
+// PreparedDatabase: eagerly-built per-database indexes, delta-maintained.
 //
 // Every certain-answer backend needs the same access paths — the block
 // partition, the facts of a given relation, and key-based block lookup.
@@ -6,22 +6,22 @@
 // (ComputeSolutions scanned all facts per atom, Cert_k re-forced the lazy
 // block index, the matching code rebuilt the block list). PreparedDatabase
 // builds them once, up front, and is then safe to share across backend
-// calls and to read concurrently from multiple threads (it never mutates
-// after construction, and construction forces the Database's own lazy
-// block index so later const reads are race-free).
+// calls and to read concurrently from multiple threads (construction forces
+// the Database's block partition so later const reads are race-free).
 //
-// Precondition for all accessors: the underlying Database must not gain
-// facts after preparation (views and indexes would go stale).
+// Mutation: the underlying Database may change only through the owner
+// calling ApplyInsert/ApplyRemove here for every Database::AddFact/
+// RemoveFact — the per-relation indexes are then patched in place instead
+// of rebuilt (the block partition and key index are maintained by the
+// Database itself). Concurrent readers must be excluded while a delta is
+// applied; cqa::Service does this with a per-database reader/writer lock.
 
 #ifndef CQA_DATA_PREPARED_H_
 #define CQA_DATA_PREPARED_H_
 
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
-#include "base/hash.h"
 #include "data/database.h"
 
 namespace cqa {
@@ -32,49 +32,50 @@ class PreparedDatabase {
 
   const Database& db() const { return *db_; }
   const Schema& schema() const { return db_->schema(); }
+  /// Fact-slot count (the iteration bound for id-indexed arrays); see
+  /// Database::NumFacts vs NumAliveFacts.
   std::size_t NumFacts() const { return db_->NumFacts(); }
   const Fact& fact(FactId id) const { return db_->fact(id); }
 
-  /// The block partition (forced at construction).
+  /// The block partition (forced at construction, maintained by the
+  /// Database across mutations).
   const std::vector<Block>& blocks() const { return db_->blocks(); }
 
-  /// Block containing fact `id` (O(1), no lazy rebuild).
-  BlockId BlockOf(FactId id) const { return block_of_[id]; }
+  /// Block containing fact `id` (O(1), the partition is always built).
+  BlockId BlockOf(FactId id) const { return db_->BlockOf(id); }
 
   /// Facts of a database relation, in insertion order.
   const std::vector<FactId>& FactsOf(RelationId relation) const {
     return facts_by_relation_[relation];
   }
 
-  /// Blocks whose facts belong to a database relation, in block order.
+  /// Blocks whose facts belong to a database relation. Block order within
+  /// a relation is arbitrary after deletions (emptied blocks swap-remove).
   const std::vector<BlockId>& BlocksOf(RelationId relation) const {
     return blocks_by_relation_[relation];
   }
 
-  /// Looks up the block with the given relation and key tuple, or kNoBlock.
-  /// No built-in backend does key point lookups (they scan blocks), so the
-  /// underlying index is built lazily on first call; this accessor exists
-  /// for engine-level consumers (routing, sharding, ingest dedup) and is
-  /// free when unused.
-  BlockId FindBlock(RelationId relation, KeyView key) const;
+  /// Looks up the block with the given relation and key tuple, or kNoBlock
+  /// (served by the Database's persistent key index).
+  BlockId FindBlock(RelationId relation, KeyView key) const {
+    return db_->FindBlock(relation, key);
+  }
 
-  static constexpr BlockId kNoBlock = 0xffffffffu;
+  /// Mirrors a Database::AddFact that created fact `id` (call once per
+  /// newly created id, after the AddFact). O(1).
+  void ApplyInsert(FactId id);
+
+  /// Mirrors a Database::RemoveFact of fact `id` (call once, after the
+  /// RemoveFact, with the RemovedFact it returned). O(facts of the
+  /// relation) for the index erase.
+  void ApplyRemove(FactId id, const Database::RemovedFact& removed);
+
+  static constexpr BlockId kNoBlock = Database::kNoBlock;
 
  private:
-  void EnsureKeyIndex() const;
-
   const Database* db_;
-  std::vector<BlockId> block_of_;
   std::vector<std::vector<FactId>> facts_by_relation_;
   std::vector<std::vector<BlockId>> blocks_by_relation_;
-  // Key index: hash of (relation, key tuple) -> blocks with that hash.
-  // Bucketing by explicit hash (instead of a vector key) keeps FindBlock
-  // allocation-free under C++17's homogeneous-lookup maps; the rare
-  // collisions are resolved by comparing the stored blocks' keys.
-  // Built on first FindBlock; call_once keeps the concurrent-read
-  // contract.
-  mutable std::once_flag key_index_once_;
-  mutable std::unordered_map<std::size_t, std::vector<BlockId>> key_index_;
 };
 
 }  // namespace cqa

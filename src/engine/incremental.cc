@@ -1,0 +1,166 @@
+#include "engine/incremental.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/check.h"
+#include "data/repair.h"
+
+namespace cqa {
+
+IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
+                                     const PreparedDatabase& pdb)
+    : solver_(&solver), pdb_(&pdb), components_(solver.query(), pdb) {}
+
+IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
+    const std::vector<FactId>& members, bool want_witness) const {
+  const Database& db = pdb_->db();
+
+  // Materialize the component as its own database, re-interning element
+  // names so blocks and solutions are preserved verbatim (the shape
+  // QConnectedComponents uses). Sorting keeps the sub-database — and so
+  // the backend's search order and witness choice — deterministic
+  // regardless of union-find history.
+  std::vector<FactId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  Database sub(db.schema());
+  std::vector<FactId> original;  // Parallel to sub's fact ids.
+  original.reserve(sorted.size());
+  for (FactId fid : sorted) {
+    const Fact& fact = db.fact(fid);
+    std::vector<ElementId> args;
+    args.reserve(fact.args.size());
+    for (ElementId el : fact.args) {
+      args.push_back(sub.elements().Intern(db.elements().Name(el)));
+    }
+    FactId local = sub.AddFact(fact.relation, std::move(args));
+    CQA_CHECK(local == original.size());  // Members are distinct facts.
+    original.push_back(fid);
+  }
+  PreparedDatabase sub_pdb(sub);
+
+  CachedVerdict verdict;
+  const CertainBackend& backend = solver_->backend();
+  if (want_witness && backend.CanExplain()) {
+    // One pass answers both questions: certain iff no falsifier exists.
+    std::optional<Repair> repair = backend.Explain(sub_pdb);
+    verdict.certain = !repair.has_value();
+    if (repair.has_value()) {
+      verdict.has_witness = true;
+      const std::vector<Block>& sub_blocks = sub.blocks();
+      verdict.witness_facts.reserve(sub_blocks.size());
+      for (BlockId b = 0; b < sub_blocks.size(); ++b) {
+        verdict.witness_facts.push_back(db.fact(original[repair->FactIn(b)]));
+      }
+    }
+  } else {
+    verdict.certain = backend.Solve(sub_pdb);
+  }
+  return verdict;
+}
+
+SolveReport IncrementalSolver::Solve(bool want_witness) {
+  std::optional<SolveReport> report = SolveImpl(want_witness, false);
+  CQA_CHECK(report.has_value());  // Never bails when solving is allowed.
+  return *std::move(report);
+}
+
+std::optional<SolveReport> IncrementalSolver::SolveCached(
+    bool want_witness) const {
+  // SolveImpl with cache_only performs no mutation (see its contract).
+  return const_cast<IncrementalSolver*>(this)->SolveImpl(want_witness,
+                                                         true);
+}
+
+std::optional<SolveReport> IncrementalSolver::SolveImpl(bool want_witness,
+                                                        bool cache_only) {
+  const Database& db = pdb_->db();
+  const Classification& classification = solver_->classification();
+  const CertainBackend& backend = solver_->backend();
+  bool can_explain = want_witness && backend.CanExplain();
+
+  SolveReport report;
+  report.query_class = classification.query_class;
+  report.complexity = classification.complexity;
+  report.algorithm = backend.algorithm();
+  report.backend_name = std::string(backend.name());
+  report.num_facts = db.NumAliveFacts();
+  report.num_blocks = pdb_->blocks().size();
+  report.incremental = true;
+
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<const DynamicComponents::Component*> comps;
+  comps.reserve(components_.NumComponents());
+  for (const auto& [root, comp] : components_.components()) {
+    comps.push_back(&comp);
+  }
+  // Deterministic component order (by smallest member id) so repeated
+  // cache-filling solves of identical content behave identically. The
+  // cache-only path skips it: verdict lookup and the OR/witness merges
+  // are order-independent, and this is the hot concurrent-read path.
+  if (!cache_only) {
+    std::sort(comps.begin(), comps.end(),
+              [](const DynamicComponents::Component* a,
+                 const DynamicComponents::Component* b) {
+                return a->min_member < b->min_member;
+              });
+  }
+
+  report.components_total = comps.size();
+  bool certain = false;
+  std::vector<const CachedVerdict*> verdicts;
+  verdicts.reserve(comps.size());
+  for (const DynamicComponents::Component* comp : comps) {
+    auto it = cache_.find(comp->fingerprint);
+    // A verdict cached by a witness-less solve cannot serve a solve that
+    // needs the witness; re-solve to attach it.
+    bool usable = it != cache_.end() &&
+                  (!can_explain || it->second.certain ||
+                   it->second.has_witness);
+    if (usable) {
+      ++report.components_cached;
+    } else if (cache_only) {
+      return std::nullopt;
+    } else {
+      CachedVerdict fresh = SolveComponent(comp->members, want_witness);
+      it = cache_.insert_or_assign(comp->fingerprint, std::move(fresh)).first;
+      ++report.components_resolved;
+    }
+    certain = certain || it->second.certain;
+    verdicts.push_back(&it->second);
+  }
+  report.certain = certain;
+
+  // Merge the per-component falsifying repairs into one whole-database
+  // witness: every block belongs to exactly one component, so the merged
+  // choice vector is total.
+  if (!certain && can_explain) {
+    const std::vector<Block>& blocks = db.blocks();
+    std::vector<std::uint32_t> choice(blocks.size(), 0);
+    std::vector<char> covered(blocks.size(), 0);
+    bool complete = true;
+    for (const CachedVerdict* verdict : verdicts) {
+      CQA_CHECK(verdict->has_witness);
+      for (const Fact& fact : verdict->witness_facts) {
+        FactId id = db.FindFact(fact);
+        CQA_CHECK(id != Database::kNoFact);
+        BlockId b = db.BlockOf(id);
+        const std::vector<FactId>& facts = blocks[b].facts;
+        choice[b] = static_cast<std::uint32_t>(
+            std::find(facts.begin(), facts.end(), id) - facts.begin());
+        covered[b] = 1;
+      }
+    }
+    for (char c : covered) complete = complete && c != 0;
+    CQA_CHECK_MSG(complete, "component witnesses left a block unassigned");
+    report.witness = Repair(&db, std::move(choice));
+  }
+
+  report.timings.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace cqa

@@ -1,0 +1,96 @@
+// IncrementalSolver: certain-answer solving with a per-component verdict
+// cache, for databases that change between solves.
+//
+// Proposition 10.6(2) makes certain(q) decompose over the q-connected
+// components: D |= certain(q) iff some component does. This solver keeps
+// the component partition alive across mutations (algo/
+// dynamic_components.h) and caches each component's verdict — and, for
+// Explain-capable backends, its falsifying-repair witness — keyed by the
+// component's content fingerprint. A delta dirties only the components
+// whose fact content changed; a solve after the delta re-runs the backend
+// on exactly those and merges cached verdicts for the rest:
+//
+//   certain(D)  = OR over components of certain(C_i)
+//   witness(D)  = union of the per-component falsifying repairs
+//                 (every block lives in exactly one component).
+//
+// Cached witnesses are stored as fact tuples (content, not ids), so they
+// survive any sequence of mutations that leaves their component's content
+// intact; components whose content changed are re-solved, recomputing
+// their witness. The cache is unbounded — an eviction policy for
+// long-lived high-churn databases is an open roadmap item.
+//
+// Not thread-safe: Solve mutates the cache. cqa::Service serializes
+// access per registered database.
+
+#ifndef CQA_ENGINE_INCREMENTAL_H_
+#define CQA_ENGINE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/dynamic_components.h"
+#include "api/report.h"
+#include "data/prepared.h"
+#include "engine/solver.h"
+
+namespace cqa {
+
+class IncrementalSolver {
+ public:
+  /// Builds the component partition of the current database state.
+  /// `solver` (whose query must have exactly two atoms) and `pdb` must
+  /// outlive this object, and `pdb` must stay in sync with the database
+  /// through OnInsert/OnRemove.
+  IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb);
+
+  /// Absorbs a fact insertion/removal; same call contract as
+  /// DynamicComponents::OnInsert/OnRemove.
+  void OnInsert(FactId f) { components_.OnInsert(f); }
+  void OnRemove(FactId f) { components_.OnRemove(f); }
+
+  /// Answers certain(q) on the current state, re-solving only components
+  /// absent from the cache. The report's incremental/components_* fields
+  /// record the reuse; parse/classify/prepare timings are the caller's.
+  SolveReport Solve(bool want_witness);
+
+  /// Read-only fast path: answers from the cache alone, mutating
+  /// nothing; nullopt as soon as any component's verdict is missing (or
+  /// lacks a witness the caller needs). Safe to call concurrently with
+  /// other const reads — cqa::Service runs steady-state solves of
+  /// unchanged databases through this under its shared lock.
+  std::optional<SolveReport> SolveCached(bool want_witness) const;
+
+  const DynamicComponents& components() const { return components_; }
+  std::size_t CachedVerdicts() const { return cache_.size(); }
+
+ private:
+  struct CachedVerdict {
+    bool certain = false;
+    bool has_witness = false;
+    /// The component's falsifying repair as fact tuples (original
+    /// element ids): one chosen fact per component block.
+    std::vector<Fact> witness_facts;
+  };
+
+  /// Runs the backend on one component's sub-database.
+  CachedVerdict SolveComponent(const std::vector<FactId>& members,
+                               bool want_witness) const;
+
+  /// Shared body of Solve/SolveCached. When `cache_only`, performs no
+  /// mutation and returns nullopt on the first unusable cache entry
+  /// (which is what makes the const_cast in SolveCached sound).
+  std::optional<SolveReport> SolveImpl(bool want_witness, bool cache_only);
+
+  const CertainSolver* solver_;
+  const PreparedDatabase* pdb_;
+  DynamicComponents components_;
+  std::unordered_map<ComponentFingerprint, CachedVerdict,
+                     ComponentFingerprintHash>
+      cache_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_ENGINE_INCREMENTAL_H_

@@ -1,0 +1,204 @@
+// Metamorphic relations of certain(q): transforms of the database that
+// provably cannot change the answer must not change it —
+//   - fact-order permutation (a database is a SET of facts),
+//   - duplicate-fact insertion (set semantics),
+//   - pure-noise facts on a relation the query never mentions.
+// And after every transform, a non-certain answer from an Explain-capable
+// backend must still carry a witness that VerifyWitness accepts from
+// first principles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "base/rng.h"
+#include "gen/workloads.h"
+
+namespace cqa {
+namespace {
+
+struct Row {
+  std::string relation;
+  std::vector<std::string> args;
+};
+
+std::vector<Row> RowsOf(const Database& db) {
+  std::vector<Row> rows;
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    if (!db.alive(f)) continue;
+    Row row;
+    const Fact& fact = db.fact(f);
+    row.relation = db.schema().Relation(fact.relation).name;
+    for (ElementId el : fact.args) row.args.push_back(db.elements().Name(el));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Database BuildFromRows(const Schema& schema, const std::vector<Row>& rows) {
+  Database db(schema);
+  for (const Row& row : rows) {
+    db.AddFactNamed(schema.Find(row.relation), row.args);
+  }
+  return db;
+}
+
+/// Solves and, when the answer is non-certain and the backend explains,
+/// checks the witness from first principles. Returns the answer.
+bool SolveAndVerify(Service* service, const CompiledQuery& q,
+                    const Database& db, const char* label) {
+  StatusOr<SolveReport> report = service->Solve(q, db);
+  if (!report.ok()) {
+    ADD_FAILURE() << label << ": " << report.status().ToString();
+    return false;
+  }
+  if (!report->certain && report->witness.has_value()) {
+    Status ok = VerifyWitness(q.query(), db, *report->witness);
+    EXPECT_TRUE(ok.ok()) << label << ": " << ok.ToString() << "\n"
+                         << db.ToString();
+  }
+  return report->certain;
+}
+
+struct MetamorphicCase {
+  const char* query;
+  const char* forced;  // nullptr: dichotomy dispatch.
+};
+
+const MetamorphicCase kCases[] = {
+    {"R(x | y) R(y | z)", nullptr},
+    {"R(x | y) R(y | z)", "exhaustive"},
+    {"R(x | y) R(y | z)", "sat"},
+    {"R(x, u | x, y) R(u, y | x, z)", nullptr},
+    {"R(x | y, z) R(z | x, y)", "exhaustive"},
+    {"R(x | y) R(y | y)", "trivial"},
+    {"R1(x | y) R2(y | z)", nullptr},
+};
+
+TEST(MetamorphicTest, FactOrderPermutationIsInvariant) {
+  Service service;
+  for (const MetamorphicCase& c : kCases) {
+    CompileOptions options;
+    if (c.forced != nullptr) options.forced_backend = c.forced;
+    StatusOr<CompiledQuery> q = service.Compile(c.query, options);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    Rng rng(0x3E7A0001);
+    for (int round = 0; round < 30; ++round) {
+      Database db = RandomInstance(q->query(),
+                                   InstanceParams{16, 4, 0.6, 0.3}, &rng);
+      bool base = SolveAndVerify(&service, *q, db, c.query);
+
+      std::vector<Row> rows = RowsOf(db);
+      for (int perm = 0; perm < 3; ++perm) {
+        // Fisher–Yates with the deterministic Rng.
+        for (std::size_t i = rows.size(); i > 1; --i) {
+          std::swap(rows[i - 1], rows[rng.Below(i)]);
+        }
+        Database shuffled = BuildFromRows(q->query().schema(), rows);
+        EXPECT_EQ(SolveAndVerify(&service, *q, shuffled, c.query), base)
+            << c.query << " round " << round << " perm " << perm;
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, DuplicateInsertionIsInvariant) {
+  Service service;
+  for (const MetamorphicCase& c : kCases) {
+    CompileOptions options;
+    if (c.forced != nullptr) options.forced_backend = c.forced;
+    StatusOr<CompiledQuery> q = service.Compile(c.query, options);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    Rng rng(0x3E7A0002);
+    for (int round = 0; round < 30; ++round) {
+      Database db = RandomInstance(q->query(),
+                                   InstanceParams{16, 4, 0.6, 0.3}, &rng);
+      bool base = SolveAndVerify(&service, *q, db, c.query);
+      std::size_t size_before = db.NumFacts();
+
+      // Re-adding existing facts must be a no-op (set semantics) both on
+      // a raw Database...
+      std::vector<Row> rows = RowsOf(db);
+      for (int dup = 0; dup < 5 && !rows.empty(); ++dup) {
+        const Row& row = rows[rng.Below(rows.size())];
+        db.AddFactNamed(db.schema().Find(row.relation), row.args);
+      }
+      EXPECT_EQ(db.NumFacts(), size_before);
+      EXPECT_EQ(SolveAndVerify(&service, *q, db, c.query), base);
+
+      // ...and through the mutation API's incremental path.
+      std::string name = "dup" + std::to_string(round) + c.query;
+      if (c.forced != nullptr) name += c.forced;
+      ASSERT_TRUE(service
+                      .RegisterDatabase(name,
+                                        BuildFromRows(q->query().schema(),
+                                                      rows))
+                      .ok());
+      bool registered_base = false;
+      {
+        StatusOr<SolveReport> report = service.Solve(*q, name);
+        ASSERT_TRUE(report.ok());
+        registered_base = report->certain;
+        EXPECT_EQ(registered_base, base);
+      }
+      for (int dup = 0; dup < 3 && !rows.empty(); ++dup) {
+        const Row& row = rows[rng.Below(rows.size())];
+        MutationStats stats;
+        ASSERT_TRUE(
+            service.InsertFacts(name, {{row.relation, row.args}}, &stats)
+                .ok());
+        EXPECT_EQ(stats.applied, 0u);
+        EXPECT_EQ(stats.ignored_duplicates, 1u);
+      }
+      StatusOr<SolveReport> after = service.Solve(*q, name);
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(after->certain, registered_base);
+      // Nothing changed, so every component verdict comes from the cache.
+      EXPECT_EQ(after->components_resolved, 0u);
+      ASSERT_TRUE(service.DropDatabase(name).ok());
+    }
+  }
+}
+
+TEST(MetamorphicTest, NoiseOnUnusedRelationIsInvariant) {
+  Service service;
+  for (const MetamorphicCase& c : kCases) {
+    CompileOptions options;
+    if (c.forced != nullptr) options.forced_backend = c.forced;
+    StatusOr<CompiledQuery> q = service.Compile(c.query, options);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+    // A schema that also carries a relation the query never mentions.
+    Schema wide;
+    for (RelationId r = 0; r < q->query().schema().NumRelations(); ++r) {
+      const RelationSchema& rel = q->query().schema().Relation(r);
+      wide.AddRelation(rel.name, rel.arity, rel.key_len);
+    }
+    RelationId noise_rel = wide.AddRelation("ZNoise", 2, 1);
+
+    Rng rng(0x3E7A0003);
+    for (int round = 0; round < 30; ++round) {
+      Database narrow = RandomInstance(q->query(),
+                                       InstanceParams{16, 4, 0.6, 0.3},
+                                       &rng);
+      Database db = BuildFromRows(wide, RowsOf(narrow));
+      bool base = SolveAndVerify(&service, *q, db, c.query);
+
+      // Pure noise on the unused relation, including inconsistent blocks.
+      for (int n = 0; n < 8; ++n) {
+        std::vector<std::string> args = {
+            "n" + std::to_string(rng.Below(4)),
+            "n" + std::to_string(rng.Below(4))};
+        db.AddFactNamed(noise_rel, args);
+      }
+      EXPECT_EQ(SolveAndVerify(&service, *q, db, c.query), base)
+          << c.query << " round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa
