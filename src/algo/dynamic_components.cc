@@ -135,4 +135,30 @@ void DynamicComponents::OnRemove(FactId f) {
   }
 }
 
+void DynamicComponents::ApplyRemap(const FactIdRemap& remap) {
+  CQA_CHECK(parent_.size() == remap.old_slots);
+  // Alive facts' parent chains pass only through alive facts (dead slots
+  // are reset to singletons at construction and survivors re-rooted on
+  // every OnRemove), so every alive parent pointer remaps cleanly.
+  std::vector<FactId> parent(remap.new_slots);
+  for (FactId old = 0; old < remap.old_slots; ++old) {
+    FactId nid = remap.Apply(old);
+    if (nid == Database::kNoFact) continue;
+    FactId new_parent = remap.Apply(parent_[old]);
+    CQA_CHECK(new_parent != Database::kNoFact);
+    parent[nid] = new_parent;
+  }
+  parent_ = std::move(parent);
+
+  std::unordered_map<FactId, Component> components;
+  components.reserve(components_.size());
+  for (auto& [root, comp] : components_) {
+    Component moved = std::move(comp);
+    for (FactId& m : moved.members) m = remap.Apply(m);
+    moved.min_member = remap.Apply(moved.min_member);
+    components.emplace(remap.Apply(root), std::move(moved));
+  }
+  components_ = std::move(components);
+}
+
 }  // namespace cqa

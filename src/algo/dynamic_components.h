@@ -91,6 +91,13 @@ class DynamicComponents {
   /// PreparedDatabase has been updated. Repartitions f's component only.
   void OnRemove(FactId f);
 
+  /// Absorbs a Database::Compact (call once, right after, with the remap
+  /// it returned): renumbers the union-find and component members in
+  /// place. The remap is monotonic on survivors, so min_member stays the
+  /// minimum, and fingerprints are content-addressed, so they are
+  /// untouched. O(alive facts).
+  void ApplyRemap(const FactIdRemap& remap);
+
   /// Current components, keyed by representative member. Key stability is
   /// not guaranteed across mutations; fingerprints are the stable handle.
   const std::unordered_map<FactId, Component>& components() const {

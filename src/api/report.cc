@@ -20,10 +20,11 @@ std::string SolveReport::Summary() const {
   if (incremental && written > 0 &&
       static_cast<std::size_t>(written) < sizeof(buffer)) {
     std::snprintf(buffer + written, sizeof(buffer) - written,
-                  " components=%llu resolved=%llu cached=%llu",
+                  " components=%llu resolved=%llu cached=%llu evicted=%llu",
                   static_cast<unsigned long long>(components_total),
                   static_cast<unsigned long long>(components_resolved),
-                  static_cast<unsigned long long>(components_cached));
+                  static_cast<unsigned long long>(components_cached),
+                  static_cast<unsigned long long>(cache_evictions));
   }
   return buffer;
 }

@@ -60,6 +60,9 @@ struct SolveReport {
   std::uint64_t components_total = 0;
   std::uint64_t components_resolved = 0;
   std::uint64_t components_cached = 0;
+  /// Verdict-cache entries this solve evicted to stay within the
+  /// configured CacheOptions bounds (incremental path only).
+  std::uint64_t cache_evictions = 0;
 
   /// A repair falsifying the query: present only when certain is false
   /// and the backend supports Explain. Points into the solved database

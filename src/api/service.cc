@@ -133,7 +133,7 @@ Status Service::RegisterDatabase(std::string_view name, Database db) {
                       "\" is already registered (DropDatabase first to "
                       "replace it)");
   }
-  auto entry = std::make_shared<DbEntry>(std::move(db));
+  auto entry = std::make_shared<DbEntry>(std::move(db), options_.solver_cache);
   auto prepare_start = std::chrono::steady_clock::now();
   entry->prepared.emplace(entry->db);
   entry->prepare_seconds = SecondsSince(prepare_start);
@@ -197,18 +197,55 @@ std::string IncrementalKey(const CompiledQuery& q) {
 
 }  // namespace
 
-IncrementalSolver* Service::IncrementalFor(DbEntry& entry,
-                                           const CompiledQuery& q) const {
+std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
+    DbEntry& entry, const CompiledQuery& q) const {
   std::string key = IncrementalKey(q);
-  auto it = entry.incremental.find(key);
-  if (it == entry.incremental.end()) {
-    DbEntry::IncrementalEntry made;
-    made.state = q.state_;
-    made.solver = std::make_unique<IncrementalSolver>(q.state_->solver,
-                                                      *entry.prepared);
-    it = entry.incremental.emplace(std::move(key), std::move(made)).first;
+  {
+    std::lock_guard<std::mutex> lock(entry.inc_mu);
+    if (auto* hit = entry.incremental.Find(key)) return *hit;
   }
-  return it->second.solver.get();
+  // Build outside inc_mu: the component partition is O(db) and must not
+  // stall other queries' solver lookups. Construction only reads the
+  // database (safe under the caller's shared structure lock); a lost
+  // race means two threads partitioned the same query and the first
+  // insertion wins.
+  auto made = std::make_shared<DbEntry::IncrementalEntry>();
+  made->state = q.state_;
+  made->solver = std::make_unique<IncrementalSolver>(
+      q.state_->solver, *entry.prepared, options_.verdict_cache);
+  std::lock_guard<std::mutex> lock(entry.inc_mu);
+  // Same logical lookup as the probe above: don't count a second miss.
+  if (auto* hit = entry.incremental.Find(key, /*count=*/false)) return *hit;
+  entry.incremental.Insert(std::move(key), made);
+  return made;
+}
+
+std::vector<std::shared_ptr<Service::DbEntry::IncrementalEntry>>
+Service::LiveSolvers(DbEntry& entry) const {
+  std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers;
+  std::lock_guard<std::mutex> lock(entry.inc_mu);
+  entry.incremental.ForEach(
+      [&](const std::string&,
+          const std::shared_ptr<DbEntry::IncrementalEntry>& inc) {
+        solvers.push_back(inc);
+      });
+  return solvers;
+}
+
+bool Service::MaybeCompact(
+    DbEntry& entry,
+    const std::vector<std::shared_ptr<DbEntry::IncrementalEntry>>& solvers,
+    bool force) const {
+  if (!force) {
+    if (entry.db.NumFacts() < options_.compact_min_slots) return false;
+    if (entry.db.DeadSlotRatio() <= options_.compact_dead_ratio) return false;
+  }
+  if (entry.db.NumDeadSlots() == 0) return false;
+  FactIdRemap remap = entry.db.Compact();
+  entry.prepared->ApplyRemap(remap);
+  for (const auto& inc : solvers) inc->solver->ApplyRemap(remap);
+  ++entry.compactions;
+  return true;
 }
 
 StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
@@ -224,30 +261,22 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
 
   SolveReport report;
   if (options_.incremental_solving && q.query().NumAtoms() == 2) {
-    // Steady state first: if the solver exists and every component
-    // verdict is cached, answer under the shared lock so read-heavy
-    // workloads on an unchanged database stay concurrent.
-    {
-      std::shared_lock<std::shared_mutex> lock((*entry)->rw);
-      auto it = (*entry)->incremental.find(IncrementalKey(q));
-      if (it != (*entry)->incremental.end()) {
-        std::optional<SolveReport> cached =
-            it->second.solver->SolveCached(options_.explain_non_certain);
-        if (cached.has_value()) {
-          report = *std::move(cached);
-          report.timings.prepare_seconds = (*entry)->prepare_seconds;
-          FillCompileTimings(q, &report);
-          return report;
-        }
-      }
+    if (options_.exclusive_lock_baseline) {
+      // Benchmark baseline: the pre-sharding behavior, every incremental
+      // solve exclusive per database.
+      std::unique_lock<std::shared_mutex> lock((*entry)->structure);
+      auto inc = IncrementalFor(**entry, q);
+      report = inc->solver->Solve(options_.explain_non_certain);
+    } else {
+      // The shared lock only excludes mutations/compactions: concurrent
+      // solves — cache hits and cache fills alike — proceed in parallel,
+      // coordinating per component through the solver's shard locks.
+      std::shared_lock<std::shared_mutex> lock((*entry)->structure);
+      auto inc = IncrementalFor(**entry, q);
+      report = inc->solver->Solve(options_.explain_non_certain);
     }
-    // Cold or dirtied: the component-cache path writes the entry's
-    // incremental state, so it takes the write lock.
-    std::unique_lock<std::shared_mutex> lock((*entry)->rw);
-    IncrementalSolver* solver = IncrementalFor(**entry, q);
-    report = solver->Solve(options_.explain_non_certain);
   } else {
-    std::shared_lock<std::shared_mutex> lock((*entry)->rw);
+    std::shared_lock<std::shared_mutex> lock((*entry)->structure);
     report = ExecuteReport(q.classification(), q.state_->solver.backend(),
                            *(*entry)->prepared, options_.explain_non_certain);
   }
@@ -262,7 +291,7 @@ Status Service::InsertFacts(std::string_view db_name,
   StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
-  std::unique_lock<std::shared_mutex> lock(entry.rw);
+  std::unique_lock<std::shared_mutex> lock(entry.structure);
 
   // Validate the whole batch before touching anything: a mutation either
   // applies completely or not at all.
@@ -274,6 +303,8 @@ Status Service::InsertFacts(std::string_view db_name,
     relations.push_back(*rel);
   }
 
+  std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers =
+      LiveSolvers(entry);
   for (std::size_t i = 0; i < facts.size(); ++i) {
     std::vector<ElementId> args;
     args.reserve(facts[i].args.size());
@@ -288,7 +319,7 @@ Status Service::InsertFacts(std::string_view db_name,
       continue;
     }
     entry.prepared->ApplyInsert(id);
-    for (auto& [key, inc] : entry.incremental) inc.solver->OnInsert(id);
+    for (const auto& inc : solvers) inc->solver->OnInsert(id);
     if (stats != nullptr) ++stats->applied;
   }
   return Status::Ok();
@@ -300,7 +331,7 @@ Status Service::DeleteFacts(std::string_view db_name,
   StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
-  std::unique_lock<std::shared_mutex> lock(entry.rw);
+  std::unique_lock<std::shared_mutex> lock(entry.structure);
 
   // Validate and resolve the whole batch before touching anything.
   std::vector<FactId> ids;
@@ -336,12 +367,30 @@ Status Service::DeleteFacts(std::string_view db_name,
     ids.push_back(id);
   }
 
+  std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers =
+      LiveSolvers(entry);
   for (FactId id : ids) {
     Database::RemovedFact removed = entry.db.RemoveFact(id);
     entry.prepared->ApplyRemove(id, removed);
-    for (auto& [key, inc] : entry.incremental) inc.solver->OnRemove(id);
+    for (const auto& inc : solvers) inc->solver->OnRemove(id);
     if (stats != nullptr) ++stats->applied;
   }
+  // Deletion churn is the only thing that grows the dead-slot ratio;
+  // reclaim tombstones once it passes the configured trigger. The solver
+  // snapshot above is still current: no solver can appear while the
+  // exclusive structure lock is held.
+  if (MaybeCompact(entry, solvers, /*force=*/false) && stats != nullptr) {
+    ++stats->compactions;
+  }
+  return Status::Ok();
+}
+
+Status Service::CompactDatabase(std::string_view db_name) {
+  StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
+  if (!found.ok()) return found.status();
+  DbEntry& entry = **found;
+  std::unique_lock<std::shared_mutex> lock(entry.structure);
+  MaybeCompact(entry, LiveSolvers(entry), /*force=*/true);
   return Status::Ok();
 }
 
@@ -408,6 +457,74 @@ std::vector<StatusOr<SolveReport>> Service::SolveBatch(
 
 std::vector<std::string> Service::BackendNames() {
   return BackendRegistry::Global().Names();
+}
+
+ServiceStats Service::Stats() const {
+  ServiceStats stats;
+  std::vector<std::pair<std::string, std::shared_ptr<DbEntry>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.compiled_queries = compiled_.size();
+    entries.reserve(databases_.size());
+    for (const auto& [name, entry] : databases_) {
+      entries.emplace_back(name, entry);
+    }
+  }
+  for (const auto& [name, entry] : entries) {
+    // Shared: a stats poll must never stall solves; it can briefly delay
+    // a mutation, like any reader.
+    std::shared_lock<std::shared_mutex> lock(entry->structure);
+    ServiceStats::DatabaseStats d;
+    d.name = name;
+    d.alive_facts = entry->db.NumAliveFacts();
+    d.fact_slots = entry->db.NumFacts();
+    d.tombstoned = entry->db.NumDeadSlots();
+    d.blocks = entry->prepared->blocks().size();
+    d.compactions = entry->compactions;
+    // Snapshot the solver-map counters and list in one inc_mu section,
+    // but sum the shard counters outside it: a shard mutex can be held
+    // across a backend run, and blocking on it while holding inc_mu
+    // would stall every solve's solver-map probe for the duration
+    // (solvers are shared_ptr-held, so the snapshot stays valid).
+    std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers;
+    {
+      std::lock_guard<std::mutex> inc_lock(entry->inc_mu);
+      d.solvers = entry->incremental.Counters();
+      entry->incremental.ForEach(
+          [&](const std::string&,
+              const std::shared_ptr<DbEntry::IncrementalEntry>& inc) {
+            solvers.push_back(inc);
+          });
+    }
+    for (const auto& inc : solvers) {
+      d.verdicts += inc->solver->VerdictCacheCounters();
+    }
+    stats.databases.push_back(std::move(d));
+  }
+  return stats;
+}
+
+std::string ServiceStats::ToString() const {
+  std::string out =
+      "compiled queries: " + std::to_string(compiled_queries) + "\n";
+  for (const DatabaseStats& d : databases) {
+    out += "database \"" + d.name + "\": facts=" +
+           std::to_string(d.alive_facts) + " slots=" +
+           std::to_string(d.fact_slots) + " (tombstoned " +
+           std::to_string(d.tombstoned) + ") blocks=" +
+           std::to_string(d.blocks) + " compactions=" +
+           std::to_string(d.compactions) + "\n";
+    out += "  solvers: entries=" + std::to_string(d.solvers.entries) +
+           " hits=" + std::to_string(d.solvers.hits) +
+           " misses=" + std::to_string(d.solvers.misses) +
+           " evictions=" + std::to_string(d.solvers.evictions) + "\n";
+    out += "  verdicts: entries=" + std::to_string(d.verdicts.entries) +
+           " bytes=" + std::to_string(d.verdicts.bytes) +
+           " hits=" + std::to_string(d.verdicts.hits) +
+           " misses=" + std::to_string(d.verdicts.misses) +
+           " evictions=" + std::to_string(d.verdicts.evictions) + "\n";
+  }
+  return out;
 }
 
 }  // namespace cqa

@@ -32,15 +32,29 @@
 //     falsifying-repair witness for non-certain answers when the
 //     backend supports Explain.
 //
+// Memory model: every per-database cache is bounded. The per-query
+// incremental-solver map and each solver's per-component verdict cache
+// are LRU-bounded (ServiceOptions::solver_cache / verdict_cache), and
+// sustained deletion churn triggers tombstone compaction once the
+// dead-slot ratio passes ServiceOptions::compact_dead_ratio: the Database
+// reclaims its slots and publishes a FactIdRemap that delta-patches the
+// prepared indexes and component partitions (content-addressed verdicts
+// and witnesses survive). Service::Stats() snapshots cache sizes, hit
+// rates, evictions, live-vs-tombstoned facts, and compactions run.
+//
 // Thread-safety: all methods lock internally around the shared maps, and
-// each registered database carries a reader/writer lock: mutations and
-// cache-filling incremental solves are exclusive per database, while
-// full-path solves and steady-state incremental solves (every component
-// verdict already cached — the common case on an unchanged database)
-// share. Compile, registration, and solves on different databases still
-// run concurrently; a database dropped mid-solve stays alive until the
-// solve returns. Finer-grained concurrent mutation is an open roadmap
-// item.
+// each registered database carries a structure lock (shared_mutex):
+// mutations and compactions take it exclusive for their (short, index-
+// patching) critical section, while every solve — including cache-filling
+// incremental solves — takes it shared. Concurrent cache-filling solves
+// coordinate through the verdict cache's component-sharded locks (see
+// engine/incremental.h): solvers of disjoint components run their backend
+// passes in parallel; two solvers racing on the same component serialize,
+// and the loser reuses the winner's verdict. Compile, registration, and
+// solves on different databases also run concurrently; a database dropped
+// mid-solve stays alive until the solve returns.
+// ServiceOptions::exclusive_lock_baseline restores the pre-sharding
+// behavior (every incremental solve exclusive) for benchmarking.
 
 #ifndef CQA_API_SERVICE_H_
 #define CQA_API_SERVICE_H_
@@ -58,6 +72,7 @@
 #include "api/report.h"
 #include "api/status.h"
 #include "api/witness.h"
+#include "base/lru.h"
 #include "classify/classifier.h"
 #include "data/database.h"
 #include "data/prepared.h"
@@ -83,6 +98,35 @@ struct ServiceOptions {
   /// Costs one component partition per (database, query) pair up front;
   /// pays off as soon as the database mutates between solves.
   bool incremental_solving = true;
+
+  // -- Memory & concurrency knobs (see the header comment) ------------
+
+  /// Bounds for each incremental solver's per-component verdict cache
+  /// (0 = unbounded on that axis). The entry cap rounds up to a multiple
+  /// of IncrementalSolver::kNumShards. Size it above the database's
+  /// expected component count: a cap below it turns the steady-state
+  /// round-robin over components into LRU cycle-thrash where every solve
+  /// re-solves everything (~100 bytes/verdict, so the default costs at
+  /// most a few MB per database/query pair).
+  CacheOptions verdict_cache{/*max_entries=*/65536, /*max_bytes=*/0};
+  /// Bounds for the per-database map of incremental solvers (one per
+  /// distinct compiled query ever solved incrementally against it).
+  /// Evicting a solver drops its component partition and verdict cache;
+  /// the next solve of that query rebuilds them from the current state.
+  CacheOptions solver_cache{/*max_entries=*/64, /*max_bytes=*/0};
+  /// Compact a registered database when its tombstoned slots exceed this
+  /// fraction of all slots (checked after each DeleteFacts batch). With
+  /// ratio r the slot count stays below alive/(1-r): the default keeps
+  /// resident slots within 1.67x of the live size. A value >= 1 disables
+  /// automatic compaction (CompactDatabase still works).
+  double compact_dead_ratio = 0.4;
+  /// Never auto-compact below this many slots (churn on tiny databases
+  /// isn't worth the remap traffic).
+  std::size_t compact_min_slots = 256;
+  /// Benchmark baseline: take the per-database lock exclusively for every
+  /// incremental solve (the pre-sharding PR 3 behavior) instead of
+  /// running cache-filling solves in parallel under the shared lock.
+  bool exclusive_lock_baseline = false;
 };
 
 /// One fact named at the API boundary: a relation name plus element names
@@ -96,6 +140,35 @@ struct FactSpec {
 struct MutationStats {
   std::uint64_t applied = 0;             ///< Facts inserted or deleted.
   std::uint64_t ignored_duplicates = 0;  ///< Insert-only: already present.
+  std::uint64_t compactions = 0;         ///< Compactions the batch triggered.
+};
+
+/// Point-in-time snapshot of the service's storage and cache state
+/// (Service::Stats()): how state lives and ages across every layer —
+/// fact slots vs tombstones and compactions at the data layer, verdict
+/// caches at the engine layer, solver maps at the API layer.
+struct ServiceStats {
+  struct DatabaseStats {
+    std::string name;
+    /// Data layer: live facts, allocated slots (>= alive; the gap is
+    /// tombstones awaiting compaction), blocks, compactions run so far.
+    std::uint64_t alive_facts = 0;
+    std::uint64_t fact_slots = 0;
+    std::uint64_t tombstoned = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t compactions = 0;
+    /// API layer: the LRU map of per-query incremental solvers.
+    CacheCounters solvers;
+    /// Engine layer: per-component verdict caches, summed over this
+    /// database's live solvers.
+    CacheCounters verdicts;
+  };
+
+  std::uint64_t compiled_queries = 0;
+  std::vector<DatabaseStats> databases;
+
+  /// Multi-line human-readable rendering of the snapshot.
+  std::string ToString() const;
 };
 
 /// Per-Compile knobs; part of the cache key.
@@ -205,6 +278,12 @@ class Service {
                      const std::vector<FactSpec>& facts,
                      MutationStats* stats = nullptr);
 
+  /// Compacts a registered database's tombstoned fact slots now,
+  /// regardless of the automatic dead-slot-ratio trigger, delta-patching
+  /// every dependent structure with the resulting FactIdRemap. A no-op
+  /// (not an error) when there are no dead slots. Errors: kNotFound.
+  Status CompactDatabase(std::string_view db_name);
+
   // -- Solving --------------------------------------------------------
 
   /// Answers certain(q) on a registered database. Errors: kNotFound,
@@ -236,19 +315,27 @@ class Service {
   /// Registered backend names (the forced_backend vocabulary).
   static std::vector<std::string> BackendNames();
 
+  /// Snapshots storage and cache state across all registered databases:
+  /// live vs tombstoned facts, compactions run, solver-map and
+  /// verdict-cache sizes, hit/miss/eviction counters.
+  ServiceStats Stats() const;
+
   const ServiceOptions& options() const { return options_; }
 
  private:
   struct DbEntry {
-    explicit DbEntry(Database db_in) : db(std::move(db_in)) {}
+    DbEntry(Database db_in, CacheOptions solver_cache)
+        : db(std::move(db_in)), incremental(solver_cache) {}
     Database db;
     // Prepared after `db` has its final address (construction order).
     std::optional<PreparedDatabase> prepared;
     double prepare_seconds = 0.0;
-    // Entry-level reader/writer lock: full-path solves and cache-hit
-    // incremental solves share; mutations and cache-filling incremental
-    // solves are exclusive.
-    mutable std::shared_mutex rw;
+    // Structure lock: mutations and compactions (which patch the
+    // database, its preparation, and the component partitions) are
+    // exclusive; every solve — including cache-filling incremental
+    // solves, which coordinate through the verdict cache's component
+    // shard locks — is shared.
+    mutable std::shared_mutex structure;
     struct IncrementalEntry {
       // Pins the compiled state the solver points into — a handle
       // compiled by another Service (or a future evictable compile
@@ -257,17 +344,43 @@ class Service {
       std::unique_ptr<IncrementalSolver> solver;
     };
     // Incremental solver per compiled query, keyed by canonical query
-    // text + backend name; created on first incremental solve.
-    std::map<std::string, IncrementalEntry, std::less<>> incremental;
+    // text + backend name; created on first incremental solve and
+    // LRU-evicted past ServiceOptions::solver_cache. Values are
+    // shared_ptr so an eviction cannot free a solver out from under an
+    // in-flight solve (the solve keeps its own reference; the evicted
+    // solver simply stops receiving mutations and dies with the last
+    // user). Guarded by inc_mu (the structure lock alone is not enough:
+    // shared-mode solves mutate the map's LRU order).
+    mutable std::mutex inc_mu;
+    LruCache<std::string, std::shared_ptr<IncrementalEntry>> incremental;
+    // Compactions run on this database; written under the exclusive
+    // structure lock, read under the shared one.
+    std::uint64_t compactions = 0;
   };
 
   /// Looks up a registered database (service lock held inside).
   StatusOr<std::shared_ptr<DbEntry>> FindEntry(std::string_view db_name) const;
 
   /// The entry's incremental solver for `q`, created on first use.
-  /// Caller holds the entry's write lock.
-  IncrementalSolver* IncrementalFor(DbEntry& entry,
-                                    const CompiledQuery& q) const;
+  /// Caller holds the entry's structure lock (shared suffices: the map
+  /// itself is guarded by inc_mu, and solver construction only reads the
+  /// database).
+  std::shared_ptr<DbEntry::IncrementalEntry> IncrementalFor(
+      DbEntry& entry, const CompiledQuery& q) const;
+
+  /// Snapshots the entry's live solvers (for mutation fan-out).
+  std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> LiveSolvers(
+      DbEntry& entry) const;
+
+  /// Compacts `entry` if its dead-slot ratio passed the configured
+  /// trigger (or `force`), delta-patching the prepared indexes and the
+  /// given solver snapshot with the remap. Caller holds the exclusive
+  /// structure lock (so the snapshot cannot be stale). Returns true if a
+  /// compaction ran.
+  bool MaybeCompact(
+      DbEntry& entry,
+      const std::vector<std::shared_ptr<DbEntry::IncrementalEntry>>& solvers,
+      bool force) const;
 
   /// Stamps the compile-time phase timings onto a finished report.
   void FillCompileTimings(const CompiledQuery& q, SolveReport* report) const;

@@ -66,28 +66,77 @@ Database::RemovedFact Database::RemoveFact(FactId id) {
   return info;
 }
 
+FactIdRemap Database::Compact() {
+  FactIdRemap remap;
+  remap.old_slots = facts_.size();
+  remap.new_id.assign(facts_.size(), kNoFact);
+  FactId next = 0;
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    if (alive_[id]) remap.new_id[id] = next++;
+  }
+  remap.new_slots = next;
+  if (remap.identity()) return remap;
+
+  // Slide survivors down in order; the remap is monotonic so this never
+  // overwrites a fact that has not been moved yet.
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    FactId nid = remap.new_id[id];
+    if (nid != kNoFact && nid != id) facts_[nid] = std::move(facts_[id]);
+  }
+  facts_.resize(next);
+  facts_.shrink_to_fit();
+  alive_.assign(next, 1);
+  alive_.shrink_to_fit();
+  CQA_CHECK(num_alive_ == next);
+
+  // fact_ids_ only holds alive facts (RemoveFact erases); rewrite values.
+  for (auto& [fact, id] : fact_ids_) id = remap.new_id[id];
+
+  if (!blocks_dirty_) {
+    // BlockIds are stable across a compaction: only member ids move.
+    for (Block& block : blocks_) {
+      for (FactId& f : block.facts) f = remap.new_id[f];
+    }
+    std::vector<BlockId> block_of(next);
+    for (FactId id = 0; id < remap.old_slots; ++id) {
+      if (remap.new_id[id] != kNoFact) {
+        block_of[remap.new_id[id]] = block_of_[id];
+      }
+    }
+    block_of_ = std::move(block_of);
+  }
+  return remap;
+}
+
+BlockId Database::ProbeBlock(RelationId relation, KeyView key) const {
+  auto it = block_index_.find(HashRelationKey(relation, key));
+  if (it == block_index_.end()) return kNoBlock;
+  for (BlockId b : it->second) {
+    const Block& block = blocks_[b];
+    if (block.relation != relation) continue;
+    KeyView stored{block.key.data(),
+                   static_cast<std::uint32_t>(block.key.size())};
+    if (stored == key) return b;
+  }
+  return kNoBlock;
+}
+
 void Database::InsertIntoBlocks(FactId id) const {
   KeyView key = KeyViewOf(id);
   RelationId relation = facts_[id].relation;
-  std::vector<BlockId>& bucket =
-      block_index_[HashRelationKey(relation, key)];
-  for (BlockId b : bucket) {
-    if (blocks_[b].relation != relation) continue;
-    KeyView stored{blocks_[b].key.data(),
-                   static_cast<std::uint32_t>(blocks_[b].key.size())};
-    if (stored == key) {
-      blocks_[b].facts.push_back(id);
-      block_of_[id] = b;
-      return;
-    }
+  BlockId b = ProbeBlock(relation, key);
+  if (b != kNoBlock) {
+    blocks_[b].facts.push_back(id);
+    block_of_[id] = b;
+    return;
   }
-  BlockId b = static_cast<BlockId>(blocks_.size());
+  b = static_cast<BlockId>(blocks_.size());
   Block block;
   block.relation = relation;
   block.key.assign(key.begin(), key.end());
   block.facts.push_back(id);
   blocks_.push_back(std::move(block));
-  bucket.push_back(b);
+  block_index_[HashRelationKey(relation, key)].push_back(b);
   block_of_[id] = b;
 }
 
@@ -149,16 +198,7 @@ void Database::EnsureBlocks() const {
 
 BlockId Database::FindBlock(RelationId relation, KeyView key) const {
   EnsureBlocks();
-  auto it = block_index_.find(HashRelationKey(relation, key));
-  if (it == block_index_.end()) return kNoBlock;
-  for (BlockId b : it->second) {
-    const Block& block = blocks_[b];
-    if (block.relation != relation) continue;
-    KeyView stored{block.key.data(),
-                   static_cast<std::uint32_t>(block.key.size())};
-    if (stored == key) return b;
-  }
-  return kNoBlock;
+  return ProbeBlock(relation, key);
 }
 
 const std::vector<Block>& Database::blocks() const {

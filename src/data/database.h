@@ -5,15 +5,20 @@
 // its Schema so that generated instances (reductions, workload generators)
 // are self-contained value types.
 //
-// Mutation model: FactIds are stable for the life of the database.
-// AddFact appends (never reuses a slot); RemoveFact tombstones its slot
-// instead of compacting, so ids held by indexes, components, and cached
-// witnesses stay valid across deletions. The block partition is built
-// lazily on first read (cheap bulk loads) and from then on maintained
-// incrementally: an insert appends to its key's block (or opens one) via
-// a persistent key index, a delete shrinks its block and swap-removes it
-// when emptied. Tombstoned slots are never reclaimed — compaction under
-// sustained churn is an open roadmap item.
+// Mutation model: FactIds are stable between compactions. AddFact appends
+// (never reuses a slot); RemoveFact tombstones its slot instead of
+// compacting, so ids held by indexes, components, and cached witnesses
+// stay valid across deletions. The block partition is built lazily on
+// first read (cheap bulk loads) and from then on maintained incrementally:
+// an insert appends to its key's block (or opens one) via a persistent key
+// index, a delete shrinks its block and swap-removes it when emptied.
+//
+// Under sustained churn tombstoned slots accumulate; Compact() reclaims
+// them in one order-preserving pass and publishes a FactIdRemap so every
+// structure that holds FactIds (PreparedDatabase, DynamicComponents,
+// IncrementalSolver) can delta-patch itself via its ApplyRemap instead of
+// rebuilding. Content-addressed state (verdict fingerprints, cached
+// witness tuples) survives a compaction untouched.
 
 #ifndef CQA_DATA_DATABASE_H_
 #define CQA_DATA_DATABASE_H_
@@ -68,6 +73,22 @@ inline std::size_t HashRelationKey(RelationId relation, KeyView key) {
   return HashCombine(HashRange(key.begin(), key.end()), relation);
 }
 
+/// How Compact() renumbered fact slots: the contract between the Database
+/// and every structure that holds FactIds. Alive facts keep their relative
+/// order (the remap is monotonic on survivors), so min/ordering invariants
+/// survive remapping; tombstoned slots map to kNoFact below.
+struct FactIdRemap {
+  /// new_id[old] is the surviving fact's new id, or Database::kNoFact for
+  /// a slot that was tombstoned (and is now gone).
+  std::vector<FactId> new_id;
+  std::size_t old_slots = 0;  ///< Slot count before the compaction.
+  std::size_t new_slots = 0;  ///< Slot count after (== alive facts).
+
+  FactId Apply(FactId old_id) const { return new_id[old_id]; }
+  /// True when the compaction reclaimed nothing (no dead slots).
+  bool identity() const { return old_slots == new_slots; }
+};
+
 /// A finite set of facts with set semantics (duplicate inserts are no-ops).
 class Database {
  public:
@@ -110,6 +131,27 @@ class Database {
 
   /// Number of facts currently alive (NumFacts minus tombstones).
   std::size_t NumAliveFacts() const { return num_alive_; }
+
+  /// Number of tombstoned slots awaiting compaction.
+  std::size_t NumDeadSlots() const { return facts_.size() - num_alive_; }
+
+  /// Fraction of slots that are tombstoned (0 for an empty database).
+  double DeadSlotRatio() const {
+    return facts_.empty()
+               ? 0.0
+               : static_cast<double>(NumDeadSlots()) /
+                     static_cast<double>(facts_.size());
+  }
+
+  /// Reclaims every tombstoned slot, renumbering the survivors while
+  /// preserving their relative order, and returns the remap. Blocks keep
+  /// their BlockIds (only their member ids are rewritten), so block-level
+  /// indexes need no patching. Every external structure holding FactIds
+  /// must be patched with the returned remap (ApplyRemap protocol) before
+  /// its next use; Repair witnesses into this database are invalidated.
+  /// O(slots + blocks). A compaction with no dead slots is a no-op that
+  /// returns an identity remap.
+  FactIdRemap Compact();
 
   /// True if slot `id` holds a live fact (false after RemoveFact).
   bool alive(FactId id) const { return alive_[id]; }
@@ -171,6 +213,10 @@ class Database {
 
  private:
   void EnsureBlocks() const;
+  /// The one (relation, key) -> BlockId probe of the key index, shared by
+  /// FindBlock and InsertIntoBlocks so lookup and partition maintenance
+  /// can never disagree. Requires the partition to be built.
+  BlockId ProbeBlock(RelationId relation, KeyView key) const;
   /// Appends `id` to its key's block (creating the block if needed),
   /// maintaining blocks_, block_of_, and block_index_. Requires the
   /// partition to be built.

@@ -11,9 +11,12 @@ PreparedDatabase::PreparedDatabase(const Database& db) : db_(&db) {
 
   facts_by_relation_.resize(db.schema().NumRelations());
   blocks_by_relation_.resize(db.schema().NumRelations());
+  pos_in_relation_.resize(db.NumFacts());
   for (FactId id = 0; id < db.NumFacts(); ++id) {
     if (!db.alive(id)) continue;
-    facts_by_relation_[db.fact(id).relation].push_back(id);
+    std::vector<FactId>& facts = facts_by_relation_[db.fact(id).relation];
+    pos_in_relation_[id] = static_cast<std::uint32_t>(facts.size());
+    facts.push_back(id);
   }
 
   for (BlockId b = 0; b < blocks.size(); ++b) {
@@ -24,7 +27,10 @@ PreparedDatabase::PreparedDatabase(const Database& db) : db_(&db) {
 void PreparedDatabase::ApplyInsert(FactId id) {
   CQA_CHECK(db_->alive(id));
   RelationId relation = db_->fact(id).relation;
-  facts_by_relation_[relation].push_back(id);
+  std::vector<FactId>& facts = facts_by_relation_[relation];
+  pos_in_relation_.resize(db_->NumFacts());
+  pos_in_relation_[id] = static_cast<std::uint32_t>(facts.size());
+  facts.push_back(id);
   BlockId b = db_->BlockOf(id);
   // A freshly opened block holds exactly the new fact; an insert into an
   // existing block changes no block index.
@@ -38,7 +44,11 @@ void PreparedDatabase::ApplyRemove(FactId id,
   CQA_CHECK(!db_->alive(id));
   RelationId relation = db_->fact(id).relation;
   std::vector<FactId>& facts = facts_by_relation_[relation];
-  facts.erase(std::find(facts.begin(), facts.end(), id));
+  std::uint32_t pos = pos_in_relation_[id];
+  CQA_DCHECK(pos < facts.size() && facts[pos] == id);
+  facts[pos] = facts.back();
+  pos_in_relation_[facts[pos]] = pos;
+  facts.pop_back();
 
   if (!removed.block_removed) return;
   // The emptied block vanished and (unless it was last) the previously
@@ -51,6 +61,19 @@ void PreparedDatabase::ApplyRemove(FactId id,
     *std::find(moved.begin(), moved.end(), removed.moved_from) =
         removed.block;
   }
+}
+
+void PreparedDatabase::ApplyRemap(const FactIdRemap& remap) {
+  std::vector<std::uint32_t> pos(remap.new_slots);
+  for (std::vector<FactId>& facts : facts_by_relation_) {
+    for (std::uint32_t i = 0; i < facts.size(); ++i) {
+      FactId nid = remap.Apply(facts[i]);
+      CQA_CHECK(nid != Database::kNoFact);
+      facts[i] = nid;
+      pos[nid] = i;
+    }
+  }
+  pos_in_relation_ = std::move(pos);
 }
 
 }  // namespace cqa

@@ -44,7 +44,8 @@ class PreparedDatabase {
   /// Block containing fact `id` (O(1), the partition is always built).
   BlockId BlockOf(FactId id) const { return db_->BlockOf(id); }
 
-  /// Facts of a database relation, in insertion order.
+  /// Facts of a database relation. Insertion order for append-only
+  /// databases; arbitrary after deletions (removals swap-remove in O(1)).
   const std::vector<FactId>& FactsOf(RelationId relation) const {
     return facts_by_relation_[relation];
   }
@@ -66,9 +67,15 @@ class PreparedDatabase {
   void ApplyInsert(FactId id);
 
   /// Mirrors a Database::RemoveFact of fact `id` (call once, after the
-  /// RemoveFact, with the RemovedFact it returned). O(facts of the
-  /// relation) for the index erase.
+  /// RemoveFact, with the RemovedFact it returned). O(1): the per-fact
+  /// position index turns the erase into a swap-remove.
   void ApplyRemove(FactId id, const Database::RemovedFact& removed);
+
+  /// Mirrors a Database::Compact (call once, right after, with the remap
+  /// it returned): rewrites the fact ids held by the per-relation indexes
+  /// in place. Block ids are compaction-stable, so the block indexes need
+  /// no patching. O(alive facts).
+  void ApplyRemap(const FactIdRemap& remap);
 
   static constexpr BlockId kNoBlock = Database::kNoBlock;
 
@@ -76,6 +83,9 @@ class PreparedDatabase {
   const Database* db_;
   std::vector<std::vector<FactId>> facts_by_relation_;
   std::vector<std::vector<BlockId>> blocks_by_relation_;
+  /// pos_in_relation_[f] is f's index within FactsOf(fact(f).relation);
+  /// meaningful for alive facts only. Makes ApplyRemove O(1).
+  std::vector<std::uint32_t> pos_in_relation_;
 };
 
 }  // namespace cqa

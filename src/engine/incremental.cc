@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "base/check.h"
 #include "data/repair.h"
@@ -9,8 +11,48 @@
 namespace cqa {
 
 IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
-                                     const PreparedDatabase& pdb)
-    : solver_(&solver), pdb_(&pdb), components_(solver.query(), pdb) {}
+                                     const PreparedDatabase& pdb,
+                                     CacheOptions cache_options)
+    : solver_(&solver), pdb_(&pdb), components_(solver.query(), pdb) {
+  // Split the caps evenly over the shards (0 stays "unbounded"). Rounding
+  // up keeps the total at least the requested cap; the effective bound is
+  // a multiple of kNumShards.
+  CacheOptions per_shard;
+  if (cache_options.max_entries != 0) {
+    per_shard.max_entries =
+        (cache_options.max_entries + kNumShards - 1) / kNumShards;
+  }
+  if (cache_options.max_bytes != 0) {
+    per_shard.max_bytes = (cache_options.max_bytes + kNumShards - 1) / kNumShards;
+  }
+  for (Shard& shard : shards_) {
+    shard.cache =
+        LruCache<ComponentFingerprint, std::shared_ptr<const CachedVerdict>,
+                 ComponentFingerprintHash>(per_shard);
+  }
+}
+
+IncrementalSolver::Shard& IncrementalSolver::ShardFor(
+    const ComponentFingerprint& fp) const {
+  return shards_[ComponentFingerprintHash()(fp) % kNumShards];
+}
+
+std::size_t IncrementalSolver::VerdictBytes(const CachedVerdict& verdict) {
+  std::size_t bytes = sizeof(CachedVerdict) + sizeof(ComponentFingerprint);
+  for (const Fact& fact : verdict.witness_facts) {
+    bytes += sizeof(Fact) + fact.args.size() * sizeof(ElementId);
+  }
+  return bytes;
+}
+
+CacheCounters IncrementalSolver::VerdictCacheCounters() const {
+  CacheCounters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.cache.Counters();
+  }
+  return total;
+}
 
 IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
     const std::vector<FactId>& members, bool want_witness) const {
@@ -59,21 +101,7 @@ IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
   return verdict;
 }
 
-SolveReport IncrementalSolver::Solve(bool want_witness) {
-  std::optional<SolveReport> report = SolveImpl(want_witness, false);
-  CQA_CHECK(report.has_value());  // Never bails when solving is allowed.
-  return *std::move(report);
-}
-
-std::optional<SolveReport> IncrementalSolver::SolveCached(
-    bool want_witness) const {
-  // SolveImpl with cache_only performs no mutation (see its contract).
-  return const_cast<IncrementalSolver*>(this)->SolveImpl(want_witness,
-                                                         true);
-}
-
-std::optional<SolveReport> IncrementalSolver::SolveImpl(bool want_witness,
-                                                        bool cache_only) {
+SolveReport IncrementalSolver::Solve(bool want_witness) const {
   const Database& db = pdb_->db();
   const Classification& classification = solver_->classification();
   const CertainBackend& backend = solver_->backend();
@@ -90,46 +118,67 @@ std::optional<SolveReport> IncrementalSolver::SolveImpl(bool want_witness,
 
   auto start = std::chrono::steady_clock::now();
 
-  std::vector<const DynamicComponents::Component*> comps;
-  comps.reserve(components_.NumComponents());
-  for (const auto& [root, comp] : components_.components()) {
-    comps.push_back(&comp);
-  }
-  // Deterministic component order (by smallest member id) so repeated
-  // cache-filling solves of identical content behave identically. The
-  // cache-only path skips it: verdict lookup and the OR/witness merges
-  // are order-independent, and this is the hot concurrent-read path.
-  if (!cache_only) {
-    std::sort(comps.begin(), comps.end(),
-              [](const DynamicComponents::Component* a,
-                 const DynamicComponents::Component* b) {
-                return a->min_member < b->min_member;
-              });
-  }
+  // A verdict cached by a witness-less solve cannot serve a solve that
+  // needs the witness; re-solve to attach it.
+  auto usable = [can_explain](const CachedVerdict& v) {
+    return !can_explain || v.certain || v.has_witness;
+  };
 
-  report.components_total = comps.size();
-  bool certain = false;
-  std::vector<const CachedVerdict*> verdicts;
-  verdicts.reserve(comps.size());
-  for (const DynamicComponents::Component* comp : comps) {
-    auto it = cache_.find(comp->fingerprint);
-    // A verdict cached by a witness-less solve cannot serve a solve that
-    // needs the witness; re-solve to attach it.
-    bool usable = it != cache_.end() &&
-                  (!can_explain || it->second.certain ||
-                   it->second.has_witness);
-    if (usable) {
+  report.components_total = components_.NumComponents();
+  // shared_ptr copies: a hit never deep-copies witness tuples, and the
+  // verdict stays alive even if a concurrent solve's insert evicts its
+  // cache entry before the merge below reads it.
+  std::vector<std::shared_ptr<const CachedVerdict>> verdicts;
+  verdicts.reserve(report.components_total);
+  // First pass, unsorted (the OR and the witness merge below are
+  // order-independent): serve cache hits, collect the misses. Only the
+  // misses are sorted — by smallest member id, so repeated cache-filling
+  // solves of identical content run backends in the same order — keeping
+  // the fully-cached steady state free of the O(C log C) sort.
+  std::vector<const DynamicComponents::Component*> misses;
+  for (const auto& [root, comp] : components_.components()) {
+    Shard& shard = ShardFor(comp.fingerprint);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // A present-but-unusable verdict is a miss to us (the backend will
+    // re-run), so count usability, not mere presence.
+    auto* hit = shard.cache.Find(comp.fingerprint, /*count=*/false);
+    bool served = hit != nullptr && usable(**hit);
+    shard.cache.CountLookup(served);
+    if (served) {
       ++report.components_cached;
-    } else if (cache_only) {
-      return std::nullopt;
+      verdicts.push_back(*hit);
     } else {
-      CachedVerdict fresh = SolveComponent(comp->members, want_witness);
-      it = cache_.insert_or_assign(comp->fingerprint, std::move(fresh)).first;
-      ++report.components_resolved;
+      misses.push_back(&comp);
     }
-    certain = certain || it->second.certain;
-    verdicts.push_back(&it->second);
   }
+  std::sort(misses.begin(), misses.end(),
+            [](const DynamicComponents::Component* a,
+               const DynamicComponents::Component* b) {
+              return a->min_member < b->min_member;
+            });
+  for (const DynamicComponents::Component* comp : misses) {
+    // The shard lock is held across the backend run: a concurrent solver
+    // of the same component blocks here and then finds the hit, so no
+    // backend run is duplicated; components on other shards proceed in
+    // parallel. The re-probe is the same logical lookup as the first
+    // pass's, so it stays out of the hit/miss counters.
+    Shard& shard = ShardFor(comp->fingerprint);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto* hit = shard.cache.Find(comp->fingerprint, /*count=*/false);
+    if (hit != nullptr && usable(**hit)) {
+      ++report.components_cached;
+      verdicts.push_back(*hit);
+      continue;
+    }
+    auto fresh = std::make_shared<const CachedVerdict>(
+        SolveComponent(comp->members, want_witness));
+    report.cache_evictions +=
+        shard.cache.Insert(comp->fingerprint, fresh, VerdictBytes(*fresh));
+    ++report.components_resolved;
+    verdicts.push_back(std::move(fresh));
+  }
+  bool certain = false;
+  for (const auto& verdict : verdicts) certain = certain || verdict->certain;
   report.certain = certain;
 
   // Merge the per-component falsifying repairs into one whole-database
@@ -140,7 +189,7 @@ std::optional<SolveReport> IncrementalSolver::SolveImpl(bool want_witness,
     std::vector<std::uint32_t> choice(blocks.size(), 0);
     std::vector<char> covered(blocks.size(), 0);
     bool complete = true;
-    for (const CachedVerdict* verdict : verdicts) {
+    for (const std::shared_ptr<const CachedVerdict>& verdict : verdicts) {
       CQA_CHECK(verdict->has_witness);
       for (const Fact& fact : verdict->witness_facts) {
         FactId id = db.FindFact(fact);

@@ -1,5 +1,5 @@
-// IncrementalSolver: certain-answer solving with a per-component verdict
-// cache, for databases that change between solves.
+// IncrementalSolver: certain-answer solving with a bounded, sharded
+// per-component verdict cache, for databases that change between solves.
 //
 // Proposition 10.6(2) makes certain(q) decompose over the q-connected
 // components: D |= certain(q) iff some component does. This solver keeps
@@ -15,23 +15,39 @@
 //                 (every block lives in exactly one component).
 //
 // Cached witnesses are stored as fact tuples (content, not ids), so they
-// survive any sequence of mutations that leaves their component's content
-// intact; components whose content changed are re-solved, recomputing
-// their witness. The cache is unbounded — an eviction policy for
-// long-lived high-churn databases is an open roadmap item.
+// survive any sequence of mutations — and any compaction — that leaves
+// their component's content intact; components whose content changed are
+// re-solved, recomputing their witness.
 //
-// Not thread-safe: Solve mutates the cache. cqa::Service serializes
-// access per registered database.
+// Memory: the verdict cache is bounded (CacheOptions{max_entries,
+// max_bytes}, split evenly over the shards) and evicts least-recently-used
+// components, so a long-lived high-churn database sheds stale fingerprints
+// instead of accumulating them. Evictions performed by a solve are counted
+// in its SolveReport::cache_evictions.
+//
+// Concurrency: Solve is const and safe to call from any number of threads
+// at once. The cache is sharded by fingerprint; each shard carries its own
+// mutex, held across a backend run so concurrent solvers of the *same*
+// component serialize (the loser finds a cache hit) while components on
+// different shards fill in parallel — this is the component-sharded
+// locking cqa::Service relies on to run cache-filling solves under its
+// shared (not exclusive) per-database lock. OnInsert/OnRemove/ApplyRemap
+// mutate the component partition and require exclusive access: no Solve
+// may run concurrently with them (Service's per-database writer lock
+// enforces this).
 
 #ifndef CQA_ENGINE_INCREMENTAL_H_
 #define CQA_ENGINE_INCREMENTAL_H_
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "algo/dynamic_components.h"
 #include "api/report.h"
+#include "base/lru.h"
 #include "data/prepared.h"
 #include "engine/solver.h"
 
@@ -42,28 +58,38 @@ class IncrementalSolver {
   /// Builds the component partition of the current database state.
   /// `solver` (whose query must have exactly two atoms) and `pdb` must
   /// outlive this object, and `pdb` must stay in sync with the database
-  /// through OnInsert/OnRemove.
-  IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb);
+  /// through OnInsert/OnRemove/ApplyRemap. `cache_options` caps the
+  /// verdict cache (0 = unbounded); the caps are split over kNumShards
+  /// shards, so the effective entry bound rounds up to a multiple of the
+  /// shard count.
+  IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb,
+                    CacheOptions cache_options = {});
 
   /// Absorbs a fact insertion/removal; same call contract as
-  /// DynamicComponents::OnInsert/OnRemove.
+  /// DynamicComponents::OnInsert/OnRemove. Requires exclusive access.
   void OnInsert(FactId f) { components_.OnInsert(f); }
   void OnRemove(FactId f) { components_.OnRemove(f); }
 
-  /// Answers certain(q) on the current state, re-solving only components
-  /// absent from the cache. The report's incremental/components_* fields
-  /// record the reuse; parse/classify/prepare timings are the caller's.
-  SolveReport Solve(bool want_witness);
+  /// Absorbs a Database::Compact (call once, right after, with the remap
+  /// it returned, after PreparedDatabase::ApplyRemap). The verdict cache
+  /// is content-addressed and survives untouched. Requires exclusive
+  /// access.
+  void ApplyRemap(const FactIdRemap& remap) { components_.ApplyRemap(remap); }
 
-  /// Read-only fast path: answers from the cache alone, mutating
-  /// nothing; nullopt as soon as any component's verdict is missing (or
-  /// lacks a witness the caller needs). Safe to call concurrently with
-  /// other const reads — cqa::Service runs steady-state solves of
-  /// unchanged databases through this under its shared lock.
-  std::optional<SolveReport> SolveCached(bool want_witness) const;
+  /// Answers certain(q) on the current state, re-solving only components
+  /// absent from the cache. The report's incremental/components_*/
+  /// cache_evictions fields record the reuse; parse/classify/prepare
+  /// timings are the caller's. Thread-safe against concurrent Solve calls
+  /// (but not against OnInsert/OnRemove/ApplyRemap — see above).
+  SolveReport Solve(bool want_witness) const;
 
   const DynamicComponents& components() const { return components_; }
-  std::size_t CachedVerdicts() const { return cache_.size(); }
+
+  /// Counters of the verdict cache (entries, bytes, hits, misses,
+  /// evictions), summed over the shards.
+  CacheCounters VerdictCacheCounters() const;
+
+  static constexpr std::size_t kNumShards = 16;
 
  private:
   struct CachedVerdict {
@@ -74,21 +100,33 @@ class IncrementalSolver {
     std::vector<Fact> witness_facts;
   };
 
+  /// One cache shard: entries whose fingerprint hashes here, plus the
+  /// lock that serializes both cache access and same-shard backend runs.
+  /// Default-constructed (mutexes pin it in place); the constructor
+  /// re-seats each shard's cache with the per-shard slice of the caps.
+  /// Verdicts are shared_ptr-held so a cache hit is a pointer copy (not
+  /// a deep copy of witness tuples) and stays valid after a concurrent
+  /// solve evicts the entry.
+  struct Shard {
+    mutable std::mutex mu;
+    LruCache<ComponentFingerprint, std::shared_ptr<const CachedVerdict>,
+             ComponentFingerprintHash>
+        cache;
+  };
+
+  Shard& ShardFor(const ComponentFingerprint& fp) const;
+
+  /// Rough resident size of a cached verdict, for the byte cap.
+  static std::size_t VerdictBytes(const CachedVerdict& verdict);
+
   /// Runs the backend on one component's sub-database.
   CachedVerdict SolveComponent(const std::vector<FactId>& members,
                                bool want_witness) const;
 
-  /// Shared body of Solve/SolveCached. When `cache_only`, performs no
-  /// mutation and returns nullopt on the first unusable cache entry
-  /// (which is what makes the const_cast in SolveCached sound).
-  std::optional<SolveReport> SolveImpl(bool want_witness, bool cache_only);
-
   const CertainSolver* solver_;
   const PreparedDatabase* pdb_;
   DynamicComponents components_;
-  std::unordered_map<ComponentFingerprint, CachedVerdict,
-                     ComponentFingerprintHash>
-      cache_;
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace cqa

@@ -33,14 +33,6 @@ std::string_view BackendNameFor(QueryClass query_class) {
   CQA_CHECK_MSG(false, "unhandled query class");
 }
 
-CertainSolver MakeSolverOrThrow(ConjunctiveQuery query,
-                                SolverOptions options) {
-  StatusOr<CertainSolver> solver =
-      CertainSolver::Create(std::move(query), std::move(options));
-  if (!solver.ok()) throw std::invalid_argument(solver.status().message());
-  return std::move(solver).value();
-}
-
 }  // namespace
 
 StatusOr<CertainSolver> CertainSolver::Create(ConjunctiveQuery query,
@@ -74,10 +66,6 @@ StatusOr<CertainSolver> CertainSolver::Create(ConjunctiveQuery query,
   return CertainSolver(std::move(query), std::move(options),
                        std::move(classification), std::move(backend));
 }
-
-CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options)
-    : CertainSolver(
-          MakeSolverOrThrow(std::move(query), std::move(options))) {}
 
 CertainSolver::CertainSolver(ConjunctiveQuery query, SolverOptions options,
                              Classification classification,

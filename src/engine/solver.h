@@ -60,10 +60,6 @@ class CertainSolver {
   static StatusOr<CertainSolver> Create(ConjunctiveQuery query,
                                         SolverOptions options = {});
 
-  /// Throwing shim over Create for source compatibility: throws
-  /// std::invalid_argument with the Status message on error.
-  explicit CertainSolver(ConjunctiveQuery query, SolverOptions options = {});
-
   /// Decides whether `query()` is certain for db.
   SolverAnswer Solve(const Database& db) const;
 

@@ -1,0 +1,300 @@
+// Tombstone compaction and the FactIdRemap protocol: after Compact(),
+// every delta-patched structure (block partition, prepared indexes,
+// dynamic components, incremental solver) must be observationally
+// identical to a from-scratch rebuild of the same content, verdict
+// caches must survive (fingerprints are content-addressed), and
+// witnesses must still verify. Plus the Service-level automatic trigger:
+// sustained churn keeps the resident slot count bounded.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/dynamic_components.h"
+#include "api/service.h"
+#include "api/witness.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "data/prepared.h"
+#include "engine/incremental.h"
+#include "gen/workloads.h"
+#include "query/query.h"
+
+namespace cqa {
+namespace {
+
+std::vector<std::string> SortedFactStrings(const Database& db) {
+  std::vector<std::string> out;
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    if (db.alive(f)) out.push_back(db.FactToString(f));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<std::string>> CanonicalBlocks(const Database& db) {
+  std::vector<std::vector<std::string>> out;
+  for (const Block& b : db.blocks()) {
+    std::vector<std::string> facts;
+    for (FactId f : b.facts) facts.push_back(db.FactToString(f));
+    std::sort(facts.begin(), facts.end());
+    out.push_back(std::move(facts));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<std::string>> CanonicalComponents(
+    const DynamicComponents& comps, const Database& db) {
+  std::vector<std::vector<std::string>> out;
+  for (const auto& [root, comp] : comps.components()) {
+    std::vector<std::string> members;
+    for (FactId f : comp.members) members.push_back(db.FactToString(f));
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(CompactTest, RemapIsOrderPreservingAndDense) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Database db(q.schema());
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  db.AddFactStr(0, "c d");
+  db.AddFactStr(0, "d e");
+  (void)db.blocks();  // Force the partition so Compact patches it too.
+  db.RemoveFact(1);
+  db.RemoveFact(3);
+  EXPECT_EQ(db.NumDeadSlots(), 2u);
+  EXPECT_DOUBLE_EQ(db.DeadSlotRatio(), 0.5);
+
+  FactIdRemap remap = db.Compact();
+  EXPECT_FALSE(remap.identity());
+  EXPECT_EQ(remap.old_slots, 4u);
+  EXPECT_EQ(remap.new_slots, 2u);
+  EXPECT_EQ(remap.Apply(0), 0u);
+  EXPECT_EQ(remap.Apply(1), Database::kNoFact);
+  EXPECT_EQ(remap.Apply(2), 1u);
+  EXPECT_EQ(remap.Apply(3), Database::kNoFact);
+
+  EXPECT_EQ(db.NumFacts(), 2u);
+  EXPECT_EQ(db.NumAliveFacts(), 2u);
+  EXPECT_EQ(db.NumDeadSlots(), 0u);
+  EXPECT_EQ(db.FactToString(0), "R(a | b)");
+  EXPECT_EQ(db.FactToString(1), "R(c | d)");
+
+  // FindFact/Contains, the block partition, and the key index all track
+  // the new ids.
+  Fact cd = db.fact(1);
+  EXPECT_EQ(db.FindFact(cd), 1u);
+  EXPECT_EQ(db.blocks().size(), 2u);
+  EXPECT_EQ(db.BlockOf(1), db.FindBlock(0, db.KeyViewOf(1)));
+
+  // A second compaction with nothing dead is an identity no-op.
+  FactIdRemap again = db.Compact();
+  EXPECT_TRUE(again.identity());
+  EXPECT_EQ(db.NumFacts(), 2u);
+
+  // Post-compaction mutation keeps working (fresh slots append).
+  FactId fresh = db.AddFactStr(0, "b c");
+  EXPECT_EQ(fresh, 2u);
+  EXPECT_TRUE(db.alive(fresh));
+}
+
+// Churn + Compact must leave Database/PreparedDatabase/DynamicComponents
+// indistinguishable from a from-scratch rebuild of the surviving facts,
+// across random mutation sequences and the paper's query shapes.
+TEST(CompactTest, RemappedStructuresMatchRebuild) {
+  const char* kQueries[] = {
+      "R(x | y) R(y | z)",
+      "R(x, u | x, y) R(u, y | x, z)",
+      "R(x | y, z) R(z | x, y)",
+  };
+  for (int seq = 0; seq < 60; ++seq) {
+    auto q = ParseQuery(kQueries[seq % 3]);
+    Rng rng(0xC0FFEE + seq);
+    InstanceParams params;
+    params.num_facts = 30;
+    params.domain_size = 4;
+    Database db = RandomInstance(q, params, &rng);
+    PreparedDatabase pdb(db);
+    DynamicComponents comps(q, pdb);
+
+    // Tombstone a random third of the alive facts.
+    std::vector<FactId> alive;
+    for (FactId f = 0; f < db.NumFacts(); ++f) {
+      if (db.alive(f)) alive.push_back(f);
+    }
+    for (std::size_t i = 0; i < alive.size() / 3; ++i) {
+      FactId pick = alive[rng.Below(alive.size())];
+      if (!db.alive(pick)) continue;
+      Database::RemovedFact removed = db.RemoveFact(pick);
+      pdb.ApplyRemove(pick, removed);
+      comps.OnRemove(pick);
+    }
+
+    std::vector<std::string> before = SortedFactStrings(db);
+    auto blocks_before = CanonicalBlocks(db);
+    auto comps_before = CanonicalComponents(comps, db);
+    std::multiset<std::uint64_t> fp_before;
+    for (const auto& [root, comp] : comps.components()) {
+      fp_before.insert(comp.fingerprint.sum ^ comp.fingerprint.xr);
+    }
+
+    FactIdRemap remap = db.Compact();
+    pdb.ApplyRemap(remap);
+    comps.ApplyRemap(remap);
+
+    // Content, partition, components, and fingerprints are unchanged.
+    EXPECT_EQ(SortedFactStrings(db), before);
+    EXPECT_EQ(CanonicalBlocks(db), blocks_before);
+    EXPECT_EQ(CanonicalComponents(comps, db), comps_before);
+    std::multiset<std::uint64_t> fp_after;
+    for (const auto& [root, comp] : comps.components()) {
+      fp_after.insert(comp.fingerprint.sum ^ comp.fingerprint.xr);
+    }
+    EXPECT_EQ(fp_after, fp_before);
+
+    // Index integrity on the new ids.
+    for (FactId f = 0; f < db.NumFacts(); ++f) {
+      ASSERT_TRUE(db.alive(f));
+      ASSERT_EQ(db.FindFact(db.fact(f)), f);
+      ASSERT_EQ(db.BlockOf(f), db.FindBlock(db.fact(f).relation,
+                                            db.KeyViewOf(f)));
+    }
+    std::size_t indexed = 0;
+    for (RelationId r = 0; r < db.schema().NumRelations(); ++r) {
+      for (FactId f : pdb.FactsOf(r)) {
+        ASSERT_EQ(db.fact(f).relation, r);
+        ASSERT_TRUE(db.alive(f));
+      }
+      indexed += pdb.FactsOf(r).size();
+    }
+    EXPECT_EQ(indexed, db.NumAliveFacts());
+
+    // min_member stays the minimum (the remap is monotonic).
+    for (const auto& [root, comp] : comps.components()) {
+      ASSERT_EQ(comp.min_member,
+                *std::min_element(comp.members.begin(), comp.members.end()));
+    }
+
+    // Post-compaction mutations still delta-maintain correctly.
+    std::vector<std::string> names;
+    for (std::uint32_t a = 0; a < db.schema().Relation(0).arity; ++a) {
+      names.push_back("zz" + std::to_string(a));
+    }
+    FactId added = db.AddFactNamed(0, names);
+    pdb.ApplyInsert(added);
+    comps.OnInsert(added);
+    PreparedDatabase fresh_pdb(db);
+    DynamicComponents fresh(q, fresh_pdb);
+    EXPECT_EQ(CanonicalComponents(comps, db),
+              CanonicalComponents(fresh, db));
+  }
+}
+
+// The verdict cache is content-addressed: a compaction must not cost a
+// single re-solve, and witnesses must still verify on the compacted ids.
+TEST(CompactTest, VerdictCacheAndWitnessesSurviveCompaction) {
+  Service service;
+  StatusOr<CompiledQuery> q =
+      service.Compile("R(x | y) R(y | z)", CompileOptions{"exhaustive", false});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  Database db(q->query().schema());
+  // Two components, one inconsistent (non-certain => witness).
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "a c");
+  db.AddFactStr(0, "b d");
+  db.AddFactStr(0, "u v");
+  db.AddFactStr(0, "u w");
+  ASSERT_TRUE(service.RegisterDatabase("db", std::move(db)).ok());
+
+  StatusOr<SolveReport> first = service.Solve(*q, "db");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->components_resolved, 2u);
+  ASSERT_TRUE(first->witness.has_value());
+
+  // Tombstone two facts (churn), then force the compaction.
+  ASSERT_TRUE(service.DeleteFacts("db", {{"R", {"b", "d"}}}).ok());
+  ASSERT_TRUE(service.InsertFacts("db", {{"R", {"b", "d"}}}).ok());
+  ASSERT_TRUE(service.CompactDatabase("db").ok());
+
+  ServiceStats stats = service.Stats();
+  ASSERT_EQ(stats.databases.size(), 1u);
+  EXPECT_EQ(stats.databases[0].compactions, 1u);
+  EXPECT_EQ(stats.databases[0].tombstoned, 0u);
+  EXPECT_EQ(stats.databases[0].fact_slots, stats.databases[0].alive_facts);
+
+  // Same content as after the solve that filled the cache (the delete
+  // re-inserted the same tuple): every verdict comes from the cache.
+  StatusOr<SolveReport> after = service.Solve(*q, "db");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->components_resolved, 0u);
+  EXPECT_EQ(after->components_cached, after->components_total);
+  EXPECT_EQ(after->certain, first->certain);
+  ASSERT_TRUE(after->witness.has_value());
+  Status verified = VerifyWitness(q->query(), *after->witness->database(),
+                                  *after->witness);
+  EXPECT_TRUE(verified.ok()) << verified.ToString();
+}
+
+// Service-level automatic trigger: alternating insert/delete churn on a
+// registered database keeps the resident slot count within the bound the
+// dead-slot ratio implies, while delta answers match rebuild answers.
+TEST(CompactTest, AutoCompactionBoundsSlotGrowthUnderChurn) {
+  ServiceOptions options;
+  options.compact_dead_ratio = 0.4;
+  options.compact_min_slots = 32;
+  Service service(options);
+  StatusOr<CompiledQuery> q = service.Compile("R(x | y) R(y | z)");
+  ASSERT_TRUE(q.ok());
+
+  Database db(q->query().schema());
+  const int kLive = 60;
+  for (int i = 0; i < kLive; ++i) {
+    db.AddFactStr(0, "a" + std::to_string(i) + " b" + std::to_string(i));
+  }
+  ASSERT_TRUE(service.RegisterDatabase("db", std::move(db)).ok());
+
+  Rng rng(0x50AC);
+  std::uint64_t compactions = 0;
+  std::uint64_t peak_slots = 0;
+  for (int step = 0; step < 400; ++step) {
+    int i = static_cast<int>(rng.Below(kLive));
+    FactSpec spec{"R", {"a" + std::to_string(i), "b" + std::to_string(i)}};
+    MutationStats mstats;
+    ASSERT_TRUE(service.DeleteFacts("db", {spec}, &mstats).ok());
+    ASSERT_TRUE(service.InsertFacts("db", {spec}, &mstats).ok());
+    compactions += mstats.compactions;
+
+    ServiceStats stats = service.Stats();
+    peak_slots = std::max(peak_slots, stats.databases[0].fact_slots);
+    ASSERT_EQ(stats.databases[0].alive_facts, static_cast<std::uint64_t>(kLive));
+    // alive/(1-r) = 60/0.6 = 100, plus the batch applied since the check.
+    ASSERT_LE(stats.databases[0].fact_slots, 110u) << "step " << step;
+
+    if (step % 50 == 0) {
+      StatusOr<SolveReport> delta = service.Solve(*q, "db");
+      ASSERT_TRUE(delta.ok());
+      Database fresh(q->query().schema());
+      for (int j = 0; j < kLive; ++j) {
+        fresh.AddFactStr(0, "a" + std::to_string(j) + " b" +
+                                std::to_string(j));
+      }
+      StatusOr<SolveReport> rebuild = service.Solve(*q, fresh);
+      ASSERT_TRUE(rebuild.ok());
+      ASSERT_EQ(delta->certain, rebuild->certain);
+    }
+  }
+  EXPECT_GT(compactions, 0u);
+  EXPECT_GT(peak_slots, static_cast<std::uint64_t>(kLive));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,102 @@
+// Unit tests for base/lru.h: eviction order, recency refresh, byte
+// accounting, and the hit/miss/eviction counters that feed
+// Service::Stats().
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/lru.h"
+
+namespace cqa {
+namespace {
+
+std::vector<int> KeysMruFirst(const LruCache<int, std::string>& cache) {
+  std::vector<int> keys;
+  cache.ForEach([&](const int& k, const std::string&) { keys.push_back(k); });
+  return keys;
+}
+
+TEST(LruCacheTest, UnboundedByDefault) {
+  LruCache<int, std::string> cache;
+  for (int i = 0; i < 1000; ++i) cache.Insert(i, "v");
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedPastMaxEntries) {
+  LruCache<int, std::string> cache(CacheOptions{/*max_entries=*/3, 0});
+  cache.Insert(1, "a");
+  cache.Insert(2, "b");
+  cache.Insert(3, "c");
+  EXPECT_EQ(cache.size(), 3u);
+
+  // 1 is coldest; inserting 4 evicts it.
+  EXPECT_EQ(cache.Insert(4, "d"), 1u);
+  EXPECT_EQ(cache.Find(1), nullptr);
+  ASSERT_NE(cache.Find(2), nullptr);
+
+  // The Find above refreshed 2: it is now the most recent, so the next
+  // eviction takes 3 (the coldest survivor).
+  EXPECT_EQ(KeysMruFirst(cache).front(), 2);
+  cache.Insert(5, "e");
+  EXPECT_EQ(cache.Find(3), nullptr);
+  ASSERT_NE(cache.Find(2), nullptr);
+  ASSERT_NE(cache.Find(4), nullptr);
+  ASSERT_NE(cache.Find(5), nullptr);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCacheTest, OverwriteRefreshesRecencyAndKeepsSize) {
+  LruCache<int, std::string> cache(CacheOptions{/*max_entries=*/2, 0});
+  cache.Insert(1, "a");
+  cache.Insert(2, "b");
+  cache.Insert(1, "a2");  // Overwrite: no growth, 1 becomes most recent.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Find(1), "a2");
+  cache.Insert(3, "c");  // Evicts 2, not the refreshed 1.
+  EXPECT_EQ(cache.Find(2), nullptr);
+  ASSERT_NE(cache.Find(1), nullptr);
+}
+
+TEST(LruCacheTest, ByteCapEvictsUntilUnderAndKeepsFreshEntry) {
+  LruCache<int, std::string> cache(CacheOptions{0, /*max_bytes=*/100});
+  cache.Insert(1, "a", 40);
+  cache.Insert(2, "b", 40);
+  EXPECT_EQ(cache.bytes(), 80u);
+  // 60 more pushes to 140: evicting the coldest (1) reaches the cap.
+  EXPECT_EQ(cache.Insert(3, "c", 60), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 100u);
+  // An entry larger than the whole cap still caches (never evict the
+  // entry just inserted) — the next insert pushes it out.
+  cache.Insert(4, "d", 500);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.Find(4), nullptr);
+  cache.Insert(5, "e", 10);
+  EXPECT_EQ(cache.Find(4), nullptr);
+  EXPECT_EQ(cache.bytes(), 10u);
+}
+
+TEST(LruCacheTest, CountersTrackHitsMissesEvictions) {
+  LruCache<int, std::string> cache(CacheOptions{/*max_entries=*/2, 0});
+  EXPECT_EQ(cache.Find(1), nullptr);  // miss
+  cache.Insert(1, "a");
+  EXPECT_NE(cache.Find(1), nullptr);  // hit
+  cache.Insert(2, "b");
+  cache.Insert(3, "c");  // evicts 1
+  CacheCounters c = cache.Counters();
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 1u);
+
+  CacheCounters sum = c;
+  sum += c;
+  EXPECT_EQ(sum.hits, 2u);
+  EXPECT_EQ(sum.entries, 4u);
+}
+
+}  // namespace
+}  // namespace cqa

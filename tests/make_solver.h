@@ -1,0 +1,24 @@
+// Shared test shim over CertainSolver::Create: the throwing constructor
+// is gone, and every test-setup use expects success anyway.
+
+#ifndef CQA_TESTS_MAKE_SOLVER_H_
+#define CQA_TESTS_MAKE_SOLVER_H_
+
+#include <utility>
+
+#include "base/check.h"
+#include "engine/solver.h"
+
+namespace cqa {
+
+inline CertainSolver MakeSolver(ConjunctiveQuery q,
+                                SolverOptions options = {}) {
+  StatusOr<CertainSolver> solver =
+      CertainSolver::Create(std::move(q), std::move(options));
+  CQA_CHECK_MSG(solver.ok(), "CertainSolver::Create failed in test setup");
+  return std::move(solver).value();
+}
+
+}  // namespace cqa
+
+#endif  // CQA_TESTS_MAKE_SOLVER_H_

@@ -7,9 +7,12 @@
 
 #include "algo/exhaustive.h"
 #include "algo/matching.h"
+#include "base/check.h"
 #include "base/rng.h"
-#include "classify/solver.h"
+#include "engine/solver.h"
 #include "gen/workloads.h"
+
+#include "make_solver.h"
 #include "query/eval.h"
 #include "query/query.h"
 #include "query/solution_graph.h"
@@ -17,6 +20,7 @@
 
 namespace cqa {
 namespace {
+
 
 constexpr const char* kQ5 = "R(x | y, x) R(y | x, u)";
 constexpr const char* kQ6 = "R(x | y, z) R(z | x, y)";
@@ -100,7 +104,7 @@ TEST(PaperClaims, KeyOnlyAtomsAreTrivial) {
   auto q = ParseQuery("R(x |) R(y |)");
   EXPECT_EQ(q.schema().Relation(0).arity, 1u);
   EXPECT_EQ(q.schema().Relation(0).key_len, 1u);
-  CertainSolver solver(q);
+  CertainSolver solver = MakeSolver(q);
   EXPECT_EQ(solver.classification().query_class, QueryClass::kTrivial);
   Database db(q.schema());
   EXPECT_FALSE(solver.Solve(db).certain);  // Empty database.

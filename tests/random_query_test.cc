@@ -14,16 +14,20 @@
 
 #include "algo/certk.h"
 #include "algo/exhaustive.h"
+#include "base/check.h"
 #include "base/rng.h"
 #include "classify/classifier.h"
 #include "classify/conditions.h"
-#include "classify/solver.h"
+#include "engine/solver.h"
 #include "gen/workloads.h"
+
+#include "make_solver.h"
 #include "query/hom.h"
 #include "query/query.h"
 
 namespace cqa {
 namespace {
+
 
 /// A random two-atom self-join query: arity 2..4, key length 1..arity-1,
 /// positions drawn from a small variable pool.
@@ -104,7 +108,7 @@ TEST_P(RandomQueryTest, SolverAgreesWithEnumeration) {
     ConjunctiveQuery q = RandomTwoAtomQuery(&rng);
     SolverOptions options;
     options.tripath_limits = FastLimits();
-    CertainSolver solver(q, options);
+    CertainSolver solver = MakeSolver(q, options);
     for (int inst = 0; inst < 6; ++inst) {
       InstanceParams params;
       params.num_facts = 10;

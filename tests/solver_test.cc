@@ -8,13 +8,18 @@
 #include <string>
 
 #include "algo/exhaustive.h"
+#include "algo/trivial.h"
+#include "base/check.h"
 #include "base/rng.h"
-#include "classify/solver.h"
+#include "engine/solver.h"
 #include "gen/workloads.h"
+
+#include "make_solver.h"
 #include "query/query.h"
 
 namespace cqa {
 namespace {
+
 
 struct CatalogEntry {
   const char* text;
@@ -24,7 +29,7 @@ struct CatalogEntry {
 class SolverCatalogTest : public ::testing::TestWithParam<CatalogEntry> {};
 
 TEST_P(SolverCatalogTest, DispatchesExpectedAlgorithm) {
-  CertainSolver solver(ParseQuery(GetParam().text));
+  CertainSolver solver = MakeSolver(ParseQuery(GetParam().text));
   Database db(solver.query().schema());
   SolverAnswer answer = solver.Solve(db);
   EXPECT_EQ(answer.algorithm, GetParam().expected_algorithm);
@@ -32,7 +37,7 @@ TEST_P(SolverCatalogTest, DispatchesExpectedAlgorithm) {
 
 TEST_P(SolverCatalogTest, AgreesWithGroundTruthOnRandomInstances) {
   auto q = ParseQuery(GetParam().text);
-  CertainSolver solver(q);
+  CertainSolver solver = MakeSolver(q);
   Rng rng(0xD15C0);
   for (int round = 0; round < 40; ++round) {
     InstanceParams params;
@@ -49,7 +54,7 @@ TEST_P(SolverCatalogTest, AgreesWithGroundTruthOnRandomInstances) {
 // yes-branch (random q6/trivial workloads are almost never certain).
 TEST(SolverYesBranch, Q6GluedTriangles) {
   auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
-  CertainSolver solver(q6);
+  CertainSolver solver = MakeSolver(q6);
   Database db(q6.schema());
   db.AddFactStr(0, "e1 e2 e3");
   db.AddFactStr(0, "e3 e1 e2");
@@ -63,7 +68,7 @@ TEST(SolverYesBranch, Q6GluedTriangles) {
 
 TEST(SolverYesBranch, TrivialHomQuery) {
   auto q = ParseQuery("R(x | y) R(y | y)");
-  CertainSolver solver(q);
+  CertainSolver solver = MakeSolver(q);
   Database db(q.schema());
   db.AddFactStr(0, "c c");  // Singleton block matching R(y | y).
   db.AddFactStr(0, "a b");
@@ -73,7 +78,7 @@ TEST(SolverYesBranch, TrivialHomQuery) {
 
 TEST(SolverYesBranch, HardClassExhaustive) {
   auto q2 = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
-  CertainSolver solver(q2);
+  CertainSolver solver = MakeSolver(q2);
   Database db(q2.schema());
   // Single unavoidable solution: two singleton blocks.
   db.AddFactStr(0, "a b a c");
@@ -150,7 +155,7 @@ TEST(TrivialSolver, MatchesExhaustiveOnRandomInstances) {
 }
 
 TEST(Solver, ClassificationIsExposed) {
-  CertainSolver solver(ParseQuery("R(x | y, z) R(z | x, y)"));
+  CertainSolver solver = MakeSolver(ParseQuery("R(x | y, z) R(z | x, y)"));
   EXPECT_EQ(solver.classification().query_class,
             QueryClass::kPTimeTriangleOnly);
 }
@@ -158,7 +163,7 @@ TEST(Solver, ClassificationIsExposed) {
 TEST(Solver, PracticalKIsConfigurable) {
   SolverOptions options;
   options.practical_k = 2;
-  CertainSolver solver(ParseQuery("R(x | y, x) R(y | x, u)"), options);
+  CertainSolver solver = MakeSolver(ParseQuery("R(x | y, x) R(y | x, u)"), options);
   Database db(solver.query().schema());
   db.AddFactStr(0, "a b a");
   EXPECT_FALSE(solver.Solve(db).certain);
