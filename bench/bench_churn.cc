@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "api/service.h"
+#include "bench_json.h"
 
 namespace cqa {
 namespace {
@@ -40,6 +41,8 @@ struct Config {
   std::size_t ops = 100000;    // Mutations per experiment.
   std::size_t threads = 8;     // Max threads for the locking experiment.
   bool smoke = false;
+  std::string label = "adhoc";  // Run label in BENCH_churn.json.
+  std::string out_dir;          // BENCH file directory ("" = repo root).
 };
 
 double Seconds(std::chrono::steady_clock::time_point start) {
@@ -71,7 +74,7 @@ Database BuildDatabase(const Schema& schema, std::size_t threads,
 // ---------------------------------------------------------------------
 
 void RunCompactionExperiment(const Config& config, bool compaction,
-                             std::FILE* out) {
+                             std::FILE* out, bench::BenchJsonWriter* writer) {
   ServiceOptions options;
   options.compact_dead_ratio = compaction ? 0.4 : 2.0;  // >=1 disables.
   options.compact_min_slots = 256;
@@ -124,6 +127,21 @@ void RunCompactionExperiment(const Config& config, bool compaction,
       static_cast<unsigned long long>(stats.databases[0].fact_slots),
       static_cast<unsigned long long>(stats.databases[0].alive_facts),
       static_cast<unsigned long long>(compactions));
+  bench::BenchEntry entry;
+  entry.name = std::string("compaction/") + (compaction ? "on" : "off");
+  entry.variant = "churn";
+  entry.wall_seconds = elapsed;
+  entry.iterations = config.ops;
+  entry.counters = {
+      {"mutations_per_sec",
+       static_cast<double>(config.ops) / (elapsed - solve_seconds)},
+      {"solves_per_sec", static_cast<double>(solves) / solve_seconds},
+      {"peak_slots", static_cast<double>(peak_slots)},
+      {"final_slots", static_cast<double>(stats.databases[0].fact_slots)},
+      {"alive", static_cast<double>(stats.databases[0].alive_facts)},
+      {"compactions", static_cast<double>(compactions)},
+  };
+  writer->Add(std::move(entry));
 }
 
 // ---------------------------------------------------------------------
@@ -132,7 +150,8 @@ void RunCompactionExperiment(const Config& config, bool compaction,
 // ---------------------------------------------------------------------
 
 double RunLockingExperiment(const Config& config, std::size_t threads,
-                            bool baseline, std::FILE* out) {
+                            bool baseline, std::FILE* out,
+                            bench::BenchJsonWriter* writer) {
   ServiceOptions options;
   options.exclusive_lock_baseline = baseline;
   options.compact_dead_ratio = 0.4;
@@ -178,33 +197,49 @@ double RunLockingExperiment(const Config& config, std::size_t threads,
                "threads=%2zu  locking=%-9s  rounds/sec=%9.0f  "
                "(each round = 2 mutations + 1 solve)\n",
                threads, baseline ? "exclusive" : "sharded", per_sec);
+  bench::BenchEntry entry;
+  entry.name = "locking/threads=" + std::to_string(threads);
+  entry.variant = baseline ? "exclusive" : "sharded";
+  entry.wall_seconds = elapsed;
+  entry.iterations = rounds_per_thread * threads;
+  entry.counters = {{"rounds_per_sec", per_sec},
+                    {"threads", static_cast<double>(threads)}};
+  writer->Add(std::move(entry));
   return per_sec;
 }
 
 void Run(const Config& config) {
   std::FILE* out = stdout;
+  bench::BenchJsonWriter writer("churn", config.label);
   std::fprintf(out,
                "bench_churn: facts=%zu ops=%zu max_threads=%zu%s\n\n",
                config.facts, config.ops, config.threads,
                config.smoke ? " (smoke)" : "");
 
   std::fprintf(out, "[1] tombstone compaction (single-threaded churn)\n");
-  RunCompactionExperiment(config, /*compaction=*/false, out);
-  RunCompactionExperiment(config, /*compaction=*/true, out);
+  RunCompactionExperiment(config, /*compaction=*/false, out, &writer);
+  RunCompactionExperiment(config, /*compaction=*/true, out, &writer);
 
   std::fprintf(out, "\n[2] exclusive-lock baseline vs sharded locking\n");
-  double base1 = RunLockingExperiment(config, 1, /*baseline=*/true, out);
+  double base1 =
+      RunLockingExperiment(config, 1, /*baseline=*/true, out, &writer);
   (void)base1;
   std::vector<std::size_t> thread_counts;
   for (std::size_t t = 2; t <= config.threads; t *= 2) {
     thread_counts.push_back(t);
   }
   for (std::size_t t : thread_counts) {
-    double exclusive = RunLockingExperiment(config, t, /*baseline=*/true, out);
-    double sharded = RunLockingExperiment(config, t, /*baseline=*/false, out);
+    double exclusive =
+        RunLockingExperiment(config, t, /*baseline=*/true, out, &writer);
+    double sharded =
+        RunLockingExperiment(config, t, /*baseline=*/false, out, &writer);
     std::fprintf(out, "threads=%2zu  sharded/exclusive speedup: %.2fx\n", t,
                  sharded / exclusive);
   }
+
+  std::string path = writer.WriteMerged(config.out_dir);
+  std::fprintf(out, "\nwrote %s (label=%s, %zu entries)\n", path.c_str(),
+               config.label.c_str(), writer.entries().size());
 }
 
 }  // namespace
@@ -228,9 +263,14 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       config.threads = std::strtoull(arg + 10, nullptr, 10);
       threads_given = true;
+    } else if (std::strncmp(arg, "--label=", 8) == 0) {
+      config.label = arg + 8;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      config.out_dir = arg + 6;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--facts=N] [--ops=N] [--threads=N]\n",
+                   "usage: %s [--smoke] [--facts=N] [--ops=N] [--threads=N] "
+                   "[--label=L] [--out=DIR]\n",
                    argv[0]);
       return 2;
     }

@@ -25,6 +25,7 @@
 #include "api/service.h"
 #include "base/check.h"
 #include "base/rng.h"
+#include "gbench_emit.h"
 
 namespace cqa {
 namespace {
@@ -172,4 +173,12 @@ BENCHMARK(BM_RebuildSolve)->Apply(DeltaArgs);
 }  // namespace
 }  // namespace cqa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string label = cqa::bench::FlagValue(argc, argv, "--label", "adhoc");
+  std::string out_dir = cqa::bench::FlagValue(argc, argv, "--out", "");
+  benchmark::Initialize(&argc, argv);
+  cqa::bench::JsonEmitReporter reporter("incremental", label);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteMerged(out_dir);
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "bench_json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cqa {
+namespace bench {
+namespace {
+
+std::string RunCommand(const char* cmd) {
+  std::string out;
+#if !defined(_WIN32)
+  FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) return out;
+  char buf[256];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  pclose(pipe);
+#endif
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+// -- perf_event_open cache counters ---------------------------------------
+//
+// Counts instructions, cycles, and last-level cache references/misses over
+// a region. Every counter that fails to open (no permission, no PMU — the
+// common case in containers) is simply reported absent.
+
+#if defined(__linux__)
+class HwCounterGroup {
+ public:
+  HwCounterGroup() {
+    Open("hw_cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    Open("hw_instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    Open("hw_cache_refs", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES);
+    Open("hw_cache_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  }
+
+  ~HwCounterGroup() {
+    for (const Counter& c : counters_) close(c.fd);
+  }
+
+  void Start() {
+    for (const Counter& c : counters_) {
+      ioctl(c.fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(c.fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+
+  void StopInto(std::map<std::string, double>* out) {
+    for (const Counter& c : counters_) {
+      ioctl(c.fd, PERF_EVENT_IOC_DISABLE, 0);
+      long long value = 0;
+      if (read(c.fd, &value, sizeof(value)) == sizeof(value)) {
+        (*out)[c.name] = static_cast<double>(value);
+      }
+    }
+  }
+
+ private:
+  struct Counter {
+    std::string name;
+    int fd;
+  };
+
+  void Open(const char* name, std::uint32_t type, std::uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    int fd = static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+    if (fd >= 0) counters_.push_back(Counter{name, fd});
+  }
+
+  std::vector<Counter> counters_;
+};
+#else
+class HwCounterGroup {
+ public:
+  void Start() {}
+  void StopInto(std::map<std::string, double>*) {}
+};
+#endif
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+std::string DoubleToJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EntryToJson(const BenchEntry& e) {
+  std::string out = "        {\"name\": \"";
+  AppendEscaped(&out, e.name);
+  out += "\", \"variant\": \"";
+  AppendEscaped(&out, e.variant);
+  out += "\", \"wall_seconds\": " + DoubleToJson(e.wall_seconds);
+  out += ", \"iterations\": " + std::to_string(e.iterations);
+  out += ", \"seconds_per_op\": " + DoubleToJson(e.seconds_per_op);
+  out += ", \"ops_per_second\": " + DoubleToJson(e.ops_per_second);
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : e.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    AppendEscaped(&out, key);
+    out += "\": " + DoubleToJson(value);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+Measurement Measure(const std::function<void()>& fn, double min_seconds) {
+  Measurement m;
+  HwCounterGroup hw;
+  hw.Start();
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++m.iterations;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  hw.StopInto(&m.hw_counters);
+  m.wall_seconds = elapsed;
+  return m;
+}
+
+std::string GitRevision() {
+  std::string rev = RunCommand("git rev-parse --short HEAD 2>/dev/null");
+  return rev.empty() ? "unknown" : rev;
+}
+
+std::string RepoRoot() {
+  std::string root = RunCommand("git rev-parse --show-toplevel 2>/dev/null");
+  return root.empty() ? "." : root;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name, std::string label)
+    : bench_name_(std::move(bench_name)), label_(std::move(label)) {}
+
+void BenchJsonWriter::Add(BenchEntry entry) {
+  if (entry.iterations > 0 && entry.seconds_per_op == 0.0) {
+    entry.seconds_per_op =
+        entry.wall_seconds / static_cast<double>(entry.iterations);
+  }
+  if (entry.seconds_per_op > 0.0 && entry.ops_per_second == 0.0) {
+    entry.ops_per_second = 1.0 / entry.seconds_per_op;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void BenchJsonWriter::Add(const std::string& name, const std::string& variant,
+                          const Measurement& m,
+                          std::map<std::string, double> counters) {
+  BenchEntry e;
+  e.name = name;
+  e.variant = variant;
+  e.wall_seconds = m.wall_seconds;
+  e.iterations = m.iterations;
+  e.counters = std::move(counters);
+  for (const auto& [key, value] : m.hw_counters) e.counters[key] = value;
+  Add(std::move(e));
+}
+
+std::string BenchJsonWriter::WriteMerged(const std::string& dir) const {
+  std::string base = dir.empty() ? RepoRoot() : dir;
+  std::string path = base + "/BENCH_" + bench_name_ + ".json";
+
+  // Recover earlier runs verbatim from a file this writer wrote: the runs
+  // array is everything between the fixed '"runs": [' opener and the fixed
+  // '\n  ]' closer. Anything unrecognizable is discarded (fresh file).
+  std::string previous_runs;
+  {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::string text = buffer.str();
+      const std::string opener = "\"runs\": [\n";
+      const std::string closer = "\n  ]\n}";
+      std::size_t begin = text.find(opener);
+      std::size_t end = text.rfind(closer);
+      if (begin != std::string::npos && end != std::string::npos &&
+          begin + opener.size() < end) {
+        previous_runs = text.substr(begin + opener.size(),
+                                    end - begin - opener.size());
+      }
+    }
+  }
+
+  std::time_t now = std::time(nullptr);
+  char timestamp[32];
+  std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+
+  std::string run = "    {\n      \"label\": \"";
+  AppendEscaped(&run, label_);
+  run += "\",\n      \"git_rev\": \"";
+  AppendEscaped(&run, GitRevision());
+  run += "\",\n      \"timestamp\": \"";
+  run += timestamp;
+  run += "\",\n      \"entries\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    run += EntryToJson(entries_[i]);
+    if (i + 1 < entries_.size()) run += ",";
+    run += "\n";
+  }
+  run += "      ]\n    }";
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"runs\": [\n";
+  if (!previous_runs.empty()) out << previous_runs << ",\n";
+  out << run << "\n  ]\n}\n";
+  return path;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& def) {
+  std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace cqa

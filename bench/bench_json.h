@@ -1,0 +1,100 @@
+// BENCH_<name>.json emitter: the per-PR perf record.
+//
+// Every bench binary (bench_scaling, bench_sat_gadget, bench_incremental,
+// bench_churn) funnels its measurements through this writer so the repo
+// root accumulates machine-readable before/after numbers instead of prose
+// claims in commit messages. One file per bench; each run appends a
+// labeled block ({label, git_rev, timestamp, entries}) and keeps every
+// earlier run, so A/B comparisons (row-store vs columnar, DPLL vs CDCL,
+// this PR vs the last) live side by side in one file.
+//
+// The format is our own fixed JSON shape (see WriteMerged); merging
+// re-reads only files this writer produced, so no general JSON parser is
+// needed. Hardware cache counters come from perf_event_open when the
+// kernel allows it and degrade to absent (not zero) when it does not
+// (typical in containers), so numbers are never silently fabricated.
+
+#ifndef CQA_BENCH_BENCH_JSON_H_
+#define CQA_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cqa {
+namespace bench {
+
+/// One measured configuration: a (benchmark case, code-path variant) pair
+/// with its timing, derived throughput, and free-form numeric counters
+/// (workload sizes, cache hit rates, hardware counters, ...).
+struct BenchEntry {
+  std::string name;     ///< Case, e.g. "dispatcher/q3/30000".
+  std::string variant;  ///< Code path, e.g. "cdcl", "dpll", "columnar".
+  double wall_seconds = 0.0;    ///< Total measured wall time.
+  std::uint64_t iterations = 0; ///< Loop iterations inside wall_seconds.
+  double seconds_per_op = 0.0;
+  double ops_per_second = 0.0;
+  std::map<std::string, double> counters;
+};
+
+/// What one timing loop observed (Measure below).
+struct Measurement {
+  double wall_seconds = 0.0;
+  std::uint64_t iterations = 0;
+  /// Hardware counters over the measured region, when available:
+  /// "hw_instructions", "hw_cycles", "hw_cache_refs", "hw_cache_misses".
+  std::map<std::string, double> hw_counters;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` of wall time (and at
+/// least one iteration) accumulate, with hardware counters around the
+/// whole region. `fn` must keep its own results alive (the caller asserts
+/// on them) — this helper only times.
+Measurement Measure(const std::function<void()>& fn, double min_seconds);
+
+/// `git rev-parse --short HEAD` of the enclosing repo, or "unknown".
+std::string GitRevision();
+
+/// Root of the enclosing git repo (for placing BENCH files), or ".".
+std::string RepoRoot();
+
+class BenchJsonWriter {
+ public:
+  /// `bench_name` becomes the file stem: BENCH_<bench_name>.json.
+  /// `label` tags this run, conventionally "before"/"after" within a PR.
+  BenchJsonWriter(std::string bench_name, std::string label);
+
+  void Add(BenchEntry entry);
+
+  /// Convenience: build an entry from a Measurement (hw counters are
+  /// folded into `counters`).
+  void Add(const std::string& name, const std::string& variant,
+           const Measurement& m,
+           std::map<std::string, double> counters = {});
+
+  /// Writes BENCH_<name>.json at `dir` (default: RepoRoot()). If the file
+  /// already holds runs from this writer's format, the new run is appended
+  /// after them; otherwise the file is rewritten with just this run.
+  /// Returns the path written.
+  std::string WriteMerged(const std::string& dir = "") const;
+
+  const std::vector<BenchEntry>& entries() const { return entries_; }
+
+ private:
+  std::string bench_name_;
+  std::string label_;
+  std::vector<BenchEntry> entries_;
+};
+
+/// Tiny flag helpers for the custom-main benches: returns the value of
+/// "--flag=value" in argv, or `def` when absent.
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& def);
+bool HasFlag(int argc, char** argv, const std::string& flag);
+
+}  // namespace bench
+}  // namespace cqa
+
+#endif  // CQA_BENCH_BENCH_JSON_H_

@@ -1,17 +1,35 @@
-// EXP-F2: Figure 2 + Lemma 9.2 — the 3-SAT gadget. Prints the Figure 2
-// walk-through (formula, gadget size, certain answer vs satisfiability),
-// then benchmarks gadget construction and the exhaustive decision on it as
-// the formula grows (the coNP-hardness in action).
-
-#include <benchmark/benchmark.h>
+// EXP-F2: Figure 2 + Lemma 9.2 — the 3-SAT gadget, now as a side-by-side
+// solver shoot-out. For every formula in the gadget suite the driver
+// builds D[phi], encodes the falsifier CNF, solves it with both the
+// legacy chronological DPLL and the CDCL core, asserts the two return
+// identical certain/non-certain verdicts (and that Lemma 9.2 holds
+// against the formula's own satisfiability), and records wall times per
+// solver in BENCH_sat_gadget.json. A raw-formula suite (reduction-ready
+// and near-threshold random 3-SAT) stresses the solvers directly at
+// sizes where watched literals and clause learning dominate.
+//
+// Custom main (not google-benchmark): the A/B needs per-case parity
+// assertions and the shared BENCH_*.json emitter.
+//
+//   ./bench_sat_gadget [--smoke] [--label=L] [--solvers=dpll,cdcl]
+//                      [--out=DIR]
+//
+// The DPLL stays available behind --solvers for A/B runs until a few
+// PRs of BENCH history confirm the CDCL everywhere; CDCL is the
+// production path (engine/backends.cc).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "algo/exhaustive.h"
 #include "base/check.h"
 #include "base/rng.h"
+#include "bench_json.h"
+#include "query/eval.h"
 #include "query/query.h"
 #include "reduction/sat_reduction.h"
+#include "sat/cdcl.h"
 #include "sat/dpll.h"
 #include "sat/gen.h"
 #include "tripath/search.h"
@@ -36,8 +54,8 @@ void PrintFigure2() {
   CnfFormula phi = Figure2Formula();
   std::printf("\n=== EXP-F2: Figure 2 SAT gadget for q2 ===\n");
   std::printf("formula: %s\n", phi.ToString().c_str());
-  SatResult sat = SolveDpll(phi);
-  std::printf("DPLL: %s\n", sat.satisfiable ? "satisfiable" : "unsat");
+  SatResult sat = SolveCdcl(phi);
+  std::printf("CDCL: %s\n", sat.satisfiable ? "satisfiable" : "unsat");
   SatGadget gadget = BuildSatGadget(q2, NiceFork(), phi);
   std::printf("gadget D[phi]: %zu facts, %zu blocks, %zu padding facts\n",
               gadget.db.NumFacts(), gadget.db.blocks().size(),
@@ -48,56 +66,161 @@ void PrintFigure2() {
               (sat.satisfiable == !certain) ? "PASS" : "FAIL");
 }
 
-void BM_BuildGadget(benchmark::State& state) {
-  auto q2 = ParseQuery(kQ2);
-  Rng rng(42);
-  CnfFormula phi = RandomReductionReady3Sat(
-      static_cast<std::uint32_t>(state.range(0)),
-      static_cast<std::uint32_t>(state.range(0)) * 3 / 2, &rng);
-  for (auto _ : state) {
-    SatGadget gadget = BuildSatGadget(q2, NiceFork(), phi);
-    benchmark::DoNotOptimize(gadget.db.NumFacts());
-  }
-  state.counters["facts"] = static_cast<double>(
-      BuildSatGadget(q2, NiceFork(), phi).db.NumFacts());
-}
-BENCHMARK(BM_BuildGadget)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+struct Suite {
+  struct Case {
+    std::string name;
+    CnfFormula phi;
+    bool reduction_ready = false;  ///< Gadget construction possible.
+  };
+  std::vector<Case> cases;
+};
 
-void BM_DecideGadget(benchmark::State& state) {
-  auto q2 = ParseQuery(kQ2);
-  Rng rng(77);
-  CnfFormula phi = RandomReductionReady3Sat(
-      static_cast<std::uint32_t>(state.range(0)),
-      static_cast<std::uint32_t>(state.range(0)) * 3 / 2, &rng);
-  SatGadget gadget = BuildSatGadget(q2, NiceFork(), phi);
-  ExhaustiveStats stats;
-  for (auto _ : state) {
-    bool certain = ExhaustiveCertain(q2, gadget.db, &stats);
-    benchmark::DoNotOptimize(certain);
+Suite BuildSuite(bool smoke) {
+  Suite suite;
+  suite.cases.push_back({"fig2", Figure2Formula(), true});
+  // Reduction-ready formulas: these admit the Section 9 gadget, growing
+  // the falsifier CNF the sat backend actually solves.
+  std::vector<std::uint32_t> rr_sizes =
+      smoke ? std::vector<std::uint32_t>{8, 16}
+            : std::vector<std::uint32_t>{16, 32, 64, 96};
+  for (std::uint32_t n : rr_sizes) {
+    Rng rng(1000 + n);
+    suite.cases.push_back({"rr_" + std::to_string(n),
+                           RandomReductionReady3Sat(n, n * 3 / 2, &rng),
+                           true});
   }
-  state.counters["facts"] = static_cast<double>(gadget.db.NumFacts());
-  state.counters["nodes"] = static_cast<double>(stats.nodes_explored);
+  // Near-threshold random 3-SAT (m ~ 4.26 n): not reduction-ready, but
+  // the regime where chronological backtracking falls off a cliff and
+  // clause learning pays — the raw-solver stress tier.
+  std::vector<std::uint32_t> hard_sizes =
+      smoke ? std::vector<std::uint32_t>{20}
+            : std::vector<std::uint32_t>{100, 150, 175};
+  for (std::uint32_t n : hard_sizes) {
+    Rng rng(2000 + n);
+    suite.cases.push_back({"ksat_" + std::to_string(n),
+                           RandomKSat(n, n * 426 / 100, 3, &rng), false});
+  }
+  return suite;
 }
-BENCHMARK(BM_DecideGadget)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 
-void BM_DpllOnSameFormula(benchmark::State& state) {
-  Rng rng(77);
-  CnfFormula phi = RandomReductionReady3Sat(
-      static_cast<std::uint32_t>(state.range(0)),
-      static_cast<std::uint32_t>(state.range(0)) * 3 / 2, &rng);
-  for (auto _ : state) {
-    SatResult r = SolveDpll(phi);
-    benchmark::DoNotOptimize(r.satisfiable);
+struct Options {
+  bool smoke = false;
+  bool run_dpll = true;
+  bool run_cdcl = true;
+  std::string label = "adhoc";
+  std::string out_dir;
+  double min_seconds = 0.3;
+};
+
+void RunSuite(const Options& opt) {
+  auto q2 = ParseQuery(kQ2);
+  Suite suite = BuildSuite(opt.smoke);
+  bench::BenchJsonWriter writer("sat_gadget", opt.label);
+
+  for (const Suite::Case& c : suite.cases) {
+    // Raw-formula solve: dpll vs cdcl on phi itself.
+    SatResult dpll_phi, cdcl_phi;
+    CdclStats cdcl_stats;
+    if (opt.run_dpll) {
+      bench::Measurement m = bench::Measure(
+          [&] { dpll_phi = SolveDpll(c.phi); }, opt.min_seconds);
+      writer.Add("formula/" + c.name, "dpll", m,
+                 {{"vars", static_cast<double>(c.phi.num_vars)},
+                  {"clauses", static_cast<double>(c.phi.clauses.size())}});
+    }
+    if (opt.run_cdcl) {
+      bench::Measurement m = bench::Measure(
+          [&] { cdcl_phi = SolveCdcl(c.phi, &cdcl_stats); }, opt.min_seconds);
+      writer.Add("formula/" + c.name, "cdcl", m,
+                 {{"vars", static_cast<double>(c.phi.num_vars)},
+                  {"clauses", static_cast<double>(c.phi.clauses.size())},
+                  {"conflicts", static_cast<double>(cdcl_stats.conflicts)},
+                  {"learned", static_cast<double>(
+                                  cdcl_stats.learned_clauses)}});
+    }
+    if (opt.run_dpll && opt.run_cdcl) {
+      CQA_CHECK_MSG(dpll_phi.satisfiable == cdcl_phi.satisfiable,
+                    "solver verdict mismatch on raw formula");
+    }
+    std::printf("formula/%-10s  vars=%4u clauses=%4zu  %s\n", c.name.c_str(),
+                c.phi.num_vars, c.phi.clauses.size(),
+                (opt.run_cdcl ? cdcl_phi : dpll_phi).satisfiable
+                    ? "sat"
+                    : "unsat");
+
+    if (!c.reduction_ready) continue;
+
+    // Gadget path: build D[phi], encode the falsifier CNF, decide
+    // certainty with each solver, and hold the verdicts against each
+    // other and against Lemma 9.2 (phi satisfiable <=> not certain).
+    SatGadget gadget = BuildSatGadget(q2, NiceFork(), c.phi);
+    bench::Measurement build_m = bench::Measure(
+        [&] {
+          SatGadget g = BuildSatGadget(q2, NiceFork(), c.phi);
+          CQA_CHECK(g.db.NumFacts() > 0);
+        },
+        opt.min_seconds);
+    writer.Add("gadget_build/" + c.name, "columnar", build_m,
+               {{"facts", static_cast<double>(gadget.db.NumFacts())},
+                {"blocks", static_cast<double>(gadget.db.blocks().size())}});
+
+    PreparedDatabase pdb(gadget.db);
+    SolutionSet solutions = ComputeSolutions(q2, pdb);
+    CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
+    bool dpll_certain = false, cdcl_certain = false;
+    if (opt.run_dpll) {
+      bench::Measurement m = bench::Measure(
+          [&] { dpll_certain = !SolveDpll(falsifier).satisfiable; },
+          opt.min_seconds);
+      writer.Add("gadget_decide/" + c.name, "dpll", m,
+                 {{"facts", static_cast<double>(gadget.db.NumFacts())},
+                  {"cnf_vars", static_cast<double>(falsifier.num_vars)},
+                  {"cnf_clauses",
+                   static_cast<double>(falsifier.clauses.size())}});
+    }
+    if (opt.run_cdcl) {
+      bench::Measurement m = bench::Measure(
+          [&] { cdcl_certain = !SolveCdcl(falsifier).satisfiable; },
+          opt.min_seconds);
+      writer.Add("gadget_decide/" + c.name, "cdcl", m,
+                 {{"facts", static_cast<double>(gadget.db.NumFacts())},
+                  {"cnf_vars", static_cast<double>(falsifier.num_vars)},
+                  {"cnf_clauses",
+                   static_cast<double>(falsifier.clauses.size())}});
+    }
+    if (opt.run_dpll && opt.run_cdcl) {
+      CQA_CHECK_MSG(dpll_certain == cdcl_certain,
+                    "DPLL and CDCL disagree on a gadget verdict");
+    }
+    bool phi_sat = (opt.run_cdcl ? SolveCdcl(c.phi) : SolveDpll(c.phi))
+                       .satisfiable;
+    bool certain = opt.run_cdcl ? cdcl_certain : dpll_certain;
+    CQA_CHECK_MSG(phi_sat == !certain, "Lemma 9.2 violated on gadget");
+    std::printf("gadget/%-11s  facts=%5zu  certain=%s  parity=ok\n",
+                c.name.c_str(), gadget.db.NumFacts(), certain ? "yes" : "no");
   }
+
+  std::string path = writer.WriteMerged(opt.out_dir);
+  std::printf("\nwrote %s (label=%s, %zu entries)\n", path.c_str(),
+              opt.label.c_str(), writer.entries().size());
 }
-BENCHMARK(BM_DpllOnSameFormula)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 
 }  // namespace
 }  // namespace cqa
 
 int main(int argc, char** argv) {
   cqa::PrintFigure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  cqa::Options opt;
+  opt.smoke = cqa::bench::HasFlag(argc, argv, "--smoke");
+  if (opt.smoke) opt.min_seconds = 0.02;
+  opt.label = cqa::bench::FlagValue(argc, argv, "--label",
+                                    opt.smoke ? "smoke" : "adhoc");
+  opt.out_dir = cqa::bench::FlagValue(argc, argv, "--out", "");
+  std::string solvers =
+      cqa::bench::FlagValue(argc, argv, "--solvers", "dpll,cdcl");
+  opt.run_dpll = solvers.find("dpll") != std::string::npos;
+  opt.run_cdcl = solvers.find("cdcl") != std::string::npos;
+  CQA_CHECK_MSG(opt.run_dpll || opt.run_cdcl, "--solvers named no solver");
+  cqa::RunSuite(opt);
   return 0;
 }

@@ -1,10 +1,22 @@
-// EXP-S1: ablation across algorithms — exhaustive vs Cert_k vs matching vs
-// combined vs the classify-once dispatcher, on the same growing workloads.
-// The point is the shape: the PTime algorithms scale polynomially where the
-// exhaustive baseline blows up, and the dispatcher matches the best
-// applicable algorithm.
+// EXP-S1: scaling ablation on growing workloads, recorded per PR.
+//
+// Measures the storage-bound hot paths — database preparation (block
+// partition + per-relation indexes), the classify-once dispatcher solve,
+// and two-atom solution enumeration — on q3/q5/q6 random instances up to
+// the 30k-fact tier, plus the algorithm ablation on q6. Every case lands
+// in BENCH_scaling.json via bench/bench_json so the columnar-layout
+// before/after (and every future PR's numbers) are recorded side by side
+// instead of living in commit-message prose.
+//
+// Custom main (not google-benchmark): the cases share built databases,
+// and the emitter wants explicit variant labels (--variant=row-store for
+// a pre-refactor binary, the columnar default afterwards).
+//
+//   ./bench_scaling [--smoke] [--label=L] [--variant=V] [--out=DIR]
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "algo/certk.h"
 #include "algo/combined.h"
@@ -13,7 +25,9 @@
 #include "api/service.h"
 #include "base/check.h"
 #include "base/rng.h"
+#include "bench_json.h"
 #include "gen/workloads.h"
+#include "query/eval.h"
 #include "query/query.h"
 
 namespace cqa {
@@ -39,67 +53,162 @@ Database Make(const ConjunctiveQuery& q, std::uint32_t n,
   return RandomInstance(q, params, &rng);
 }
 
-void BM_Dispatcher(benchmark::State& state) {
-  const Workload& w = kWorkloads[state.range(0)];
+struct Options {
+  bool smoke = false;
+  std::string label = "adhoc";
+  std::string variant = "columnar";
+  std::string out_dir;
+  double min_seconds = 0.3;
+};
+
+void Run(const Options& opt) {
+  bench::BenchJsonWriter writer("scaling", opt.label);
   Service service;
-  StatusOr<CompiledQuery> q = service.Compile(w.query);
-  CQA_CHECK_MSG(q.ok(), "benchmark query failed to compile");
-  Database db =
-      Make(q->query(), static_cast<std::uint32_t>(state.range(1)), 99);
-  for (auto _ : state) {
-    StatusOr<SolveReport> report = service.Solve(*q, db);
-    benchmark::DoNotOptimize(report);
-  }
-  state.SetLabel(w.name);
-}
-BENCHMARK(BM_Dispatcher)
-    ->ArgsProduct({{0, 1, 2}, {32, 128, 256}});
 
-void BM_AllAlgorithmsOnQ6(benchmark::State& state) {
-  auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
-  Database db = Make(q6, 96, 98);
-  switch (state.range(0)) {
-    case 0:
-      for (auto _ : state) {
-        benchmark::DoNotOptimize(ExhaustiveCertain(q6, db));
-      }
-      state.SetLabel("exhaustive");
-      break;
-    case 1:
-      for (auto _ : state) benchmark::DoNotOptimize(CertK(q6, db, 3));
-      state.SetLabel("cert3");
-      break;
-    case 2:
-      for (auto _ : state) {
-        benchmark::DoNotOptimize(NotMatchingCertain(q6, db));
-      }
-      state.SetLabel("not-matching");
-      break;
-    case 3:
-      for (auto _ : state) {
-        benchmark::DoNotOptimize(CombinedCertain(q6, db, 3));
-      }
-      state.SetLabel("combined");
-      break;
+  // Preparation tiers: block partition + per-relation index build on q3
+  // instances, the purest storage-layout path (no algorithm above it).
+  // This carries the 30k acceptance tier — the dispatcher backends are
+  // superlinear and stay on their own, smaller tiers below.
+  {
+    StatusOr<CompiledQuery> q = service.Compile(kWorkloads[0].query);
+    CQA_CHECK_MSG(q.ok(), "benchmark query failed to compile");
+    std::vector<std::uint32_t> sizes =
+        opt.smoke ? std::vector<std::uint32_t>{512}
+                  : std::vector<std::uint32_t>{3000, 10000, 30000};
+    for (std::uint32_t n : sizes) {
+      Database fresh = Make(q->query(), n, 99);
+      bench::Measurement m = bench::Measure(
+          [&] {
+            Database copy = fresh;  // Copy resets the lazy partition state.
+            PreparedDatabase pdb(copy);
+            CQA_CHECK(pdb.blocks().size() > 0);
+          },
+          opt.min_seconds);
+      writer.Add("prepare/q3/" + std::to_string(n), opt.variant, m,
+                 {{"facts", static_cast<double>(fresh.NumFacts())}});
+      std::printf("%-24s  %8.3f ms/op\n",
+                  ("prepare/q3/" + std::to_string(n)).c_str(),
+                  1e3 * m.wall_seconds / static_cast<double>(m.iterations));
+    }
   }
-}
-BENCHMARK(BM_AllAlgorithmsOnQ6)->DenseRange(0, 3);
 
-void BM_SolutionEnumeration(benchmark::State& state) {
-  auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
-  Database db = Make(q, static_cast<std::uint32_t>(state.range(0)), 97);
-  for (auto _ : state) {
-    SolutionSet s = ComputeSolutions(q, db);
-    benchmark::DoNotOptimize(s.pairs.size());
+  // Dispatcher tiers: the classify-once solve through each workload's
+  // dichotomy backend (cert2 / certk / certk+matching) — all superlinear
+  // fixpoints, so the tiers stay moderate.
+  struct Tier {
+    int workload;
+    std::uint32_t facts;
+  };
+  std::vector<Tier> tiers =
+      opt.smoke ? std::vector<Tier>{{0, 128}, {1, 128}, {2, 128}}
+                : std::vector<Tier>{{0, 128}, {0, 256}, {0, 512}, {1, 256},
+                                    {1, 1024}, {2, 256}, {2, 1024}};
+  for (const Tier& tier : tiers) {
+    const Workload& w = kWorkloads[tier.workload];
+    StatusOr<CompiledQuery> q = service.Compile(w.query);
+    CQA_CHECK_MSG(q.ok(), "benchmark query failed to compile");
+    Database db = Make(q->query(), tier.facts, 99);
+    std::string case_name =
+        std::string("dispatcher/") + w.name + "/" + std::to_string(tier.facts);
+
+    bool certain = false;
+    bench::Measurement m = bench::Measure(
+        [&] {
+          StatusOr<SolveReport> report = service.Solve(*q, db);
+          CQA_CHECK(report.ok());
+          certain = report->certain;
+        },
+        opt.min_seconds);
+    writer.Add(case_name, opt.variant, m,
+               {{"facts", static_cast<double>(db.NumFacts())},
+                {"blocks", static_cast<double>(db.blocks().size())}});
+    std::printf("%-24s  %8.3f ms/op  certain=%d\n", case_name.c_str(),
+                1e3 * m.wall_seconds / static_cast<double>(m.iterations),
+                certain ? 1 : 0);
   }
-  state.SetComplexityN(state.range(0));
+
+  // Algorithm ablation on q6 (fixed size): exhaustive vs cert3 vs
+  // matching vs combined on one instance.
+  {
+    auto q6 = ParseQuery("R(x | y, z) R(z | x, y)");
+    Database db = Make(q6, opt.smoke ? 48 : 96, 98);
+    PreparedDatabase pdb(db);
+    struct Algo {
+      const char* name;
+      bool (*run)(const ConjunctiveQuery&, const PreparedDatabase&);
+    };
+    const Algo algos[] = {
+        {"exhaustive",
+         [](const ConjunctiveQuery& q, const PreparedDatabase& p) {
+           return ExhaustiveCertain(q, p);
+         }},
+        {"cert3",
+         [](const ConjunctiveQuery& q, const PreparedDatabase& p) {
+           return CertK(q, p, 3);
+         }},
+        {"not-matching",
+         [](const ConjunctiveQuery& q, const PreparedDatabase& p) {
+           return !MatchingAlgorithm(q, p);
+         }},
+        {"combined",
+         [](const ConjunctiveQuery& q, const PreparedDatabase& p) {
+           return CombinedCertain(q, p, 3);
+         }},
+    };
+    for (const Algo& algo : algos) {
+      bool result = false;
+      bench::Measurement m = bench::Measure(
+          [&] { result = algo.run(q6, pdb); }, opt.min_seconds);
+      writer.Add(std::string("algo_q6/") + algo.name, opt.variant, m,
+                 {{"facts", static_cast<double>(db.NumFacts())},
+                  {"certain", result ? 1.0 : 0.0}});
+    }
+  }
+
+  // Solution enumeration: the hash join over per-relation fact indexes —
+  // the tight loop the argument arena feeds directly.
+  {
+    auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+    std::vector<std::uint32_t> sizes =
+        opt.smoke ? std::vector<std::uint32_t>{1024}
+                  : std::vector<std::uint32_t>{4096, 16384, 30000};
+    for (std::uint32_t n : sizes) {
+      Database db = Make(q, n, 97);
+      PreparedDatabase pdb(db);
+      std::size_t pairs = 0;
+      bench::Measurement m = bench::Measure(
+          [&] {
+            SolutionSet s = ComputeSolutions(q, pdb);
+            pairs = s.pairs.size();
+          },
+          opt.min_seconds);
+      writer.Add("solutions/" + std::to_string(n), opt.variant, m,
+                 {{"facts", static_cast<double>(db.NumFacts())},
+                  {"pairs", static_cast<double>(pairs)}});
+      std::printf("%-24s  %8.3f ms/op  pairs=%zu\n",
+                  ("solutions/" + std::to_string(n)).c_str(),
+                  1e3 * m.wall_seconds / static_cast<double>(m.iterations),
+                  pairs);
+    }
+  }
+
+  std::string path = writer.WriteMerged(opt.out_dir);
+  std::printf("\nwrote %s (label=%s, variant=%s, %zu entries)\n", path.c_str(),
+              opt.label.c_str(), opt.variant.c_str(),
+              writer.entries().size());
 }
-BENCHMARK(BM_SolutionEnumeration)
-    ->RangeMultiplier(4)
-    ->Range(64, 16384)
-    ->Complexity();
 
 }  // namespace
 }  // namespace cqa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  cqa::Options opt;
+  opt.smoke = cqa::bench::HasFlag(argc, argv, "--smoke");
+  if (opt.smoke) opt.min_seconds = 0.02;
+  opt.label = cqa::bench::FlagValue(argc, argv, "--label",
+                                    opt.smoke ? "smoke" : "adhoc");
+  opt.variant = cqa::bench::FlagValue(argc, argv, "--variant", "columnar");
+  opt.out_dir = cqa::bench::FlagValue(argc, argv, "--out", "");
+  cqa::Run(opt);
+  return 0;
+}

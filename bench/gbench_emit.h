@@ -1,0 +1,67 @@
+// Bridge from google-benchmark to the BENCH_<name>.json emitter: a
+// reporter that mirrors every finished run into a BenchJsonWriter while
+// still printing the normal console output. Benches that keep the
+// google-benchmark harness (bench_incremental) use this instead of
+// converting to a custom main:
+//
+//   int main(int argc, char** argv) {
+//     benchmark::Initialize(&argc, argv);
+//     cqa::bench::JsonEmitReporter reporter("incremental",
+//                                           /*label=*/"after");
+//     benchmark::RunSpecifiedBenchmarks(&reporter);
+//     reporter.WriteMerged();
+//   }
+
+#ifndef CQA_BENCH_GBENCH_EMIT_H_
+#define CQA_BENCH_GBENCH_EMIT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.h"
+
+namespace cqa {
+namespace bench {
+
+class JsonEmitReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonEmitReporter(std::string bench_name, std::string label,
+                   std::string variant = "gbench")
+      : writer_(std::move(bench_name), std::move(label)),
+        variant_(std::move(variant)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchEntry entry;
+      entry.name = run.benchmark_name();
+      entry.variant = variant_;
+      entry.wall_seconds = run.real_accumulated_time;
+      entry.iterations = static_cast<std::uint64_t>(run.iterations);
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters[name] = counter.value;
+      }
+      writer_.Add(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Call after RunSpecifiedBenchmarks. Returns the path written.
+  std::string WriteMerged(const std::string& dir = "") {
+    std::string path = writer_.WriteMerged(dir);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(),
+                writer_.entries().size());
+    return path;
+  }
+
+ private:
+  BenchJsonWriter writer_;
+  std::string variant_;
+};
+
+}  // namespace bench
+}  // namespace cqa
+
+#endif  // CQA_BENCH_GBENCH_EMIT_H_

@@ -13,7 +13,7 @@
 
 #include "api/service.h"
 #include "reduction/sat_reduction.h"
-#include "sat/dpll.h"
+#include "sat/cdcl.h"
 #include "sat/gen.h"
 #include "tripath/search.h"
 
@@ -51,7 +51,7 @@ int main() {
   // Step 2: the Figure 2 formula.
   CnfFormula phi = Figure2Formula();
   std::printf("\nphi = %s\n", phi.ToString().c_str());
-  SatResult sat = SolveDpll(phi);
+  SatResult sat = SolveCdcl(phi);
   std::printf("DPLL says: %s\n",
               sat.satisfiable ? "satisfiable" : "unsatisfiable");
 

@@ -29,7 +29,7 @@ std::vector<QConnectedComponent> QConnectedComponents(
     }
     QConnectedComponent& comp = components[component_index[rep]];
     for (FactId fid : blocks[blk].facts) {
-      const Fact& fact = db.fact(fid);
+      FactRef fact = db.fact(fid);
       std::vector<ElementId> args;
       args.reserve(fact.args.size());
       for (ElementId el : fact.args) {

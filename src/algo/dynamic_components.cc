@@ -20,7 +20,7 @@ std::uint64_t Mix(std::uint64_t z) {
 }  // namespace
 
 void ComponentFingerprint::Add(const Database& db, FactId f) {
-  const Fact& fact = db.fact(f);
+  FactRef fact = db.fact(f);
   std::uint64_t h = fact.relation;
   for (ElementId el : fact.args) {
     const std::string& name = db.elements().Name(el);

@@ -56,7 +56,8 @@ StatusOr<RelationId> ResolveSpec(const Database& db, const FactSpec& spec) {
 
 }  // namespace
 
-Service::Service(ServiceOptions options) : options_(std::move(options)) {}
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), compiled_(options_.compile_cache) {}
 
 StatusOr<CompiledQuery> Service::Compile(std::string_view text,
                                          const CompileOptions& options) {
@@ -75,8 +76,7 @@ StatusOr<CompiledQuery> Service::Compile(std::string_view text,
   std::shared_ptr<const CompiledQuery::State> cached;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = compiled_.find(key);
-    if (it != compiled_.end()) cached = it->second;
+    if (auto* hit = compiled_.Find(key)) cached = *hit;
   }
   if (cached == nullptr) {
     // Classify outside the lock: the tripath search can be slow, and a
@@ -100,8 +100,15 @@ StatusOr<CompiledQuery> Service::Compile(std::string_view text,
     state->classify_seconds = classify_seconds;
 
     std::lock_guard<std::mutex> lock(mutex_);
-    cached = compiled_.emplace(std::move(key), std::move(state))
-                 .first->second;
+    // A lost race means two threads classified the same query; keep the
+    // first insertion (re-probe without recounting the lookup).
+    if (auto* hit = compiled_.Find(key, /*count=*/false)) {
+      cached = *hit;
+    } else {
+      cached = state;
+      compiled_.Insert(std::move(key), std::move(state),
+                       sizeof(CompiledQuery::State) + cached->text.size());
+    }
   }
 
   const CompiledQuery::State& state = *cached;
@@ -465,6 +472,7 @@ ServiceStats Service::Stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.compiled_queries = compiled_.size();
+    stats.compiled = compiled_.Counters();
     entries.reserve(databases_.size());
     for (const auto& [name, entry] : databases_) {
       entries.emplace_back(name, entry);
@@ -506,7 +514,10 @@ ServiceStats Service::Stats() const {
 
 std::string ServiceStats::ToString() const {
   std::string out =
-      "compiled queries: " + std::to_string(compiled_queries) + "\n";
+      "compiled queries: " + std::to_string(compiled_queries) +
+      " (hits=" + std::to_string(compiled.hits) +
+      " misses=" + std::to_string(compiled.misses) +
+      " evictions=" + std::to_string(compiled.evictions) + ")\n";
   for (const DatabaseStats& d : databases) {
     out += "database \"" + d.name + "\": facts=" +
            std::to_string(d.alive_facts) + " slots=" +

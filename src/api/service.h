@@ -114,6 +114,11 @@ struct ServiceOptions {
   /// Evicting a solver drops its component partition and verdict cache;
   /// the next solve of that query rebuilds them from the current state.
   CacheOptions solver_cache{/*max_entries=*/64, /*max_bytes=*/0};
+  /// Bounds for the service-wide map of compiled queries (keyed by
+  /// canonical text + forced backend). Handles pin their state via
+  /// shared_ptr, so evicting a compiled query never invalidates handles
+  /// already issued — the next Compile of an evicted text re-classifies.
+  CacheOptions compile_cache{/*max_entries=*/256, /*max_bytes=*/0};
   /// Compact a registered database when its tombstoned slots exceed this
   /// fraction of all slots (checked after each DeleteFacts batch). With
   /// ratio r the slot count stays below alive/(1-r): the default keeps
@@ -165,6 +170,8 @@ struct ServiceStats {
   };
 
   std::uint64_t compiled_queries = 0;
+  /// API layer: the LRU map of compiled queries (Service::Compile).
+  CacheCounters compiled;
   std::vector<DatabaseStats> databases;
 
   /// Multi-line human-readable rendering of the snapshot.
@@ -388,8 +395,10 @@ class Service {
   ServiceOptions options_;
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const CompiledQuery::State>,
-           std::less<>>
+  // shared_ptr values: CompiledQuery handles and incremental solvers pin
+  // the state they use, so an LRU eviction only unlinks the cache entry —
+  // the classification dies with its last user.
+  mutable LruCache<std::string, std::shared_ptr<const CompiledQuery::State>>
       compiled_;
   // shared_ptr: a Solve copies the entry's ownership under the lock, so
   // a concurrent DropDatabase cannot free the database under it.

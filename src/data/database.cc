@@ -9,17 +9,32 @@
 
 namespace cqa {
 
+FactId Database::ProbeFact(RelationId relation, ArgSpan args) const {
+  auto it = fact_index_.find(FactHash{}(FactRef{relation, args}));
+  if (it == fact_index_.end()) return kNoFact;
+  for (FactId id : it->second) {
+    if (relation_[id] == relation && fact(id).args == args) return id;
+  }
+  return kNoFact;
+}
+
 FactId Database::AddFact(RelationId relation, std::vector<ElementId> args) {
   const RelationSchema& rel = schema_.Relation(relation);
   CQA_CHECK_MSG(args.size() == rel.arity, "fact arity mismatch");
-  Fact f{relation, std::move(args)};
-  auto it = fact_ids_.find(f);
-  if (it != fact_ids_.end()) return it->second;
-  FactId id = static_cast<FactId>(facts_.size());
-  facts_.push_back(f);
+  ArgSpan span{args.data(), static_cast<std::uint32_t>(args.size())};
+  FactId existing = ProbeFact(relation, span);
+  if (existing != kNoFact) return existing;
+
+  FactId id = static_cast<FactId>(slots_.size());
+  FactSlot slot;
+  slot.offset = static_cast<std::uint32_t>(arg_arena_.size());
+  slot.arity = rel.arity;
+  arg_arena_.insert(arg_arena_.end(), args.begin(), args.end());
+  slots_.push_back(slot);
+  relation_.push_back(relation);
   alive_.push_back(1);
   ++num_alive_;
-  fact_ids_.emplace(std::move(f), id);
+  fact_index_[FactHash{}(FactRef{relation, span})].push_back(id);
   // Bulk loads stay lazy (one linear build on first read); once the
   // partition exists it is maintained in place.
   if (!blocks_dirty_) {
@@ -30,11 +45,15 @@ FactId Database::AddFact(RelationId relation, std::vector<ElementId> args) {
 }
 
 Database::RemovedFact Database::RemoveFact(FactId id) {
-  CQA_CHECK(id < facts_.size());
+  CQA_CHECK(id < slots_.size());
   CQA_CHECK_MSG(alive_[id], "RemoveFact on a tombstoned fact");
   alive_[id] = 0;
   --num_alive_;
-  fact_ids_.erase(facts_[id]);
+  auto it = fact_index_.find(FactHash{}(fact(id)));
+  CQA_CHECK(it != fact_index_.end());
+  std::vector<FactId>& bucket = it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) fact_index_.erase(it);
 
   RemovedFact info;
   if (blocks_dirty_) return info;  // Partition not built; nothing to patch.
@@ -68,29 +87,46 @@ Database::RemovedFact Database::RemoveFact(FactId id) {
 
 FactIdRemap Database::Compact() {
   FactIdRemap remap;
-  remap.old_slots = facts_.size();
-  remap.new_id.assign(facts_.size(), kNoFact);
+  remap.old_slots = slots_.size();
+  remap.new_id.assign(slots_.size(), kNoFact);
   FactId next = 0;
-  for (FactId id = 0; id < facts_.size(); ++id) {
+  for (FactId id = 0; id < slots_.size(); ++id) {
     if (alive_[id]) remap.new_id[id] = next++;
   }
   remap.new_slots = next;
   if (remap.identity()) return remap;
 
-  // Slide survivors down in order; the remap is monotonic so this never
-  // overwrites a fact that has not been moved yet.
-  for (FactId id = 0; id < facts_.size(); ++id) {
+  // Slide survivors down in order — slots and their argument spans in the
+  // same pass. The remap is monotonic, so a destination span never
+  // overlaps a source span that has not been copied yet (dest <= src
+  // throughout; std::copy handles the forward-overlapping case).
+  std::uint32_t write = 0;
+  for (FactId id = 0; id < slots_.size(); ++id) {
     FactId nid = remap.new_id[id];
-    if (nid != kNoFact && nid != id) facts_[nid] = std::move(facts_[id]);
+    if (nid == kNoFact) continue;
+    FactSlot s = slots_[id];
+    std::copy(arg_arena_.begin() + s.offset,
+              arg_arena_.begin() + s.offset + s.arity,
+              arg_arena_.begin() + write);
+    slots_[nid] = FactSlot{write, s.arity};
+    relation_[nid] = relation_[id];
+    write += s.arity;
   }
-  facts_.resize(next);
-  facts_.shrink_to_fit();
+  arg_arena_.resize(write);
+  arg_arena_.shrink_to_fit();
+  slots_.resize(next);
+  slots_.shrink_to_fit();
+  relation_.resize(next);
+  relation_.shrink_to_fit();
   alive_.assign(next, 1);
   alive_.shrink_to_fit();
   CQA_CHECK(num_alive_ == next);
 
-  // fact_ids_ only holds alive facts (RemoveFact erases); rewrite values.
-  for (auto& [fact, id] : fact_ids_) id = remap.new_id[id];
+  // fact_index_ only holds alive facts (RemoveFact erases) and hashes are
+  // content-based, so the buckets survive — only the ids move.
+  for (auto& [hash, bucket] : fact_index_) {
+    for (FactId& id : bucket) id = remap.new_id[id];
+  }
 
   if (!blocks_dirty_) {
     // BlockIds are stable across a compaction: only member ids move.
@@ -123,7 +159,7 @@ BlockId Database::ProbeBlock(RelationId relation, KeyView key) const {
 
 void Database::InsertIntoBlocks(FactId id) const {
   KeyView key = KeyViewOf(id);
-  RelationId relation = facts_[id].relation;
+  RelationId relation = relation_[id];
   BlockId b = ProbeBlock(relation, key);
   if (b != kNoBlock) {
     blocks_[b].facts.push_back(id);
@@ -180,7 +216,7 @@ std::vector<ElementId> Database::KeyOf(FactId id) const {
 }
 
 bool Database::KeyEqual(FactId a, FactId b) const {
-  if (facts_[a].relation != facts_[b].relation) return false;
+  if (relation_[a] != relation_[b]) return false;
   return KeyViewOf(a) == KeyViewOf(b);
 }
 
@@ -188,9 +224,9 @@ void Database::EnsureBlocks() const {
   if (!blocks_dirty_) return;
   blocks_.clear();
   block_index_.clear();
-  block_index_.reserve(facts_.size() * 2 + 1);
-  block_of_.assign(facts_.size(), 0);
-  for (FactId id = 0; id < facts_.size(); ++id) {
+  block_index_.reserve(slots_.size() * 2 + 1);
+  block_of_.assign(slots_.size(), 0);
+  for (FactId id = 0; id < slots_.size(); ++id) {
     if (alive_[id]) InsertIntoBlocks(id);
   }
   blocks_dirty_ = false;
@@ -227,7 +263,7 @@ double Database::CountRepairs() const {
 }
 
 std::string Database::FactToString(FactId id) const {
-  const Fact& f = facts_[id];
+  FactRef f = fact(id);
   const RelationSchema& rel = schema_.Relation(f.relation);
   std::ostringstream out;
   out << rel.name << '(';
@@ -251,12 +287,13 @@ std::string Database::ToString() const {
 }
 
 bool Database::Contains(const Fact& f) const {
-  return fact_ids_.find(f) != fact_ids_.end();
+  return FindFact(f) != kNoFact;
 }
 
 FactId Database::FindFact(const Fact& f) const {
-  auto it = fact_ids_.find(f);
-  return it == fact_ids_.end() ? kNoFact : it->second;
+  return ProbeFact(f.relation,
+                   ArgSpan{f.args.data(),
+                           static_cast<std::uint32_t>(f.args.size())});
 }
 
 }  // namespace cqa

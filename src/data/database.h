@@ -5,6 +5,13 @@
 // its Schema so that generated instances (reductions, workload generators)
 // are self-contained value types.
 //
+// Storage layout: struct-of-arrays. Every fact's arguments live in one
+// contiguous ElementId arena; a fact slot is an (offset, arity) pair plus
+// a parallel relation column. fact(id) hands out a FactRef view into the
+// arena, so key extraction, block partitioning, Cert_k fixpoints,
+// solution-graph building, and component fingerprinting iterate over
+// contiguous memory instead of chasing one heap vector per fact.
+//
 // Mutation model: FactIds are stable between compactions. AddFact appends
 // (never reuses a slot); RemoveFact tombstones its slot instead of
 // compacting, so ids held by indexes, components, and cached witnesses
@@ -14,11 +21,13 @@
 // index, a delete shrinks its block and swap-removes it when emptied.
 //
 // Under sustained churn tombstoned slots accumulate; Compact() reclaims
-// them in one order-preserving pass and publishes a FactIdRemap so every
-// structure that holds FactIds (PreparedDatabase, DynamicComponents,
-// IncrementalSolver) can delta-patch itself via its ApplyRemap instead of
-// rebuilding. Content-addressed state (verdict fingerprints, cached
-// witness tuples) survives a compaction untouched.
+// them in one order-preserving pass — sliding both the slots and their
+// argument spans down the arena, so offsets stay monotone in FactId — and
+// publishes a FactIdRemap so every structure that holds FactIds
+// (PreparedDatabase, DynamicComponents, IncrementalSolver) can delta-patch
+// itself via its ApplyRemap instead of rebuilding. Content-addressed state
+// (verdict fingerprints, cached witness tuples) survives a compaction
+// untouched.
 
 #ifndef CQA_DATA_DATABASE_H_
 #define CQA_DATA_DATABASE_H_
@@ -27,7 +36,6 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "base/hash.h"
@@ -44,31 +52,13 @@ struct Block {
   std::vector<FactId> facts;    ///< Members, in insertion order.
 };
 
-/// Non-owning view of a fact's key prefix (C++17 stand-in for std::span).
-/// Valid while the owning Database exists and no facts are added.
-struct KeyView {
-  const ElementId* data = nullptr;
-  std::uint32_t len = 0;
-
-  const ElementId* begin() const { return data; }
-  const ElementId* end() const { return data + len; }
-  std::uint32_t size() const { return len; }
-  bool empty() const { return len == 0; }
-  ElementId operator[](std::uint32_t i) const { return data[i]; }
-
-  bool operator==(const KeyView& o) const {
-    if (len != o.len) return false;
-    for (std::uint32_t i = 0; i < len; ++i) {
-      if (data[i] != o.data[i]) return false;
-    }
-    return true;
-  }
-  bool operator!=(const KeyView& o) const { return !(*this == o); }
-};
+/// Non-owning view of a fact's key prefix: the same span type as a fact's
+/// argument view (a key is a prefix of an argument tuple in the arena).
+using KeyView = ArgSpan;
 
 /// The one hash recipe for a (relation, key tuple) pair, shared by the
 /// block partition and PreparedDatabase's key index so the two can never
-/// drift apart.
+/// drift apart. Identical to FactHash's recipe over a full-argument span.
 inline std::size_t HashRelationKey(RelationId relation, KeyView key) {
   return HashCombine(HashRange(key.begin(), key.end()), relation);
 }
@@ -127,37 +117,48 @@ class Database {
 
   /// Number of fact slots ever allocated; the iteration bound for
   /// id-indexed arrays. Tombstoned slots count.
-  std::size_t NumFacts() const { return facts_.size(); }
+  std::size_t NumFacts() const { return slots_.size(); }
 
   /// Number of facts currently alive (NumFacts minus tombstones).
   std::size_t NumAliveFacts() const { return num_alive_; }
 
   /// Number of tombstoned slots awaiting compaction.
-  std::size_t NumDeadSlots() const { return facts_.size() - num_alive_; }
+  std::size_t NumDeadSlots() const { return slots_.size() - num_alive_; }
 
   /// Fraction of slots that are tombstoned (0 for an empty database).
   double DeadSlotRatio() const {
-    return facts_.empty()
+    return slots_.empty()
                ? 0.0
                : static_cast<double>(NumDeadSlots()) /
-                     static_cast<double>(facts_.size());
+                     static_cast<double>(slots_.size());
   }
 
   /// Reclaims every tombstoned slot, renumbering the survivors while
-  /// preserving their relative order, and returns the remap. Blocks keep
-  /// their BlockIds (only their member ids are rewritten), so block-level
+  /// preserving their relative order — the argument arena is compacted in
+  /// the same pass, so surviving spans slide down and offsets stay
+  /// monotone in FactId — and returns the remap. Blocks keep their
+  /// BlockIds (only their member ids are rewritten), so block-level
   /// indexes need no patching. Every external structure holding FactIds
   /// must be patched with the returned remap (ApplyRemap protocol) before
   /// its next use; Repair witnesses into this database are invalidated.
-  /// O(slots + blocks). A compaction with no dead slots is a no-op that
-  /// returns an identity remap.
+  /// O(slots + arena + blocks). A compaction with no dead slots is a
+  /// no-op that returns an identity remap.
   FactIdRemap Compact();
 
   /// True if slot `id` holds a live fact (false after RemoveFact).
   bool alive(FactId id) const { return alive_[id]; }
 
-  const Fact& fact(FactId id) const { return facts_[id]; }
-  const std::vector<Fact>& facts() const { return facts_; }
+  /// The fact in slot `id`, viewed in place in the argument arena. The
+  /// view is invalidated by AddFact (arena may reallocate) and Compact.
+  FactRef fact(FactId id) const {
+    const FactSlot& s = slots_[id];
+    return FactRef{relation_[id],
+                   ArgSpan{arg_arena_.data() + s.offset, s.arity}};
+  }
+
+  /// Copies slot `id` out into an owned Fact that survives later mutation
+  /// (witness materialization).
+  Fact MaterializeFact(FactId id) const { return fact(id).ToFact(); }
 
   const Schema& schema() const { return schema_; }
   Interner& elements() { return elements_; }
@@ -167,11 +168,11 @@ class Database {
   /// Allocates; hot paths should prefer KeyViewOf.
   std::vector<ElementId> KeyOf(FactId id) const;
 
-  /// Key prefix of a fact as a view into its args; no allocation. The view
-  /// is invalidated by AddFact (facts_ may reallocate).
+  /// Key prefix of a fact as a view into the argument arena; no
+  /// allocation. Invalidated by AddFact (the arena may reallocate).
   KeyView KeyViewOf(FactId id) const {
-    const Fact& f = facts_[id];
-    return KeyView{f.args.data(), schema_.Relation(f.relation).key_len};
+    return KeyView{arg_arena_.data() + slots_[id].offset,
+                   schema_.Relation(relation_[id]).key_len};
   }
 
   /// True if the two facts are key-equal (same relation, same key tuple).
@@ -203,15 +204,27 @@ class Database {
   /// Pretty-prints the whole database, one fact per line, grouped by block.
   std::string ToString() const;
 
-  /// True if the database contains this exact fact.
+  /// True if the database contains this exact fact (alive).
   bool Contains(const Fact& f) const;
 
-  /// Looks up the id of an existing fact, or kNoFact.
+  /// Looks up the id of an existing alive fact, or kNoFact.
   FactId FindFact(const Fact& f) const;
 
   static constexpr FactId kNoFact = 0xffffffffu;
 
+  /// Arena introspection (tests, size accounting): total ElementIds
+  /// stored, and a fact's span offset within the arena. Offsets are
+  /// monotone in FactId right after construction or Compact().
+  std::size_t ArgArenaSize() const { return arg_arena_.size(); }
+  std::uint32_t ArgOffsetOf(FactId id) const { return slots_[id].offset; }
+
  private:
+  /// Slot metadata: where a fact's argument span lives in the arena.
+  struct FactSlot {
+    std::uint32_t offset = 0;  ///< First argument's index in arg_arena_.
+    std::uint32_t arity = 0;   ///< Span length (== relation arity).
+  };
+
   void EnsureBlocks() const;
   /// The one (relation, key) -> BlockId probe of the key index, shared by
   /// FindBlock and InsertIntoBlocks so lookup and partition maintenance
@@ -223,13 +236,25 @@ class Database {
   void InsertIntoBlocks(FactId id) const;
   /// Removes `b` from block_index_'s bucket for its key hash.
   void EraseBlockIndexEntry(BlockId b) const;
+  /// Looks up an alive fact with this relation and argument span in the
+  /// content index, or kNoFact.
+  FactId ProbeFact(RelationId relation, ArgSpan args) const;
 
   Schema schema_;
   Interner elements_;
-  std::vector<Fact> facts_;
+
+  // Columnar fact storage: one arena of all argument tuples plus
+  // per-slot (offset, arity) and relation columns, indexed by FactId.
+  std::vector<ElementId> arg_arena_;
+  std::vector<FactSlot> slots_;
+  std::vector<RelationId> relation_;
   std::vector<char> alive_;  // vector<char>: mutable per-slot, no bitproxy.
   std::size_t num_alive_ = 0;
-  std::unordered_map<Fact, FactId, FactHash> fact_ids_;
+
+  // Content index over alive facts: FactHash-of-span -> candidate ids
+  // (collisions resolved by comparing relation + span against the arena).
+  // Probing hashes the query tuple directly — no temporary Fact.
+  std::unordered_map<std::size_t, std::vector<FactId>> fact_index_;
 
   // Block partition: lazily built, then incrementally maintained. The key
   // index buckets blocks by HashRelationKey (collisions resolved by

@@ -1,4 +1,10 @@
 // Facts: ground tuples R(e1, ..., ek) over interned elements.
+//
+// Storage is columnar (data/database.h): the Database keeps every fact's
+// arguments in one contiguous arena and hands out non-owning FactRef
+// views into it. The owning Fact struct remains the boundary type — it
+// is what callers build to insert or look up a tuple, and what witnesses
+// carry once they must outlive the database's mutation stream.
 
 #ifndef CQA_DATA_FACT_H_
 #define CQA_DATA_FACT_H_
@@ -18,7 +24,30 @@ using FactId = std::uint32_t;
 /// Index of a block within a Database's block index.
 using BlockId = std::uint32_t;
 
-/// A ground fact. `args.size()` equals the relation's arity.
+/// Non-owning view of a contiguous argument tuple (C++17 stand-in for
+/// std::span<const ElementId>). Valid while the owning Database exists
+/// and no facts are added (the arena may reallocate on insert).
+struct ArgSpan {
+  const ElementId* data = nullptr;
+  std::uint32_t len = 0;
+
+  const ElementId* begin() const { return data; }
+  const ElementId* end() const { return data + len; }
+  std::uint32_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  ElementId operator[](std::uint32_t i) const { return data[i]; }
+
+  bool operator==(const ArgSpan& o) const {
+    if (len != o.len) return false;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      if (data[i] != o.data[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const ArgSpan& o) const { return !(*this == o); }
+};
+
+/// An owned ground fact. `args.size()` equals the relation's arity.
 struct Fact {
   RelationId relation = 0;
   std::vector<ElementId> args;
@@ -28,7 +57,38 @@ struct Fact {
   }
 };
 
+/// A fact viewed in place in its database's argument arena: the hot-path
+/// currency of every algorithm layer. Cheap to copy (pointer + lengths);
+/// invalidated like ArgSpan. Implicitly constructible from an owned Fact
+/// so pattern-matching helpers take FactRef and accept both.
+struct FactRef {
+  RelationId relation = 0;
+  ArgSpan args;
+
+  FactRef() = default;
+  FactRef(RelationId rel, ArgSpan a) : relation(rel), args(a) {}
+  FactRef(const Fact& f)  // NOLINT: implicit view of an owned fact
+      : relation(f.relation),
+        args{f.args.data(), static_cast<std::uint32_t>(f.args.size())} {}
+
+  /// Copies the view out into an owned Fact (witness materialization).
+  Fact ToFact() const {
+    return Fact{relation, std::vector<ElementId>(args.begin(), args.end())};
+  }
+
+  bool operator==(const FactRef& o) const {
+    return relation == o.relation && args == o.args;
+  }
+  bool operator!=(const FactRef& o) const { return !(*this == o); }
+};
+
+/// One hash recipe for both representations: hashing a FactRef over the
+/// arena span and hashing the owned Fact it materializes to agree by
+/// construction (same HashRange over the same elements).
 struct FactHash {
+  std::size_t operator()(const FactRef& f) const {
+    return HashCombine(HashRange(f.args.begin(), f.args.end()), f.relation);
+  }
   std::size_t operator()(const Fact& f) const {
     return HashCombine(HashRange(f.args.begin(), f.args.end()), f.relation);
   }

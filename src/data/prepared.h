@@ -35,7 +35,7 @@ class PreparedDatabase {
   /// Fact-slot count (the iteration bound for id-indexed arrays); see
   /// Database::NumFacts vs NumAliveFacts.
   std::size_t NumFacts() const { return db_->NumFacts(); }
-  const Fact& fact(FactId id) const { return db_->fact(id); }
+  FactRef fact(FactId id) const { return db_->fact(id); }
 
   /// The block partition (forced at construction, maintained by the
   /// Database across mutations).

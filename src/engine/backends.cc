@@ -12,7 +12,7 @@
 #include "engine/registry.h"
 #include "query/hom.h"
 #include "reduction/sat_reduction.h"
-#include "sat/dpll.h"
+#include "sat/cdcl.h"
 
 namespace cqa {
 namespace {
@@ -123,13 +123,13 @@ class SatBackend : public TwoAtomBackend {
   bool Solve(const PreparedDatabase& pdb) const override {
     SolutionSet solutions = ComputeSolutions(query(), pdb);
     CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
-    return !SolveDpll(falsifier).satisfiable;
+    return !SolveCdcl(falsifier).satisfiable;
   }
   bool CanExplain() const override { return true; }
   std::optional<Repair> Explain(const PreparedDatabase& pdb) const override {
     SolutionSet solutions = ComputeSolutions(query(), pdb);
     CnfFormula falsifier = EncodeFalsifierCnf(solutions, pdb);
-    SatResult sat = SolveDpll(falsifier);
+    SatResult sat = SolveCdcl(falsifier);
     if (!sat.satisfiable) return std::nullopt;
     // CNF variables are fact ids; the at-least-one clauses guarantee a
     // true fact in every block, and restricting the satisfying assignment

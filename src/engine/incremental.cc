@@ -69,7 +69,7 @@ IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
   std::vector<FactId> original;  // Parallel to sub's fact ids.
   original.reserve(sorted.size());
   for (FactId fid : sorted) {
-    const Fact& fact = db.fact(fid);
+    FactRef fact = db.fact(fid);
     std::vector<ElementId> args;
     args.reserve(fact.args.size());
     for (ElementId el : fact.args) {
@@ -92,7 +92,8 @@ IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
       const std::vector<Block>& sub_blocks = sub.blocks();
       verdict.witness_facts.reserve(sub_blocks.size());
       for (BlockId b = 0; b < sub_blocks.size(); ++b) {
-        verdict.witness_facts.push_back(db.fact(original[repair->FactIn(b)]));
+        verdict.witness_facts.push_back(
+            db.MaterializeFact(original[repair->FactIn(b)]));
       }
     }
   } else {

@@ -37,7 +37,7 @@ Database RandomInstance(const ConjunctiveQuery& q,
     double roll = rng->Uniform();
     if (roll < params.blockmate_bias && db.NumFacts() > 0) {
       // Clone a random fact's key, fresh random rest.
-      const Fact& base = db.fact(
+      FactRef base = db.fact(
           static_cast<FactId>(rng->Below(db.NumFacts())));
       const RelationSchema& rel = db.schema().Relation(base.relation);
       std::vector<ElementId> args(base.args.begin(),
@@ -87,7 +87,7 @@ Database ChainInstance(const ConjunctiveQuery& q, std::uint32_t num_links,
     std::size_t before = db.NumFacts();
     for (std::size_t i = 0; i < before; ++i) {
       if (!rng->Chance(blockmate_bias / before)) continue;
-      const Fact& base = db.fact(static_cast<FactId>(i));
+      FactRef base = db.fact(static_cast<FactId>(i));
       const RelationSchema& rel = db.schema().Relation(base.relation);
       std::vector<ElementId> args(base.args.begin(),
                                   base.args.begin() + rel.key_len);

@@ -47,7 +47,7 @@ RelationBinding::RelationBinding(const ConjunctiveQuery& query,
   *this = std::move(created).value();
 }
 
-bool ExtendMatch(const QueryAtom& atom, const Fact& fact,
+bool ExtendMatch(const QueryAtom& atom, FactRef fact,
                  std::vector<ElementId>* mu) {
   CQA_DCHECK(atom.vars.size() == fact.args.size());
   for (std::size_t i = 0; i < atom.vars.size(); ++i) {
@@ -61,7 +61,7 @@ bool ExtendMatch(const QueryAtom& atom, const Fact& fact,
   return true;
 }
 
-bool MatchesPattern(const QueryAtom& atom, const Fact& fact) {
+bool MatchesPattern(const QueryAtom& atom, FactRef fact) {
   for (std::size_t i = 0; i < atom.vars.size(); ++i) {
     for (std::size_t j = i + 1; j < atom.vars.size(); ++j) {
       if (atom.vars[i] == atom.vars[j] && fact.args[i] != fact.args[j]) {
@@ -75,8 +75,8 @@ bool MatchesPattern(const QueryAtom& atom, const Fact& fact) {
 bool IsSolution(const ConjunctiveQuery& q, const RelationBinding& binding,
                 const Database& db, FactId a, FactId b) {
   CQA_CHECK(q.NumAtoms() == 2);
-  const Fact& fa = db.fact(a);
-  const Fact& fb = db.fact(b);
+  FactRef fa = db.fact(a);
+  FactRef fb = db.fact(b);
   if (fa.relation != binding.Resolve(q.atoms()[0].relation)) return false;
   if (fb.relation != binding.Resolve(q.atoms()[1].relation)) return false;
   std::vector<ElementId> mu(q.NumVars(), kUnassigned);
@@ -203,7 +203,7 @@ std::vector<FactId> SolutionPartners(const ConjunctiveQuery& q,
                                      const PreparedDatabase& pdb, FactId f) {
   CQA_CHECK(q.NumAtoms() == 2);
   const Database& db = pdb.db();
-  const Fact& fact = db.fact(f);
+  FactRef fact = db.fact(f);
   std::vector<FactId> partners;
   std::vector<ElementId> base(q.NumVars(), kUnassigned);
   std::vector<ElementId> mu(q.NumVars(), kUnassigned);
@@ -226,14 +226,14 @@ std::vector<FactId> SolutionPartners(const ConjunctiveQuery& q,
 namespace {
 
 bool SatisfiesRec(const ConjunctiveQuery& q,
-                  const std::vector<std::vector<const Fact*>>& by_relation,
+                  const std::vector<std::vector<FactRef>>& by_relation,
                   std::size_t atom_index, std::vector<ElementId>* mu) {
   if (atom_index == q.NumAtoms()) return true;
   const QueryAtom& atom = q.atoms()[atom_index];
   std::vector<ElementId> saved = *mu;
-  for (const Fact* fact : by_relation[atom.relation]) {
+  for (FactRef fact : by_relation[atom.relation]) {
     *mu = saved;
-    if (ExtendMatch(atom, *fact, mu) &&
+    if (ExtendMatch(atom, fact, mu) &&
         SatisfiesRec(q, by_relation, atom_index + 1, mu)) {
       return true;
     }
@@ -246,13 +246,12 @@ bool SatisfiesFacts(const ConjunctiveQuery& q, const Database& db,
                     const std::vector<FactId>& facts) {
   RelationBinding binding(q, db);
   // by_relation is indexed by *query* relation id.
-  std::vector<std::vector<const Fact*>> by_relation(
-      q.schema().NumRelations());
+  std::vector<std::vector<FactRef>> by_relation(q.schema().NumRelations());
   for (FactId f : facts) {
-    const Fact& fact = db.fact(f);
+    FactRef fact = db.fact(f);
     for (RelationId r = 0; r < q.schema().NumRelations(); ++r) {
       if (binding.Resolve(r) == fact.relation) {
-        by_relation[r].push_back(&fact);
+        by_relation[r].push_back(fact);
       }
     }
   }

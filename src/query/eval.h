@@ -53,12 +53,12 @@ Status ValidateBinding(const ConjunctiveQuery& query, const Database& db);
 /// Tries to extend the partial assignment `mu` (indexed by VarId, with
 /// kUnassigned holes) so that `atom` maps onto `fact`. Returns false and
 /// leaves `mu` in an unspecified state on failure; callers re-seed `mu`.
-bool ExtendMatch(const QueryAtom& atom, const Fact& fact,
+bool ExtendMatch(const QueryAtom& atom, FactRef fact,
                  std::vector<ElementId>* mu);
 
 /// True if fact's tuple is consistent with the atom's repeated-variable
 /// pattern (ignoring any outer assignment).
-bool MatchesPattern(const QueryAtom& atom, const Fact& fact);
+bool MatchesPattern(const QueryAtom& atom, FactRef fact);
 
 /// Directed solution test D |= q(a b) for a two-atom query.
 bool IsSolution(const ConjunctiveQuery& q, const RelationBinding& binding,

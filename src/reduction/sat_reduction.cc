@@ -61,7 +61,7 @@ SatGadget BuildSatGadget(const ConjunctiveQuery& q,
 
     FactId root_copy = Database::kNoFact;
     for (FactId fid = 0; fid < theta.db.NumFacts(); ++fid) {
-      const Fact& fact = theta.db.fact(fid);
+      FactRef fact = theta.db.fact(fid);
       std::vector<ElementId> args;
       args.reserve(fact.args.size());
       for (ElementId el : fact.args) {
@@ -141,7 +141,7 @@ SatGadget BuildSatGadget(const ConjunctiveQuery& q,
     std::vector<Block> snapshot = out.db.blocks();
     for (const Block& b : snapshot) {
       if (b.facts.size() != 1) continue;
-      const Fact& orig = out.db.fact(b.facts[0]);
+      FactRef orig = out.db.fact(b.facts[0]);
       const RelationSchema& rel = out.db.schema().Relation(b.relation);
       std::vector<ElementId> args(orig.args.begin(),
                                   orig.args.begin() + rel.key_len);

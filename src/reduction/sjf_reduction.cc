@@ -37,7 +37,7 @@ Database TranslateSjfDatabase(const ConjunctiveQuery& q,
                 "sjf database lacks the expected relations");
 
   for (FactId fid = 0; fid < sjf_db.NumFacts(); ++fid) {
-    const Fact& fact = sjf_db.fact(fid);
+    FactRef fact = sjf_db.fact(fid);
     const QueryAtom* atom = nullptr;
     if (fact.relation == r1) {
       atom = &q.atoms()[0];

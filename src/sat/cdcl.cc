@@ -1,0 +1,411 @@
+#include "sat/cdcl.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+// Literal encoding: var * 2 for the positive literal, var * 2 + 1 for the
+// negative one. `lit ^ 1` negates.
+using Lit = std::uint32_t;
+constexpr Lit kNoLit = 0xffffffffu;
+
+inline Lit MakeLit(std::uint32_t var, bool positive) {
+  return var * 2 + (positive ? 0 : 1);
+}
+inline std::uint32_t VarOf(Lit l) { return l >> 1; }
+inline bool Sign(Lit l) { return (l & 1) == 0; }  // True for positive.
+
+// Clauses live in one flat literal arena; a ClauseRef is the offset of a
+// clause's header. Layout: [size][lit_0 ... lit_{size-1}]. Learned clauses
+// are appended after the problem clauses; nothing is ever moved, so refs
+// stay stable for reasons on the trail.
+using ClauseRef = std::uint32_t;
+constexpr ClauseRef kNoReason = 0xffffffffu;
+
+enum class Value : std::int8_t { kFalse = -1, kUnset = 0, kTrue = 1 };
+
+struct Watch {
+  ClauseRef cref = 0;
+  Lit blocker = 0;  ///< Some other literal of the clause; if it is already
+                    ///< true the clause needs no inspection.
+};
+
+struct Solver {
+  std::uint32_t num_vars = 0;
+  std::vector<std::uint32_t> arena;         // Clause storage.
+  std::vector<std::vector<Watch>> watches;  // Indexed by literal: clauses
+                                            // to visit when it turns false.
+  std::vector<Value> assigns;               // Indexed by var.
+  std::vector<std::uint32_t> level;         // Decision level per var.
+  std::vector<ClauseRef> reason;            // Propagating clause per var.
+  std::vector<Lit> trail;
+  std::vector<std::uint32_t> trail_lim;     // Trail index per decision level.
+  std::size_t qhead = 0;                    // Propagation frontier.
+
+  // VSIDS: bumped on conflict participation, decayed per conflict, with a
+  // lazy max-heap over activity and saved phases for decisions.
+  std::vector<double> activity;
+  double var_inc = 1.0;
+  std::vector<std::uint32_t> heap;       // Binary max-heap of vars.
+  std::vector<std::uint32_t> heap_pos;   // Position in heap, or kNotInHeap.
+  std::vector<char> saved_phase;         // Last assigned polarity per var.
+
+  std::vector<char> seen;  // Scratch for conflict analysis.
+  CdclStats stats;
+
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+
+  std::uint32_t ClauseSize(ClauseRef c) const { return arena[c]; }
+  const std::uint32_t* ClauseLits(ClauseRef c) const { return &arena[c + 1]; }
+  std::uint32_t* ClauseLits(ClauseRef c) { return &arena[c + 1]; }
+
+  Value ValueOfLit(Lit l) const {
+    Value v = assigns[VarOf(l)];
+    if (v == Value::kUnset) return Value::kUnset;
+    return (v == Value::kTrue) == Sign(l) ? Value::kTrue : Value::kFalse;
+  }
+
+  std::uint32_t DecisionLevel() const {
+    return static_cast<std::uint32_t>(trail_lim.size());
+  }
+
+  // -- Activity heap ------------------------------------------------------
+
+  bool HeapLess(std::uint32_t a, std::uint32_t b) const {
+    return activity[a] < activity[b];
+  }
+
+  void HeapSwap(std::uint32_t i, std::uint32_t j) {
+    std::swap(heap[i], heap[j]);
+    heap_pos[heap[i]] = i;
+    heap_pos[heap[j]] = j;
+  }
+
+  void SiftUp(std::uint32_t i) {
+    while (i > 0) {
+      std::uint32_t parent = (i - 1) / 2;
+      if (!HeapLess(heap[parent], heap[i])) break;
+      HeapSwap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::uint32_t i) {
+    for (;;) {
+      std::uint32_t left = 2 * i + 1, best = i;
+      if (left < heap.size() && HeapLess(heap[best], heap[left])) best = left;
+      if (left + 1 < heap.size() && HeapLess(heap[best], heap[left + 1])) {
+        best = left + 1;
+      }
+      if (best == i) return;
+      HeapSwap(i, best);
+      i = best;
+    }
+  }
+
+  void HeapInsert(std::uint32_t var) {
+    if (heap_pos[var] != kNotInHeap) return;
+    heap_pos[var] = static_cast<std::uint32_t>(heap.size());
+    heap.push_back(var);
+    SiftUp(heap_pos[var]);
+  }
+
+  std::uint32_t HeapPopMax() {
+    std::uint32_t top = heap[0];
+    HeapSwap(0, static_cast<std::uint32_t>(heap.size() - 1));
+    heap.pop_back();
+    heap_pos[top] = kNotInHeap;
+    if (!heap.empty()) SiftDown(0);
+    return top;
+  }
+
+  void BumpVar(std::uint32_t var) {
+    activity[var] += var_inc;
+    if (activity[var] > 1e100) {
+      for (double& a : activity) a *= 1e-100;
+      var_inc *= 1e-100;
+    }
+    if (heap_pos[var] != kNotInHeap) SiftUp(heap_pos[var]);
+  }
+
+  void DecayActivities() { var_inc /= 0.95; }
+
+  // -- Assignment / trail -------------------------------------------------
+
+  void Enqueue(Lit l, ClauseRef from) {
+    std::uint32_t var = VarOf(l);
+    CQA_DCHECK(assigns[var] == Value::kUnset);
+    assigns[var] = Sign(l) ? Value::kTrue : Value::kFalse;
+    saved_phase[var] = Sign(l) ? 1 : 0;
+    level[var] = DecisionLevel();
+    reason[var] = from;
+    trail.push_back(l);
+  }
+
+  void CancelUntil(std::uint32_t target_level) {
+    if (DecisionLevel() <= target_level) return;
+    for (std::size_t i = trail.size(); i > trail_lim[target_level];) {
+      --i;
+      std::uint32_t var = VarOf(trail[i]);
+      assigns[var] = Value::kUnset;
+      reason[var] = kNoReason;
+      HeapInsert(var);
+    }
+    trail.resize(trail_lim[target_level]);
+    trail_lim.resize(target_level);
+    qhead = trail.size();
+  }
+
+  // -- Clauses ------------------------------------------------------------
+
+  ClauseRef AddClause(const std::uint32_t* lits, std::uint32_t size) {
+    CQA_DCHECK(size >= 2);
+    ClauseRef c = static_cast<ClauseRef>(arena.size());
+    arena.push_back(size);
+    arena.insert(arena.end(), lits, lits + size);
+    watches[lits[0] ^ 1].push_back(Watch{c, lits[1]});
+    watches[lits[1] ^ 1].push_back(Watch{c, lits[0]});
+    return c;
+  }
+
+  /// Propagates to fixpoint; returns the conflicting clause or kNoReason.
+  ClauseRef Propagate() {
+    while (qhead < trail.size()) {
+      Lit p = trail[qhead++];  // p is true; visit clauses watching ~p.
+      ++stats.propagations;
+      std::vector<Watch>& ws = watches[p];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        Watch w = ws[i];
+        if (ValueOfLit(w.blocker) == Value::kTrue) {
+          ws[keep++] = w;
+          continue;
+        }
+        std::uint32_t size = ClauseSize(w.cref);
+        std::uint32_t* lits = ClauseLits(w.cref);
+        // Normalize so lits[0] is the other watched literal.
+        Lit false_lit = p ^ 1;
+        if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+        CQA_DCHECK(lits[1] == false_lit);
+        if (ValueOfLit(lits[0]) == Value::kTrue) {
+          ws[keep++] = Watch{w.cref, lits[0]};
+          continue;
+        }
+        // Look for a non-false literal to watch instead.
+        bool moved = false;
+        for (std::uint32_t j = 2; j < size; ++j) {
+          if (ValueOfLit(lits[j]) != Value::kFalse) {
+            std::swap(lits[1], lits[j]);
+            watches[lits[1] ^ 1].push_back(Watch{w.cref, lits[0]});
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        // Unit or conflicting on lits[0].
+        ws[keep++] = Watch{w.cref, lits[0]};
+        if (ValueOfLit(lits[0]) == Value::kFalse) {
+          // Conflict: keep the remaining watches, then report.
+          for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+          ws.resize(keep);
+          qhead = trail.size();
+          return w.cref;
+        }
+        Enqueue(lits[0], w.cref);
+      }
+      ws.resize(keep);
+    }
+    return kNoReason;
+  }
+
+  /// First-UIP conflict analysis. Fills `learned` (learned[0] is the
+  /// asserting literal) and returns the backjump level.
+  std::uint32_t Analyze(ClauseRef confl, std::vector<Lit>* learned) {
+    learned->clear();
+    learned->push_back(kNoLit);  // Slot for the asserting literal.
+    std::uint32_t counter = 0;   // Current-level literals still to resolve.
+    std::size_t index = trail.size();
+    Lit p = kNoLit;
+
+    do {
+      CQA_DCHECK(confl != kNoReason);
+      std::uint32_t size = ClauseSize(confl);
+      const std::uint32_t* lits = ClauseLits(confl);
+      // Skip lits[0] on resolution steps: it is the literal being resolved.
+      for (std::uint32_t j = (p == kNoLit ? 0 : 1); j < size; ++j) {
+        std::uint32_t var = VarOf(lits[j]);
+        if (seen[var] || level[var] == 0) continue;
+        seen[var] = 1;
+        BumpVar(var);
+        if (level[var] == DecisionLevel()) {
+          ++counter;
+        } else {
+          learned->push_back(lits[j]);
+        }
+      }
+      // Walk the trail back to the next marked current-level literal.
+      do {
+        --index;
+      } while (!seen[VarOf(trail[index])]);
+      p = trail[index];
+      seen[VarOf(p)] = 0;
+      confl = reason[VarOf(p)];
+      --counter;
+    } while (counter > 0);
+    (*learned)[0] = p ^ 1;
+
+    // Cheap minimization: drop literals implied at level 0 were already
+    // skipped; now compute the backjump level (highest level among the
+    // non-asserting literals).
+    std::uint32_t backjump = 0;
+    std::size_t max_at = 1;
+    for (std::size_t j = 1; j < learned->size(); ++j) {
+      std::uint32_t l = level[VarOf((*learned)[j])];
+      if (l > backjump) {
+        backjump = l;
+        max_at = j;
+      }
+    }
+    if (learned->size() > 1) {
+      std::swap((*learned)[1], (*learned)[max_at]);  // Second watch.
+    }
+    for (std::size_t j = 1; j < learned->size(); ++j) {
+      seen[VarOf((*learned)[j])] = 0;
+    }
+    return backjump;
+  }
+
+  bool Search() {
+    std::vector<Lit> learned;
+    std::uint64_t conflicts_until_restart = LubyRestartLimit();
+    for (;;) {
+      ClauseRef confl = Propagate();
+      if (confl != kNoReason) {
+        ++stats.conflicts;
+        if (DecisionLevel() == 0) return false;  // Conflict under no
+                                                 // assumptions: UNSAT.
+        std::uint32_t backjump = Analyze(confl, &learned);
+        CancelUntil(backjump);
+        if (learned.size() == 1) {
+          Enqueue(learned[0], kNoReason);
+        } else {
+          ClauseRef c = AddClause(learned.data(),
+                                  static_cast<std::uint32_t>(learned.size()));
+          ++stats.learned_clauses;
+          stats.learned_literals += learned.size();
+          Enqueue(learned[0], c);
+        }
+        DecayActivities();
+        if (--conflicts_until_restart == 0) {
+          ++stats.restarts;
+          CancelUntil(0);
+          conflicts_until_restart = LubyRestartLimit();
+        }
+        continue;
+      }
+      // Decide.
+      std::uint32_t var = kNotInHeap;
+      while (!heap.empty()) {
+        std::uint32_t candidate = HeapPopMax();
+        if (assigns[candidate] == Value::kUnset) {
+          var = candidate;
+          break;
+        }
+      }
+      if (var == kNotInHeap) return true;  // Total assignment: SAT.
+      ++stats.decisions;
+      trail_lim.push_back(static_cast<std::uint32_t>(trail.size()));
+      Enqueue(MakeLit(var, saved_phase[var] != 0), kNoReason);
+    }
+  }
+
+  std::uint64_t LubyRestartLimit() {
+    // luby(i) * 64 conflicts for restart number i (0-based), computed with
+    // the standard find-the-subsequence loop (Luby et al. 1993).
+    std::uint64_t x = stats.restarts;
+    std::uint64_t size = 1, seq = 0;
+    while (size < x + 1) {
+      ++seq;
+      size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+      size = (size - 1) >> 1;
+      --seq;
+      x = x % size;
+    }
+    return (1ULL << seq) * 64;
+  }
+};
+
+}  // namespace
+
+SatResult SolveCdcl(const CnfFormula& f, CdclStats* stats) {
+  Solver s;
+  s.num_vars = f.num_vars;
+  s.watches.assign(2 * f.num_vars, {});
+  s.assigns.assign(f.num_vars, Value::kUnset);
+  s.level.assign(f.num_vars, 0);
+  s.reason.assign(f.num_vars, kNoReason);
+  s.activity.assign(f.num_vars, 0.0);
+  s.heap_pos.assign(f.num_vars, Solver::kNotInHeap);
+  s.saved_phase.assign(f.num_vars, 0);
+  s.seen.assign(f.num_vars, 0);
+
+  // Ingest clauses: drop tautologies and duplicate literals, enqueue units
+  // at level 0, fail immediately on an empty clause.
+  std::vector<Lit> scratch;
+  bool ok = true;
+  for (const Clause& c : f.clauses) {
+    scratch.clear();
+    bool tautology = false;
+    for (const Literal& lit : c) {
+      CQA_CHECK_MSG(lit.var < f.num_vars, "literal out of range");
+      Lit l = MakeLit(lit.var, lit.positive);
+      if (std::find(scratch.begin(), scratch.end(), l) != scratch.end()) {
+        continue;
+      }
+      if (std::find(scratch.begin(), scratch.end(), l ^ 1) != scratch.end()) {
+        tautology = true;
+        break;
+      }
+      scratch.push_back(l);
+    }
+    if (tautology) continue;
+    if (scratch.empty()) {
+      ok = false;
+      break;
+    }
+    if (scratch.size() == 1) {
+      Value v = s.ValueOfLit(scratch[0]);
+      if (v == Value::kFalse) {
+        ok = false;
+        break;
+      }
+      if (v == Value::kUnset) s.Enqueue(scratch[0], kNoReason);
+      continue;
+    }
+    s.AddClause(scratch.data(), static_cast<std::uint32_t>(scratch.size()));
+  }
+
+  // Seed the decision heap with every variable so the model is total even
+  // for variables no clause mentions.
+  for (std::uint32_t v = 0; v < f.num_vars; ++v) s.HeapInsert(v);
+
+  SatResult result;
+  result.satisfiable = ok && s.Search();
+  if (result.satisfiable) {
+    result.assignment.resize(f.num_vars);
+    for (std::uint32_t v = 0; v < f.num_vars; ++v) {
+      result.assignment[v] = s.assigns[v] == Value::kTrue;
+    }
+    CQA_CHECK(f.Evaluate(result.assignment));
+  }
+  if (stats != nullptr) *stats = s.stats;
+  return result;
+}
+
+}  // namespace cqa

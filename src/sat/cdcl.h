@@ -1,0 +1,39 @@
+// CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+// learning with non-chronological backjumping, VSIDS-style activity
+// ordering with phase saving, and Luby restarts.
+//
+// This is the production satisfiability oracle behind the `sat` backend
+// (engine/backends.cc): it answers the same solve-and-model interface as
+// the legacy chronological DPLL (sat/dpll.h), so the Section 9 reduction
+// and the backend's witness decoding are untouched. The DPLL is kept as
+// an A/B baseline for the benchmarks and as a differential oracle in
+// sat_test; new callers should use SolveCdcl.
+
+#ifndef CQA_SAT_CDCL_H_
+#define CQA_SAT_CDCL_H_
+
+#include <cstdint>
+
+#include "sat/cnf.h"
+#include "sat/dpll.h"  // SatResult
+
+namespace cqa {
+
+/// Search counters of one SolveCdcl call.
+struct CdclStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t restarts = 0;
+};
+
+/// Decides satisfiability with conflict-driven clause learning. On a
+/// satisfiable formula the returned assignment is total and verified
+/// against the input (same contract as SolveDpll).
+SatResult SolveCdcl(const CnfFormula& f, CdclStats* stats = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_SAT_CDCL_H_

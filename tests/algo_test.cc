@@ -324,7 +324,7 @@ TEST(Combined, ExactOnCertainSeededQ6Instances) {
     params.domain_size = 4;
     Database noise = RandomInstance(q6, params, &rng);
     for (FactId f = 0; f < noise.NumFacts(); ++f) {
-      const Fact& fact = noise.fact(f);
+      FactRef fact = noise.fact(f);
       std::vector<ElementId> args;
       for (ElementId el : fact.args) {
         // Fresh namespace so the noise cannot break the core's blocks.

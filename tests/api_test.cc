@@ -135,6 +135,38 @@ TEST(ServiceCompile, CachesByCanonicalText) {
   EXPECT_EQ(service.CompiledCount(), 2u);
 }
 
+TEST(ServiceCompile, CacheIsBoundedAndEvictionSafe) {
+  ServiceOptions options;
+  options.compile_cache.max_entries = 2;
+  Service service(options);
+  // Distinct compilations of one text: forced backends vary the key.
+  StatusOr<CompiledQuery> pinned = service.Compile("R(x | y) R(y | z)");
+  ASSERT_TRUE(pinned.ok());
+  for (const char* backend : {"exhaustive", "sat", "cert2"}) {
+    CompileOptions forced;
+    forced.forced_backend = backend;
+    ASSERT_TRUE(service.Compile("R(x | y) R(y | z)", forced).ok());
+  }
+  EXPECT_EQ(service.CompiledCount(), 2u);  // Capped, not 4.
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.compiled_queries, 2u);
+  EXPECT_EQ(stats.compiled.evictions, 2u);
+  EXPECT_GE(stats.compiled.misses, 4u);
+
+  // The evicted compilation's handle still solves: the shared state is
+  // pinned by the handle, not by the cache entry.
+  Database db(pinned->query().schema());
+  db.AddFactStr(0, "a a");  // Self-loop: R(a|a) joins with itself.
+  StatusOr<SolveReport> report = service.Solve(*pinned, db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->certain);
+
+  // Recompiling an evicted text is a miss that re-enters the cache.
+  StatusOr<CompiledQuery> again = service.Compile("R(x | y) R(y | z)");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->text(), pinned->text());
+}
+
 TEST(ServiceDatabases, RegisterDropAndNotFound) {
   Service service;
   StatusOr<CompiledQuery> q = service.Compile("R(x | y) R(y | z)");

@@ -10,6 +10,7 @@
 #include "base/rng.h"
 #include "base/strings.h"
 #include "base/union_find.h"
+#include "data/fact.h"
 
 namespace cqa {
 namespace {
@@ -130,6 +131,20 @@ TEST(Hash, VectorHashUsableAsFunctor) {
   std::vector<std::uint32_t> a = {0};
   std::vector<std::uint32_t> b = {1};
   EXPECT_NE(h(a), h(b));
+}
+
+TEST(Hash, FactSpanHashEqualsOwnedFactHash) {
+  // The columnar store hashes argument spans straight out of the arena;
+  // lookups hash owned Facts. The two recipes must agree bit-for-bit or
+  // the content index misses its own entries.
+  FactHash h;
+  Fact owned{2, {10, 20, 30}};
+  FactRef view(owned);  // Span over the same elements.
+  EXPECT_EQ(h(view), h(owned));
+  Fact empty_args{7, {}};
+  EXPECT_EQ(h(FactRef(empty_args)), h(empty_args));
+  Fact other{3, {10, 20, 30}};  // Same args, different relation.
+  EXPECT_NE(h(owned), h(other));
 }
 
 TEST(Rng, Deterministic) {

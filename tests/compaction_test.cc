@@ -90,7 +90,7 @@ TEST(CompactTest, RemapIsOrderPreservingAndDense) {
 
   // FindFact/Contains, the block partition, and the key index all track
   // the new ids.
-  Fact cd = db.fact(1);
+  Fact cd = db.MaterializeFact(1);
   EXPECT_EQ(db.FindFact(cd), 1u);
   EXPECT_EQ(db.blocks().size(), 2u);
   EXPECT_EQ(db.BlockOf(1), db.FindBlock(0, db.KeyViewOf(1)));
@@ -163,7 +163,7 @@ TEST(CompactTest, RemappedStructuresMatchRebuild) {
     // Index integrity on the new ids.
     for (FactId f = 0; f < db.NumFacts(); ++f) {
       ASSERT_TRUE(db.alive(f));
-      ASSERT_EQ(db.FindFact(db.fact(f)), f);
+      ASSERT_EQ(db.FindFact(db.MaterializeFact(f)), f);
       ASSERT_EQ(db.BlockOf(f), db.FindBlock(db.fact(f).relation,
                                             db.KeyViewOf(f)));
     }
@@ -196,6 +196,40 @@ TEST(CompactTest, RemappedStructuresMatchRebuild) {
     EXPECT_EQ(CanonicalComponents(comps, db),
               CanonicalComponents(fresh, db));
   }
+}
+
+// Columnar arena invariants: Compact() slides surviving argument spans
+// down in id order, so offsets come out monotone and the arena holds
+// exactly the alive facts' arguments (no dead spans left behind).
+TEST(CompactTest, ArenaOffsetsMonotoneAndDenseAfterCompact) {
+  auto q = ParseQuery("R(x | y) R(y | z)");
+  Rng rng(8181);
+  Database db(q.schema());
+  for (int i = 0; i < 200; ++i) {
+    db.AddFactStr(0, "k" + std::to_string(rng.Below(40)) + " v" +
+                         std::to_string(rng.Below(60)));
+  }
+  (void)db.blocks();
+  std::vector<FactId> alive;
+  for (FactId f = 0; f < db.NumFacts(); ++f) alive.push_back(f);
+  for (int i = 0; i < 80; ++i) {
+    std::size_t pick = rng.Below(static_cast<std::uint32_t>(alive.size()));
+    db.RemoveFact(alive[pick]);
+    alive.erase(alive.begin() + pick);
+  }
+
+  std::vector<std::string> content_before = SortedFactStrings(db);
+  FactIdRemap remap = db.Compact();
+  EXPECT_EQ(SortedFactStrings(db), content_before);
+
+  std::uint32_t expected_offset = 0;
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    ASSERT_TRUE(db.alive(f));
+    ASSERT_EQ(db.ArgOffsetOf(f), expected_offset);  // Monotone and dense.
+    expected_offset += db.fact(f).args.size();
+  }
+  EXPECT_EQ(db.ArgArenaSize(), expected_offset);
+  EXPECT_EQ(remap.new_slots, db.NumFacts());
 }
 
 // The verdict cache is content-addressed: a compaction must not cost a

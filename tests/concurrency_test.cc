@@ -109,7 +109,7 @@ TEST(ConcurrencyTest, DisjointMutationsSolvesAndCompactionsLinearize) {
     Database part = ManyComponents(q->query().schema(), kPerThread,
                                    "t" + std::to_string(t) + "_");
     for (FactId f = 0; f < part.NumFacts(); ++f) {
-      const Fact& fact = part.fact(f);
+      FactRef fact = part.fact(f);
       std::vector<std::string> names;
       for (ElementId el : fact.args) {
         names.push_back(part.elements().Name(el));
@@ -179,7 +179,7 @@ TEST(ConcurrencyTest, DisjointMutationsSolvesAndCompactionsLinearize) {
     Database part = ManyComponents(q->query().schema(), kPerThread,
                                    "t" + std::to_string(t) + "_");
     for (FactId f = 0; f < part.NumFacts(); ++f) {
-      const Fact& fact = part.fact(f);
+      FactRef fact = part.fact(f);
       std::vector<std::string> names;
       for (ElementId el : fact.args) {
         names.push_back(part.elements().Name(el));

@@ -215,6 +215,30 @@ TEST(RepairSampler, DeterministicGivenSeed) {
   }
 }
 
+TEST(ArgArena, OffsetsAreMonotoneAndDenseOnAppend) {
+  Database db(OneRelation(3, 1));
+  for (int i = 0; i < 16; ++i) {
+    db.AddFactStr(0, "k" + std::to_string(i / 4) + " a" + std::to_string(i) +
+                         " b" + std::to_string(i));
+  }
+  // Append-only: each fact's span starts where the previous one ended.
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    EXPECT_EQ(db.ArgOffsetOf(f), f * 3u);
+  }
+  EXPECT_EQ(db.ArgArenaSize(), db.NumFacts() * 3u);
+}
+
+TEST(ArgArena, FactRefViewsIntoArenaAndMaterializes) {
+  Database db(OneRelation(2, 1));
+  FactId f = db.AddFactStr(0, "x y");
+  FactRef ref = db.fact(f);
+  EXPECT_EQ(ref.relation, 0u);
+  EXPECT_EQ(ref.args.size(), 2u);
+  Fact owned = db.MaterializeFact(f);
+  EXPECT_TRUE(FactRef(owned) == ref);
+  EXPECT_EQ(db.FindFact(owned), f);
+}
+
 TEST(KeyViewTest, ViewMatchesOwnedKey) {
   Database db(OneRelation(3, 2));
   FactId f = db.AddFactStr(0, "a b c");
@@ -224,7 +248,7 @@ TEST(KeyViewTest, ViewMatchesOwnedKey) {
   for (std::uint32_t i = 0; i < view.size(); ++i) {
     EXPECT_EQ(view[i], owned[i]);
   }
-  EXPECT_EQ(view.data, db.fact(f).args.data());  // No copy.
+  EXPECT_EQ(view.data, db.fact(f).args.data);  // No copy.
 }
 
 TEST(KeyViewTest, KeyEqualAgreesWithViews) {

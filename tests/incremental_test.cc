@@ -121,7 +121,7 @@ struct SpecPool {
 };
 
 FactSpec SpecOf(const Database& db, FactId id) {
-  const Fact& fact = db.fact(id);
+  FactRef fact = db.fact(id);
   FactSpec spec;
   spec.relation = db.schema().Relation(fact.relation).name;
   for (ElementId el : fact.args) spec.args.push_back(db.elements().Name(el));
@@ -191,7 +191,7 @@ TEST(DatabaseMutation, RemoveFactTombstonesAndMaintainsBlocks) {
   EXPECT_EQ(db.NumFacts(), 3u);       // Slots stay.
   EXPECT_EQ(db.NumAliveFacts(), 2u);
   EXPECT_EQ(db.blocks().size(), 2u);
-  EXPECT_FALSE(db.Contains(Fact{0, db.fact(ac).args}));
+  EXPECT_FALSE(db.Contains(db.MaterializeFact(ac)));
 
   // Removing the last fact of a block swap-removes the block.
   removed = db.RemoveFact(bc);

@@ -30,7 +30,7 @@ std::vector<Row> RowsOf(const Database& db) {
   for (FactId f = 0; f < db.NumFacts(); ++f) {
     if (!db.alive(f)) continue;
     Row row;
-    const Fact& fact = db.fact(f);
+    FactRef fact = db.fact(f);
     row.relation = db.schema().Relation(fact.relation).name;
     for (ElementId el : fact.args) row.args.push_back(db.elements().Name(el));
     rows.push_back(std::move(row));

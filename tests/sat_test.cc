@@ -1,8 +1,10 @@
-// Unit and property tests for src/sat: CNF machinery, DPLL, generators.
+// Unit and property tests for src/sat: CNF machinery, DPLL, the CDCL
+// core, and generators.
 
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "sat/cdcl.h"
 #include "sat/cnf.h"
 #include "sat/dpll.h"
 #include "sat/gen.h"
@@ -202,6 +204,153 @@ TEST(Generators, RandomKSatShape) {
     EXPECT_NE(c[0].var, c[1].var);
     EXPECT_NE(c[1].var, c[2].var);
     EXPECT_NE(c[0].var, c[2].var);
+  }
+}
+
+
+// --- CDCL core (sat/cdcl.h) ---------------------------------------------
+
+TEST(Cdcl, SimpleSat) {
+  CnfFormula f = Parse(2, {{1, -2}, {2}});
+  SatResult r = SolveCdcl(f);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.Evaluate(r.assignment));
+}
+
+TEST(Cdcl, SimpleUnsat) {
+  CnfFormula f = Parse(1, {{1}, {-1}});
+  EXPECT_FALSE(SolveCdcl(f).satisfiable);
+}
+
+TEST(Cdcl, EmptyFormulaIsSat) {
+  CnfFormula f;
+  f.num_vars = 3;
+  SatResult r = SolveCdcl(f);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.assignment.size(), 3u);  // Total model even with no clauses.
+}
+
+TEST(Cdcl, EmptyClauseIsUnsat) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses.push_back({});
+  EXPECT_FALSE(SolveCdcl(f).satisfiable);
+}
+
+TEST(Cdcl, UnitPropagationChain) {
+  // 1, 1->2, 2->3: all forced at level zero, no decisions needed.
+  CnfFormula f = Parse(3, {{1}, {-1, 2}, {-2, 3}});
+  CdclStats stats;
+  SatResult r = SolveCdcl(f, &stats);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.assignment[0] && r.assignment[1] && r.assignment[2]);
+  EXPECT_EQ(stats.conflicts, 0u);
+}
+
+/// Pigeonhole formula PHP(pigeons, holes): variable p_{i,h} says pigeon i
+/// sits in hole h. Unsatisfiable whenever pigeons > holes, and famously
+/// resolution-hard — deciding it exercises conflict analysis, clause
+/// learning, and backjumping rather than plain propagation.
+CnfFormula Pigeonhole(std::uint32_t pigeons, std::uint32_t holes) {
+  CnfFormula f;
+  f.num_vars = pigeons * holes;
+  auto var = [&](std::uint32_t i, std::uint32_t h) { return i * holes + h; };
+  for (std::uint32_t i = 0; i < pigeons; ++i) {
+    Clause some_hole;
+    for (std::uint32_t h = 0; h < holes; ++h) {
+      some_hole.push_back(Literal{var(i, h), true});
+    }
+    f.clauses.push_back(some_hole);
+  }
+  for (std::uint32_t h = 0; h < holes; ++h) {
+    for (std::uint32_t i = 0; i < pigeons; ++i) {
+      for (std::uint32_t j = i + 1; j < pigeons; ++j) {
+        f.clauses.push_back(
+            {Literal{var(i, h), false}, Literal{var(j, h), false}});
+      }
+    }
+  }
+  return f;
+}
+
+TEST(Cdcl, PigeonholeUnsatRequiresLearnedClauses) {
+  CdclStats stats;
+  EXPECT_FALSE(SolveCdcl(Pigeonhole(5, 4), &stats).satisfiable);
+  // The refutation cannot be pure unit propagation: the solver must have
+  // hit conflicts and learned clauses from them.
+  EXPECT_GT(stats.conflicts, 0u);
+  EXPECT_GT(stats.learned_clauses, 0u);
+  EXPECT_GT(stats.decisions, 0u);
+}
+
+TEST(Cdcl, AgreesWithDpllOnPigeonholeSizes) {
+  for (std::uint32_t holes = 1; holes <= 4; ++holes) {
+    CnfFormula f = Pigeonhole(holes + 1, holes);
+    EXPECT_EQ(SolveCdcl(f).satisfiable, SolveDpll(f).satisfiable);
+    EXPECT_TRUE(SolveCdcl(Pigeonhole(holes, holes)).satisfiable);
+  }
+}
+
+TEST(Cdcl, SatisfiableModelIsTotalAndVerified) {
+  Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    std::uint32_t nv = 5 + rng.Below(20);
+    CnfFormula f = RandomKSat(nv, nv * 2, 3, &rng);
+    SatResult r = SolveCdcl(f);
+    if (!r.satisfiable) continue;
+    ASSERT_EQ(r.assignment.size(), nv);
+    EXPECT_TRUE(f.Evaluate(r.assignment)) << f.ToString();
+  }
+}
+
+TEST(Cdcl, HardRandomInstancesCollectStats) {
+  // Near the 4.26 threshold the solver must restart and decay activities;
+  // this pins the stats plumbing (and implicitly the Luby schedule) on a
+  // formula too hard for propagation alone.
+  Rng rng(99);
+  CnfFormula f = RandomKSat(60, 255, 3, &rng);
+  CdclStats stats;
+  SatResult r = SolveCdcl(f, &stats);
+  SatResult d = SolveDpll(f);
+  EXPECT_EQ(r.satisfiable, d.satisfiable);
+  EXPECT_GT(stats.propagations, stats.decisions);
+  EXPECT_GT(stats.conflicts, 0u);
+}
+
+/// ~200 randomized rounds of DPLL-vs-CDCL agreement across formula
+/// shapes: 5 seeds x (30 brute-force-sized + 10 medium) rounds.
+class CdclRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdclRandomTest, AgreesWithDpllAndBruteForce) {
+  Rng rng(1234 + GetParam());
+  for (int round = 0; round < 30; ++round) {
+    std::uint32_t nv = 3 + rng.Below(6);
+    std::uint32_t nc = 2 + rng.Below(20);
+    CnfFormula f = RandomKSat(nv, nc, 3, &rng);
+    SatResult r = SolveCdcl(f);
+    EXPECT_EQ(r.satisfiable, SolveBruteForce(f).satisfiable) << f.ToString();
+    if (r.satisfiable) {
+      EXPECT_TRUE(f.Evaluate(r.assignment));
+    }
+  }
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t nv = 15 + rng.Below(25);
+    std::uint32_t nc = nv * (2 + rng.Below(3));
+    CnfFormula f = RandomKSat(nv, nc, 3, &rng);
+    EXPECT_EQ(SolveCdcl(f).satisfiable, SolveDpll(f).satisfiable)
+        << f.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdclRandomTest, ::testing::Range(0, 5));
+
+TEST(Cdcl, ReductionReadyFormulasAgree) {
+  Rng rng(321);
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t nv = 8 + rng.Below(30);
+    CnfFormula f = RandomReductionReady3Sat(nv, nv * 3 / 2, &rng);
+    EXPECT_EQ(SolveCdcl(f).satisfiable, SolveDpll(f).satisfiable)
+        << f.ToString();
   }
 }
 

@@ -56,7 +56,7 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     Database pool = RandomInstance(q->query(), params, &rng);
     std::vector<FactSpec> specs;
     for (FactId f = 0; f < pool.NumFacts(); ++f) {
-      const Fact& fact = pool.fact(f);
+      FactRef fact = pool.fact(f);
       FactSpec spec;
       spec.relation = pool.schema().Relation(fact.relation).name;
       for (ElementId el : fact.args) {

@@ -108,7 +108,7 @@ TEST(Validator, RejectsMissingEdgeSolution) {
   // Replace u0 = R(h c | h a) with R(h c | qq qq): key-equal, no solution.
   Database db2(q2.schema());
   for (FactId fid = 0; fid < t.db.NumFacts(); ++fid) {
-    const Fact& fact = t.db.fact(fid);
+    FactRef fact = t.db.fact(fid);
     std::vector<ElementId> args;
     for (ElementId el : fact.args) {
       args.push_back(db2.elements().Intern(t.db.elements().Name(el)));
