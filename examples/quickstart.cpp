@@ -38,7 +38,10 @@ int main() {
   std::printf("database (%zu facts, %zu blocks, %.0f repairs):\n%s",
               db.NumFacts(), db.blocks().size(), db.CountRepairs(),
               db.ToString().c_str());
-  service.RegisterDatabase("demo", std::move(db));
+  if (Status s = service.RegisterDatabase("demo", std::move(db)); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
 
   StatusOr<SolveReport> report = service.Solve(*q, "demo");
   if (!report.ok()) {

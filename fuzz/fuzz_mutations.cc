@@ -1,0 +1,224 @@
+// Structured mutation-sequence fuzzer for the storage + service stack.
+//
+// The input is interpreted as a little program over a registered
+// database: each opcode drives InsertFacts / DeleteFacts /
+// CompactDatabase / Solve through the public cqa::Service API, a shadow
+// model (a plain set of fact tuples) tracks what the database must
+// contain, and after EVERY mutation the deep invariant auditor
+// (data/audit.h, via Service::AuditDatabase) re-derives all five
+// delta-maintained structures from first principles. Any violation — a
+// stale index entry, a split component, a botched remap — aborts with
+// the auditor's pinpointed report, which libFuzzer then minimizes into a
+// replayable crash input.
+//
+// Stronger still, the kCheckParity opcode registers the shadow model's
+// facts as a fresh database on a fresh Service and requires the verdict
+// to match the mutated database's: the delta path and the rebuild path
+// must always agree.
+//
+// Byte format (designed so random mutations stay in-grammar):
+//   byte 0        query selector (one of the paper's shapes)
+//   then repeating: 1 opcode byte (op = b % 8) + its argument bytes
+//     0,1,2  insert: next `arity` bytes name the fact's elements
+//     3      delete a fact currently in the shadow model (1 index byte)
+//     4      delete a fact that is NOT present (1 byte): must be
+//            kNotFound and leave everything untouched (all-or-nothing)
+//     5      compact now
+//     6      solve (must succeed; exercises cache fill + reuse)
+//     7      parity check: delta-maintained verdict == fresh rebuild's
+//
+// Seed corpus: fuzz/corpus/mutations/. Build: -DCQA_FUZZ=ON (see
+// fuzz/fuzz_query_parser.cc for the clang / non-clang split).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/service.h"
+#include "data/audit.h"
+#include "query/query.h"
+
+namespace {
+
+using cqa::AuditReport;
+using cqa::FactSpec;
+using cqa::Service;
+using cqa::Status;
+using cqa::StatusOr;
+
+// The paper's query shapes: different key/arity geometries exercise
+// different block, component, and solver behavior.
+constexpr const char* kQueries[] = {
+    "R(x | y) R(y | z)",
+    "R(x, u | x, y) R(u, y | x, z)",
+    "R(x | y, z) R(z | x, y)",
+    "R(x | y) S(y | x)",
+};
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_mutations: %s\n%s\n", what, detail.c_str());
+  std::abort();
+}
+
+void MustBeClean(const Service& service, const char* after) {
+  StatusOr<AuditReport> report = service.AuditDatabase("db");
+  if (!report.ok()) Die("audit entry point failed", report.status().ToString());
+  if (!report->ok()) {
+    Die(after, report->ToString());
+  }
+}
+
+/// Sequential byte reader; reports exhaustion instead of reading past the
+/// end so a truncated program just ends.
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool Next(std::uint8_t* out) {
+    if (pos >= size) return false;
+    *out = data[pos++];
+    return true;
+  }
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  ByteReader in{data, size};
+
+  std::uint8_t selector = 0;
+  (void)in.Next(&selector);
+  const std::string query_text =
+      kQueries[selector % (sizeof(kQueries) / sizeof(kQueries[0]))];
+
+  Service service;
+  StatusOr<cqa::CompiledQuery> q = service.Compile(query_text);
+  if (!q.ok()) Die("paper query failed to compile", q.status().ToString());
+  const cqa::Schema& schema = q->query().schema();
+  if (Status s = service.RegisterDatabase("db", cqa::Database(schema));
+      !s.ok()) {
+    Die("register failed", s.ToString());
+  }
+
+  // Shadow model: the set of (relation name, args) tuples that must be
+  // alive. Kept sorted (std::set) so indexing by byte is deterministic.
+  std::set<std::pair<std::string, std::vector<std::string>>> shadow;
+  auto spec_of = [](const std::pair<std::string, std::vector<std::string>>&
+                        entry) {
+    return FactSpec{entry.first, entry.second};
+  };
+
+  int steps = 0;
+  std::uint8_t op_byte = 0;
+  while (steps++ < 512 && in.Next(&op_byte)) {
+    switch (op_byte % 8) {
+      case 0:
+      case 1:
+      case 2: {  // Insert one fact with arguments drawn from a 6-element
+                 // domain (small enough that blocks and joins collide).
+        cqa::RelationId rel = op_byte % schema.NumRelations();
+        const cqa::RelationSchema& rs = schema.Relation(rel);
+        std::vector<std::string> args;
+        for (std::uint32_t a = 0; a < rs.arity; ++a) {
+          std::uint8_t b = 0;
+          if (!in.Next(&b)) return 0;  // Truncated program: done.
+          args.push_back(std::string(1, static_cast<char>('a' + b % 6)));
+        }
+        if (shadow.size() >= 64) break;  // Keep per-step audits cheap.
+        FactSpec spec{rs.name, args};
+        cqa::MutationStats stats;
+        if (Status s = service.InsertFacts("db", {spec}, &stats); !s.ok()) {
+          Die("insert rejected", s.ToString());
+        }
+        bool fresh = shadow.emplace(rs.name, std::move(args)).second;
+        if (fresh != (stats.applied == 1)) {
+          Die("set semantics disagree with the shadow model",
+              "fact " + spec.relation + " fresh=" + (fresh ? "1" : "0"));
+        }
+        MustBeClean(service, "audit violation after insert");
+        break;
+      }
+      case 3: {  // Delete a present fact.
+        std::uint8_t pick = 0;
+        if (!in.Next(&pick)) return 0;
+        if (shadow.empty()) break;
+        auto it = shadow.begin();
+        std::advance(it, pick % shadow.size());
+        if (Status s = service.DeleteFacts("db", {spec_of(*it)}); !s.ok()) {
+          Die("delete of a present fact rejected", s.ToString());
+        }
+        shadow.erase(it);
+        MustBeClean(service, "audit violation after delete");
+        break;
+      }
+      case 4: {  // Delete an absent fact: typed error, nothing changes.
+        std::uint8_t b = 0;
+        if (!in.Next(&b)) return 0;
+        const cqa::RelationSchema& rs = schema.Relation(0);
+        // Element 'z' is outside the insert domain, so the tuple cannot
+        // exist.
+        std::vector<std::string> args(rs.arity, "z");
+        args[0] = std::string(1, static_cast<char>('a' + b % 6));
+        Status s = service.DeleteFacts("db", {FactSpec{rs.name, args}});
+        if (s.ok() || s.code() != cqa::StatusCode::kNotFound) {
+          Die("absent-fact delete must be kNotFound", s.ToString());
+        }
+        MustBeClean(service, "audit violation after rejected delete");
+        break;
+      }
+      case 5: {
+        if (Status s = service.CompactDatabase("db"); !s.ok()) {
+          Die("compact failed", s.ToString());
+        }
+        MustBeClean(service, "audit violation after compact");
+        break;
+      }
+      case 6: {
+        StatusOr<cqa::SolveReport> report = service.Solve(*q, "db");
+        if (!report.ok()) Die("solve failed", report.status().ToString());
+        break;
+      }
+      case 7: {  // Delta-vs-rebuild parity: the strongest oracle we have.
+        StatusOr<cqa::SolveReport> delta = service.Solve(*q, "db");
+        if (!delta.ok()) Die("delta solve failed", delta.status().ToString());
+
+        Service fresh_service;
+        StatusOr<cqa::CompiledQuery> fresh_q =
+            fresh_service.Compile(query_text);
+        if (Status s = fresh_service.RegisterDatabase(
+                "db", cqa::Database(schema));
+            !s.ok()) {
+          Die("fresh register failed", s.ToString());
+        }
+        std::vector<FactSpec> all;
+        for (const auto& entry : shadow) all.push_back(spec_of(entry));
+        if (!all.empty()) {
+          if (Status s = fresh_service.InsertFacts("db", all); !s.ok()) {
+            Die("fresh bulk insert failed", s.ToString());
+          }
+        }
+        StatusOr<cqa::SolveReport> rebuilt =
+            fresh_service.Solve(*fresh_q, "db");
+        if (!rebuilt.ok()) {
+          Die("rebuild solve failed", rebuilt.status().ToString());
+        }
+        if (delta->certain != rebuilt->certain) {
+          Die("delta and rebuild verdicts disagree",
+              query_text + " after " + std::to_string(shadow.size()) +
+                  " facts: delta=" + (delta->certain ? "yes" : "no") +
+                  " rebuild=" + (rebuilt->certain ? "yes" : "no"));
+        }
+        break;
+      }
+    }
+  }
+  return 0;
+}

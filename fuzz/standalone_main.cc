@@ -1,0 +1,64 @@
+// Corpus-replay driver for compilers without libFuzzer.
+//
+// Linked into every fuzz_*.cc harness when the toolchain is not clang
+// (CMakeLists gates on CMAKE_CXX_COMPILER_ID): each command-line argument
+// is a corpus file or a directory of them, fed one by one to
+// LLVMFuzzerTestOneInput. No mutation happens — this is the regression
+// half of fuzzing (the committed corpus and any minimized crash inputs
+// keep replaying everywhere), while the exploration half runs under
+// clang in CI's fuzz-smoke job.
+//
+// libFuzzer-style "-flag=value" arguments are ignored so the same
+// command line works against both drivers.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "standalone fuzz driver: cannot read %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replayed = 0;
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag: ignore.
+    std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        failures += ReplayFile(entry.path());
+        ++replayed;
+      }
+    } else {
+      failures += ReplayFile(path);
+      ++replayed;
+    }
+  }
+  std::printf("standalone fuzz driver: replayed %zu input(s)\n", replayed);
+  return failures == 0 ? 0 : 1;
+}

@@ -107,6 +107,13 @@ class DynamicComponents {
   std::size_t NumComponents() const { return components_.size(); }
 
  private:
+  // data/audit.h walks parent_ (without path compression) to verify the
+  // union-find against the member lists; audit_test corrupts it.
+  friend AuditReport AuditComponents(const ConjunctiveQuery& q,
+                                     const PreparedDatabase& pdb,
+                                     const DynamicComponents& components);
+  friend class TestCorruptor;
+
   FactId Find(FactId f);
   /// Merges the components of a and b (no-op when already joined).
   void Union(FactId a, FactId b);

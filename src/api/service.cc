@@ -75,7 +75,7 @@ StatusOr<CompiledQuery> Service::Compile(std::string_view text,
 
   std::shared_ptr<const CompiledQuery::State> cached;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (auto* hit = compiled_.Find(key)) cached = *hit;
   }
   if (cached == nullptr) {
@@ -99,7 +99,7 @@ StatusOr<CompiledQuery> Service::Compile(std::string_view text,
     state->parse_seconds = parse_seconds;
     state->classify_seconds = classify_seconds;
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     // A lost race means two threads classified the same query; keep the
     // first insertion (re-probe without recounting the lookup).
     if (auto* hit = compiled_.Find(key, /*count=*/false)) {
@@ -127,12 +127,12 @@ StatusOr<CompiledQuery> Service::Compile(std::string_view text,
 }
 
 std::size_t Service::CompiledCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return compiled_.size();
 }
 
 Status Service::RegisterDatabase(std::string_view name, Database db) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   auto it = databases_.find(name);
   if (it != databases_.end()) {
     return Status(StatusCode::kAlreadyExists,
@@ -149,7 +149,7 @@ Status Service::RegisterDatabase(std::string_view name, Database db) {
 }
 
 Status Service::DropDatabase(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   auto it = databases_.find(name);
   if (it == databases_.end()) {
     return Status(StatusCode::kNotFound,
@@ -160,7 +160,7 @@ Status Service::DropDatabase(std::string_view name) {
 }
 
 std::vector<std::string> Service::DatabaseNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<std::string> names;
   names.reserve(databases_.size());
   for (const auto& [name, entry] : databases_) names.push_back(name);
@@ -177,7 +177,7 @@ StatusOr<std::shared_ptr<Service::DbEntry>> Service::FindEntry(
     std::string_view db_name) const {
   // Copying the shared_ptr keeps the entry alive through the caller's
   // work even if DropDatabase erases it concurrently.
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) {
     std::vector<std::string> names;
@@ -208,7 +208,7 @@ std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
     DbEntry& entry, const CompiledQuery& q) const {
   std::string key = IncrementalKey(q);
   {
-    std::lock_guard<std::mutex> lock(entry.inc_mu);
+    std::lock_guard lock(entry.inc_mu);
     if (auto* hit = entry.incremental.Find(key)) return *hit;
   }
   // Build outside inc_mu: the component partition is O(db) and must not
@@ -220,7 +220,7 @@ std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
   made->state = q.state_;
   made->solver = std::make_unique<IncrementalSolver>(
       q.state_->solver, *entry.prepared, options_.verdict_cache);
-  std::lock_guard<std::mutex> lock(entry.inc_mu);
+  std::lock_guard lock(entry.inc_mu);
   // Same logical lookup as the probe above: don't count a second miss.
   if (auto* hit = entry.incremental.Find(key, /*count=*/false)) return *hit;
   entry.incremental.Insert(std::move(key), made);
@@ -230,7 +230,7 @@ std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
 std::vector<std::shared_ptr<Service::DbEntry::IncrementalEntry>>
 Service::LiveSolvers(DbEntry& entry) const {
   std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers;
-  std::lock_guard<std::mutex> lock(entry.inc_mu);
+  std::lock_guard lock(entry.inc_mu);
   entry.incremental.ForEach(
       [&](const std::string&,
           const std::shared_ptr<DbEntry::IncrementalEntry>& inc) {
@@ -271,19 +271,19 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
     if (options_.exclusive_lock_baseline) {
       // Benchmark baseline: the pre-sharding behavior, every incremental
       // solve exclusive per database.
-      std::unique_lock<std::shared_mutex> lock((*entry)->structure);
+      std::unique_lock lock((*entry)->structure);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
     } else {
       // The shared lock only excludes mutations/compactions: concurrent
       // solves — cache hits and cache fills alike — proceed in parallel,
       // coordinating per component through the solver's shard locks.
-      std::shared_lock<std::shared_mutex> lock((*entry)->structure);
+      std::shared_lock lock((*entry)->structure);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
     }
   } else {
-    std::shared_lock<std::shared_mutex> lock((*entry)->structure);
+    std::shared_lock lock((*entry)->structure);
     report = ExecuteReport(q.classification(), q.state_->solver.backend(),
                            *(*entry)->prepared, options_.explain_non_certain);
   }
@@ -298,7 +298,7 @@ Status Service::InsertFacts(std::string_view db_name,
   StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
-  std::unique_lock<std::shared_mutex> lock(entry.structure);
+  std::unique_lock lock(entry.structure);
 
   // Validate the whole batch before touching anything: a mutation either
   // applies completely or not at all.
@@ -338,7 +338,7 @@ Status Service::DeleteFacts(std::string_view db_name,
   StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
-  std::unique_lock<std::shared_mutex> lock(entry.structure);
+  std::unique_lock lock(entry.structure);
 
   // Validate and resolve the whole batch before touching anything.
   std::vector<FactId> ids;
@@ -396,7 +396,7 @@ Status Service::CompactDatabase(std::string_view db_name) {
   StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
-  std::unique_lock<std::shared_mutex> lock(entry.structure);
+  std::unique_lock lock(entry.structure);
   MaybeCompact(entry, LiveSolvers(entry), /*force=*/true);
   return Status::Ok();
 }
@@ -470,7 +470,7 @@ ServiceStats Service::Stats() const {
   ServiceStats stats;
   std::vector<std::pair<std::string, std::shared_ptr<DbEntry>>> entries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stats.compiled_queries = compiled_.size();
     stats.compiled = compiled_.Counters();
     entries.reserve(databases_.size());
@@ -481,7 +481,7 @@ ServiceStats Service::Stats() const {
   for (const auto& [name, entry] : entries) {
     // Shared: a stats poll must never stall solves; it can briefly delay
     // a mutation, like any reader.
-    std::shared_lock<std::shared_mutex> lock(entry->structure);
+    std::shared_lock lock(entry->structure);
     ServiceStats::DatabaseStats d;
     d.name = name;
     d.alive_facts = entry->db.NumAliveFacts();
@@ -496,7 +496,7 @@ ServiceStats Service::Stats() const {
     // (solvers are shared_ptr-held, so the snapshot stays valid).
     std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers;
     {
-      std::lock_guard<std::mutex> inc_lock(entry->inc_mu);
+      std::lock_guard inc_lock(entry->inc_mu);
       d.solvers = entry->incremental.Counters();
       entry->incremental.ForEach(
           [&](const std::string&,
@@ -507,9 +507,61 @@ ServiceStats Service::Stats() const {
     for (const auto& inc : solvers) {
       d.verdicts += inc->solver->VerdictCacheCounters();
     }
+    d.audits_run = entry->audits_run.load(std::memory_order_relaxed);
+    d.audit_violations =
+        entry->audit_violations.load(std::memory_order_relaxed);
     stats.databases.push_back(std::move(d));
   }
   return stats;
+}
+
+StatusOr<AuditReport> Service::AuditDatabase(std::string_view db_name) const {
+  StatusOr<std::shared_ptr<DbEntry>> entry_or = FindEntry(db_name);
+  if (!entry_or.ok()) return entry_or.status();
+  const std::shared_ptr<DbEntry>& entry = entry_or.value();
+
+  AuditReport report;
+  // The compile cache lives under the registry lock; audit it before any
+  // per-database lock (the hierarchy forbids registry-after-structure).
+  {
+    std::lock_guard lock(mutex_);
+    report.checks += 4;
+    compiled_.AuditInvariants([&](const std::string& message) {
+      report.Add("lru", "compile cache: " + message);
+    });
+  }
+
+  // Shared: auditing only reads, so it rides alongside solves; mutations
+  // and compactions (exclusive) wait, which is what makes the snapshot
+  // below internally consistent.
+  std::shared_lock lock(entry->structure);
+  report.Merge(::cqa::AuditDatabase(entry->db));
+  report.Merge(AuditPrepared(*entry->prepared));
+
+  // Snapshot the solver map under inc_mu, but run each solver's audit
+  // after releasing it: AuditInto takes the verdict shard locks, which
+  // share inc_mu's rank precisely because the two never nest.
+  std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers;
+  {
+    std::lock_guard inc_lock(entry->inc_mu);
+    report.checks += 4;
+    entry->incremental.AuditInvariants([&](const std::string& message) {
+      report.Add("lru", "solver map: " + message);
+    });
+    entry->incremental.ForEach(
+        [&](const std::string&,
+            const std::shared_ptr<DbEntry::IncrementalEntry>& inc) {
+          solvers.push_back(inc);
+        });
+  }
+  for (const auto& inc : solvers) {
+    inc->solver->AuditInto(report);
+  }
+
+  entry->audits_run.fetch_add(1, std::memory_order_relaxed);
+  entry->audit_violations.fetch_add(report.total_violations,
+                                    std::memory_order_relaxed);
+  return report;
 }
 
 std::string ServiceStats::ToString() const {
@@ -534,6 +586,10 @@ std::string ServiceStats::ToString() const {
            " hits=" + std::to_string(d.verdicts.hits) +
            " misses=" + std::to_string(d.verdicts.misses) +
            " evictions=" + std::to_string(d.verdicts.evictions) + "\n";
+    if (d.audits_run != 0) {
+      out += "  audits: runs=" + std::to_string(d.audits_run) +
+             " violations=" + std::to_string(d.audit_violations) + "\n";
+    }
   }
   return out;
 }

@@ -55,10 +55,17 @@
 // mid-solve stays alive until the solve returns.
 // ServiceOptions::exclusive_lock_baseline restores the pre-sharding
 // behavior (every incremental solve exclusive) for benchmarking.
+//
+// The acquisition order across these locks is a machine-checked hierarchy
+// (base/lock_rank.h): kServiceRegistry (mutex_) > kDbEntry (structure) >
+// kVerdictShard (inc_mu and the verdict-cache shard locks). Checking
+// builds (Debug/sanitizer trees, CQA_LOCK_RANK) abort with both
+// acquisition stacks on any out-of-order acquisition.
 
 #ifndef CQA_API_SERVICE_H_
 #define CQA_API_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,8 +79,10 @@
 #include "api/report.h"
 #include "api/status.h"
 #include "api/witness.h"
+#include "base/lock_rank.h"
 #include "base/lru.h"
 #include "classify/classifier.h"
+#include "data/audit.h"
 #include "data/database.h"
 #include "data/prepared.h"
 #include "engine/batch.h"
@@ -167,6 +176,10 @@ struct ServiceStats {
     /// Engine layer: per-component verdict caches, summed over this
     /// database's live solvers.
     CacheCounters verdicts;
+    /// Debug layer: Service::AuditDatabase runs against this database
+    /// and cumulative violations they found (0 is the healthy value).
+    std::uint64_t audits_run = 0;
+    std::uint64_t audit_violations = 0;
   };
 
   std::uint64_t compiled_queries = 0;
@@ -241,7 +254,7 @@ class Service {
   /// Parses, classifies, and binds `text` (cached). Errors:
   /// kInvalidQuery (with line:column + caret), kUnknownBackend,
   /// kCapabilityMismatch, kUnresolvedClass.
-  StatusOr<CompiledQuery> Compile(std::string_view text,
+  [[nodiscard]] StatusOr<CompiledQuery> Compile(std::string_view text,
                                   const CompileOptions& options = {});
 
   /// Number of distinct compilations currently cached.
@@ -251,13 +264,13 @@ class Service {
 
   /// Ingests `db` under `name`, preparing its indexes once. Errors:
   /// kAlreadyExists.
-  Status RegisterDatabase(std::string_view name, Database db);
+  [[nodiscard]] Status RegisterDatabase(std::string_view name, Database db);
 
   /// Removes a registered database. Errors: kNotFound. In-flight solves
   /// keep the entry alive (shared ownership) and finish normally; the
   /// storage is freed when the last of them returns. Witnesses held
   /// beyond that point into freed memory — discard them with the report.
-  Status DropDatabase(std::string_view name);
+  [[nodiscard]] Status DropDatabase(std::string_view name);
 
   /// Registered names in lexicographic order.
   std::vector<std::string> DatabaseNames() const;
@@ -272,7 +285,7 @@ class Service {
   /// database (their block/choice indexes shift) — discard them.
   /// Errors: kNotFound (database), kSchemaMismatch (unknown relation or
   /// arity mismatch).
-  Status InsertFacts(std::string_view db_name,
+  [[nodiscard]] Status InsertFacts(std::string_view db_name,
                      const std::vector<FactSpec>& facts,
                      MutationStats* stats = nullptr);
 
@@ -281,7 +294,7 @@ class Service {
   /// fact must exist (and be named once) or nothing is deleted. Errors:
   /// kNotFound (database or fact), kSchemaMismatch (unknown relation or
   /// arity mismatch), kInvalidArgument (fact named twice in the batch).
-  Status DeleteFacts(std::string_view db_name,
+  [[nodiscard]] Status DeleteFacts(std::string_view db_name,
                      const std::vector<FactSpec>& facts,
                      MutationStats* stats = nullptr);
 
@@ -289,18 +302,18 @@ class Service {
   /// regardless of the automatic dead-slot-ratio trigger, delta-patching
   /// every dependent structure with the resulting FactIdRemap. A no-op
   /// (not an error) when there are no dead slots. Errors: kNotFound.
-  Status CompactDatabase(std::string_view db_name);
+  [[nodiscard]] Status CompactDatabase(std::string_view db_name);
 
   // -- Solving --------------------------------------------------------
 
   /// Answers certain(q) on a registered database. Errors: kNotFound,
   /// kSchemaMismatch, kInvalidArgument (empty handle).
-  StatusOr<SolveReport> Solve(const CompiledQuery& q,
-                              std::string_view db_name) const;
+  [[nodiscard]] StatusOr<SolveReport> Solve(const CompiledQuery& q,
+                                            std::string_view db_name) const;
 
   /// Answers certain(q) on a caller-owned database (prepared per call).
-  StatusOr<SolveReport> Solve(const CompiledQuery& q,
-                              const Database& db) const;
+  [[nodiscard]] StatusOr<SolveReport> Solve(const CompiledQuery& q,
+                                            const Database& db) const;
 
   /// One report per registered name, in input order; per-slot errors.
   std::vector<StatusOr<SolveReport>> SolveMany(
@@ -327,6 +340,17 @@ class Service {
   /// verdict-cache sizes, hit/miss/eviction counters.
   ServiceStats Stats() const;
 
+  /// Deep-audits a registered database (data/audit.h): the fact store's
+  /// arena/index/partition invariants, the prepared per-relation indexes,
+  /// every live incremental solver's component partition and verdict
+  /// cache, the solver map's LRU invariants, and the compile cache's.
+  /// Runs under the shared structure lock, so it can race only against
+  /// other readers; mutations wait. O(facts log facts) plus a fresh
+  /// component partition per live solver — a debug/test entry point, not
+  /// a production path. Cumulative audits_run/audit_violations counters
+  /// surface in Stats(). Errors: kNotFound.
+  [[nodiscard]] StatusOr<AuditReport> AuditDatabase(std::string_view db_name) const;
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -341,8 +365,9 @@ class Service {
     // database, its preparation, and the component partitions) are
     // exclusive; every solve — including cache-filling incremental
     // solves, which coordinate through the verdict cache's component
-    // shard locks — is shared.
-    mutable std::shared_mutex structure;
+    // shard locks — is shared. Rank kDbEntry: below the registry lock,
+    // above the solver-map and shard locks.
+    mutable RankedSharedMutex<LockRank::kDbEntry> structure;
     struct IncrementalEntry {
       // Pins the compiled state the solver points into — a handle
       // compiled by another Service (or a future evictable compile
@@ -357,12 +382,18 @@ class Service {
     // in-flight solve (the solve keeps its own reference; the evicted
     // solver simply stops receiving mutations and dies with the last
     // user). Guarded by inc_mu (the structure lock alone is not enough:
-    // shared-mode solves mutate the map's LRU order).
-    mutable std::mutex inc_mu;
+    // shared-mode solves mutate the map's LRU order). Rank kVerdictShard,
+    // like the solver's shard locks: both are taken under the structure
+    // lock and never inside each other.
+    mutable RankedMutex<LockRank::kVerdictShard> inc_mu;
     LruCache<std::string, std::shared_ptr<IncrementalEntry>> incremental;
     // Compactions run on this database; written under the exclusive
     // structure lock, read under the shared one.
     std::uint64_t compactions = 0;
+    // Cumulative Service::AuditDatabase outcomes; atomic because audits
+    // run under the *shared* structure lock (they are reads).
+    mutable std::atomic<std::uint64_t> audits_run{0};
+    mutable std::atomic<std::uint64_t> audit_violations{0};
   };
 
   /// Looks up a registered database (service lock held inside).
@@ -394,7 +425,10 @@ class Service {
 
   ServiceOptions options_;
 
-  mutable std::mutex mutex_;
+  // Registry lock (rank kServiceRegistry, the hierarchy's top): guards
+  // the database map and the compile cache; never held while taking any
+  // per-database lock.
+  mutable RankedMutex<LockRank::kServiceRegistry> mutex_;
   // shared_ptr values: CompiledQuery handles and incremental solvers pin
   // the state they use, so an LRU eviction only unlinks the cache entry —
   // the classification dies with its last user.

@@ -43,7 +43,12 @@ std::string_view ToString(StatusCode code);
 std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Outcome of a fallible call: a code plus a message when not ok.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows the error — every
+/// caller must test ok() or explicitly opt out. The same marker on
+/// StatusOr and on each Status-returning method makes the compiler (and
+/// clang-tidy's cert-err33-c) flag any discarded result.
+class [[nodiscard]] Status {
  public:
   /// Success.
   Status() = default;
@@ -71,7 +76,7 @@ class Status {
 /// StatusOr is a programming bug (the caller skipped the ok() test), not
 /// a runtime condition, and the API boundary must stay exception-free.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Error state. CHECKs that `status` is not ok (an ok StatusOr must
   /// carry a value).

@@ -21,7 +21,7 @@ namespace cqa {
 /// per block, bound to this database) and q fails on it. Error codes:
 /// kInvalidArgument for a malformed or satisfied witness, kSchemaMismatch
 /// when db cannot be bound to q at all.
-Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
+[[nodiscard]] Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
                      const Repair& witness);
 
 }  // namespace cqa

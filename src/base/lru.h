@@ -116,6 +116,44 @@ class LruCache {
     return c;
   }
 
+  /// Deep self-check for the invariant auditor (data/audit.h): reports
+  /// each broken invariant as fn(message). Checks index<->list agreement
+  /// (every list entry indexed, every index entry pointing back at a node
+  /// holding its key), the byte ledger against a fresh sum, and the caps
+  /// (EvictOverCaps always keeps at least one entry, so an oversized
+  /// singleton is compliant). Returns the number of violations reported.
+  template <typename Fn>
+  std::size_t AuditInvariants(Fn fn) const {
+    std::size_t violations = 0;
+    if (index_.size() != order_.size()) {
+      fn("index has " + std::to_string(index_.size()) +
+         " entries, recency list has " + std::to_string(order_.size()));
+      ++violations;
+    }
+    std::size_t summed_bytes = 0;
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      summed_bytes += it->bytes;
+      auto idx = index_.find(it->key);
+      if (idx == index_.end()) {
+        fn("list entry missing from the index");
+        ++violations;
+      } else if (idx->second != it) {
+        fn("index entry points at a different list node than its key's");
+        ++violations;
+      }
+    }
+    if (summed_bytes != bytes_) {
+      fn("byte ledger holds " + std::to_string(bytes_) +
+         ", entries sum to " + std::to_string(summed_bytes));
+      ++violations;
+    }
+    if (order_.size() > 1 && OverCaps()) {
+      fn("cache exceeds its caps with more than one entry resident");
+      ++violations;
+    }
+    return violations;
+  }
+
  private:
   struct Entry {
     Key key;

@@ -79,6 +79,8 @@ struct FactIdRemap {
   bool identity() const { return old_slots == new_slots; }
 };
 
+struct AuditReport;  // data/audit.h
+
 /// A finite set of facts with set semantics (duplicate inserts are no-ops).
 class Database {
  public:
@@ -219,6 +221,12 @@ class Database {
   std::uint32_t ArgOffsetOf(FactId id) const { return slots_[id].offset; }
 
  private:
+  // The deep auditor checks the private indexes (hash buckets, block_of_)
+  // directly, and audit_test's corruptor plants targeted inconsistencies
+  // for it to find. Neither is a production dependency.
+  friend AuditReport AuditDatabase(const Database& db);
+  friend class TestCorruptor;
+
   /// Slot metadata: where a fact's argument span lives in the arena.
   struct FactSlot {
     std::uint32_t offset = 0;  ///< First argument's index in arg_arena_.

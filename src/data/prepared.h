@@ -80,6 +80,11 @@ class PreparedDatabase {
   static constexpr BlockId kNoBlock = Database::kNoBlock;
 
  private:
+  // data/audit.h checks pos_in_relation_ (invisible through the public
+  // accessors, but load-bearing for ApplyRemove); audit_test corrupts it.
+  friend AuditReport AuditPrepared(const PreparedDatabase& pdb);
+  friend class TestCorruptor;
+
   const Database* db_;
   std::vector<std::vector<FactId>> facts_by_relation_;
   std::vector<std::vector<BlockId>> blocks_by_relation_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "data/audit.h"
 #include "data/repair.h"
 
 namespace cqa {
@@ -48,10 +49,22 @@ std::size_t IncrementalSolver::VerdictBytes(const CachedVerdict& verdict) {
 CacheCounters IncrementalSolver::VerdictCacheCounters() const {
   CacheCounters total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     total += shard.cache.Counters();
   }
   return total;
+}
+
+void IncrementalSolver::AuditInto(AuditReport& report) const {
+  report.Merge(AuditComponents(solver_->query(), *pdb_, components_));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    report.checks += 4;  // The four LRU invariant families below.
+    shard.cache.AuditInvariants([&](const std::string& message) {
+      report.Add("lru", "verdict shard " + std::to_string(i) + ": " + message);
+    });
+  }
 }
 
 IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
@@ -139,7 +152,7 @@ SolveReport IncrementalSolver::Solve(bool want_witness) const {
   std::vector<const DynamicComponents::Component*> misses;
   for (const auto& [root, comp] : components_.components()) {
     Shard& shard = ShardFor(comp.fingerprint);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     // A present-but-unusable verdict is a miss to us (the backend will
     // re-run), so count usability, not mere presence.
     auto* hit = shard.cache.Find(comp.fingerprint, /*count=*/false);
@@ -164,7 +177,7 @@ SolveReport IncrementalSolver::Solve(bool want_witness) const {
     // parallel. The re-probe is the same logical lookup as the first
     // pass's, so it stays out of the hit/miss counters.
     Shard& shard = ShardFor(comp->fingerprint);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard lock(shard.mu);
     auto* hit = shard.cache.Find(comp->fingerprint, /*count=*/false);
     if (hit != nullptr && usable(**hit)) {
       ++report.components_cached;

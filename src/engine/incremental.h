@@ -47,6 +47,7 @@
 
 #include "algo/dynamic_components.h"
 #include "api/report.h"
+#include "base/lock_rank.h"
 #include "base/lru.h"
 #include "data/prepared.h"
 #include "engine/solver.h"
@@ -89,6 +90,12 @@ class IncrementalSolver {
   /// evictions), summed over the shards.
   CacheCounters VerdictCacheCounters() const;
 
+  /// Deep-audits this solver's structures into `report` (data/audit.h):
+  /// the component partition against a fresh repartition, and every
+  /// verdict-cache shard's LRU invariants (taken one shard lock at a
+  /// time). Requires the caller to exclude mutators, like Solve.
+  void AuditInto(AuditReport& report) const;
+
   static constexpr std::size_t kNumShards = 16;
 
  private:
@@ -108,7 +115,10 @@ class IncrementalSolver {
   /// a deep copy of witness tuples) and stays valid after a concurrent
   /// solve evicts the entry.
   struct Shard {
-    mutable std::mutex mu;
+    // Rank kVerdictShard: taken under the Service's per-database
+    // structure lock (kDbEntry), never nested with another shard's lock
+    // or the solver-map lock.
+    mutable RankedMutex<LockRank::kVerdictShard> mu;
     LruCache<ComponentFingerprint, std::shared_ptr<const CachedVerdict>,
              ComponentFingerprintHash>
         cache;

@@ -57,7 +57,7 @@ class CertainSolver {
   /// backend. Errors: kUnknownBackend when `options.forced_backend` names
   /// no registered backend, kCapabilityMismatch when the chosen backend
   /// cannot answer `query`.
-  static StatusOr<CertainSolver> Create(ConjunctiveQuery query,
+  [[nodiscard]] static StatusOr<CertainSolver> Create(ConjunctiveQuery query,
                                         SolverOptions options = {});
 
   /// Decides whether `query()` is certain for db.

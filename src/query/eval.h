@@ -35,7 +35,7 @@ class RelationBinding {
   /// Status-returning variant: kSchemaMismatch (naming the offending
   /// relation) instead of aborting, so one bad database is a per-request
   /// error rather than a process death.
-  static StatusOr<RelationBinding> Create(const ConjunctiveQuery& query,
+  [[nodiscard]] static StatusOr<RelationBinding> Create(const ConjunctiveQuery& query,
                                           const Database& db);
 
   /// Database relation id corresponding to query relation `query_rel`.
@@ -48,7 +48,7 @@ class RelationBinding {
 
 /// Ok iff every relation the query uses exists in db with the same arity
 /// and key length (i.e. RelationBinding::Create would succeed).
-Status ValidateBinding(const ConjunctiveQuery& query, const Database& db);
+[[nodiscard]] Status ValidateBinding(const ConjunctiveQuery& query, const Database& db);
 
 /// Tries to extend the partial assignment `mu` (indexed by VarId, with
 /// kUnassigned holes) so that `atom` maps onto `fact`. Returns false and

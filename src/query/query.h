@@ -102,7 +102,7 @@ class ConjunctiveQuery {
 ///   query parse error at line 1, column 9: expected '('
 ///     R(x | y R(y | z)
 ///             ^
-StatusOr<ConjunctiveQuery> ParseQueryOrStatus(std::string_view text);
+[[nodiscard]] StatusOr<ConjunctiveQuery> ParseQueryOrStatus(std::string_view text);
 
 /// Throwing shim over ParseQueryOrStatus for source compatibility:
 /// throws std::invalid_argument with the same message on malformed input.

@@ -18,6 +18,7 @@
 #include "api/witness.h"
 #include "base/check.h"
 #include "base/rng.h"
+#include "data/audit.h"
 #include "data/prepared.h"
 #include "engine/incremental.h"
 #include "gen/workloads.h"
@@ -150,6 +151,13 @@ TEST(CompactTest, RemappedStructuresMatchRebuild) {
     pdb.ApplyRemap(remap);
     comps.ApplyRemap(remap);
 
+    // Deep audit right after the remap fan-out: every patched structure
+    // must agree with a fresh re-derivation (data/audit.h).
+    AuditReport audit = AuditDatabase(db);
+    audit.Merge(AuditPrepared(pdb));
+    audit.Merge(AuditComponents(q, pdb, comps));
+    ASSERT_TRUE(audit.ok()) << audit.ToString() << "seq " << seq;
+
     // Content, partition, components, and fingerprints are unchanged.
     EXPECT_EQ(SortedFactStrings(db), before);
     EXPECT_EQ(CanonicalBlocks(db), blocks_before);
@@ -259,6 +267,10 @@ TEST(CompactTest, VerdictCacheAndWitnessesSurviveCompaction) {
   ASSERT_TRUE(service.InsertFacts("db", {{"R", {"b", "d"}}}).ok());
   ASSERT_TRUE(service.CompactDatabase("db").ok());
 
+  StatusOr<AuditReport> audit = service.AuditDatabase("db");
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  ASSERT_TRUE(audit->ok()) << audit->ToString();
+
   ServiceStats stats = service.Stats();
   ASSERT_EQ(stats.databases.size(), 1u);
   EXPECT_EQ(stats.databases[0].compactions, 1u);
@@ -314,6 +326,10 @@ TEST(CompactTest, AutoCompactionBoundsSlotGrowthUnderChurn) {
     ASSERT_LE(stats.databases[0].fact_slots, 110u) << "step " << step;
 
     if (step % 50 == 0) {
+      StatusOr<AuditReport> audit = service.AuditDatabase("db");
+      ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+      ASSERT_TRUE(audit->ok()) << audit->ToString() << "step " << step;
+
       StatusOr<SolveReport> delta = service.Solve(*q, "db");
       ASSERT_TRUE(delta.ok());
       Database fresh(q->query().schema());

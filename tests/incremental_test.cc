@@ -17,6 +17,7 @@
 #include "algo/dynamic_components.h"
 #include "api/service.h"
 #include "base/rng.h"
+#include "data/audit.h"
 #include "data/prepared.h"
 #include "engine/incremental.h"
 #include "gen/workloads.h"
@@ -270,6 +271,14 @@ TEST(IncrementalProperty, IndexesAndComponentsMatchRebuild) {
       ASSERT_NO_FATAL_FAILURE(CheckStructuralInvariants(db, pdb))
           << "seq " << seq << " step " << step;
 
+      // Deep audit: every delta-maintained structure against a fresh
+      // re-derivation (data/audit.h).
+      AuditReport audit = AuditDatabase(db);
+      audit.Merge(AuditPrepared(pdb));
+      audit.Merge(AuditComponents(q, pdb, comps));
+      ASSERT_TRUE(audit.ok())
+          << audit.ToString() << "seq " << seq << " step " << step;
+
       Database fresh = BuildFromSpecs(q.schema(), pool);
       PreparedDatabase fresh_pdb(fresh);
       ASSERT_EQ(CanonicalBlocks(db), CanonicalBlocks(fresh))
@@ -350,6 +359,13 @@ TEST(IncrementalProperty, DeltaSolvesMatchRebuildSolves) {
       StatusOr<SolveReport> delta = service.Solve(*q, "db");
       ASSERT_TRUE(delta.ok()) << delta.status().ToString();
       EXPECT_TRUE(delta->incremental);
+
+      // Deep audit of everything the mutation + solve delta-patched,
+      // through the service's own entry point.
+      StatusOr<AuditReport> audit = service.AuditDatabase("db");
+      ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+      ASSERT_TRUE(audit->ok())
+          << audit->ToString() << "seq " << seq << " step " << step;
       EXPECT_EQ(delta->components_cached + delta->components_resolved,
                 delta->components_total);
       total_cached += delta->components_cached;

@@ -1,0 +1,185 @@
+// The lock-rank checker (base/lock_rank.h) in both directions: disciplined
+// acquisition orders pass (downward nesting, shared and exclusive modes,
+// non-LIFO release, try_lock), and a deliberate inversion dies printing
+// both acquisition stacks. The tests instantiate RankedMutex<R, true>
+// explicitly, so the checking machinery is exercised in every build
+// configuration — including Release trees where the library's own locks
+// compile down to plain std::mutex.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "base/lock_rank.h"
+
+namespace cqa {
+namespace {
+
+using lock_rank_internal::HeldDepth;
+
+template <LockRank R>
+using CheckedMutex = RankedMutex<R, /*Checked=*/true>;
+template <LockRank R>
+using CheckedSharedMutex = RankedSharedMutex<R, /*Checked=*/true>;
+
+TEST(LockRankTest, DownwardNestingPasses) {
+  CheckedMutex<LockRank::kServiceRegistry> registry;
+  CheckedSharedMutex<LockRank::kDbEntry> db;
+  CheckedMutex<LockRank::kVerdictShard> shard;
+  CheckedMutex<LockRank::kSolverInternal> solver;
+
+  EXPECT_EQ(HeldDepth(), 0);
+  {
+    std::lock_guard r(registry);
+    std::unique_lock d(db);
+    std::lock_guard s(shard);
+    std::lock_guard i(solver);
+    EXPECT_EQ(HeldDepth(), 4);
+  }
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+TEST(LockRankTest, SharedAcquisitionObeysTheSameHierarchy) {
+  CheckedSharedMutex<LockRank::kDbEntry> db;
+  CheckedMutex<LockRank::kVerdictShard> shard;
+
+  // Shared-then-down mirrors the service's solve path: structure shared,
+  // then a verdict shard.
+  {
+    std::shared_lock d(db);
+    std::lock_guard s(shard);
+    EXPECT_EQ(HeldDepth(), 2);
+  }
+  // Exclusive-then-down mirrors the mutation path.
+  {
+    std::unique_lock d(db);
+    std::lock_guard s(shard);
+    EXPECT_EQ(HeldDepth(), 2);
+  }
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+TEST(LockRankTest, SequentialSameRankReacquisitionPasses) {
+  // One shard lock at a time — the pattern IncrementalSolver::Solve and
+  // AuditInto use — is fine; only *nesting* same-rank locks is banned.
+  CheckedMutex<LockRank::kVerdictShard> shard_a;
+  CheckedMutex<LockRank::kVerdictShard> shard_b;
+  {
+    std::lock_guard a(shard_a);
+  }
+  {
+    std::lock_guard b(shard_b);
+  }
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+TEST(LockRankTest, NonLifoReleaseIsTracked) {
+  CheckedMutex<LockRank::kServiceRegistry> registry;
+  CheckedSharedMutex<LockRank::kDbEntry> db;
+
+  std::unique_lock r(registry);
+  std::unique_lock d(db);
+  EXPECT_EQ(HeldDepth(), 2);
+  r.unlock();  // Release the *outer* lock first: matched by address.
+  EXPECT_EQ(HeldDepth(), 1);
+  d.unlock();
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+TEST(LockRankTest, TryLockPushesAndPopsLikeLock) {
+  CheckedMutex<LockRank::kDbEntry> db;
+  ASSERT_TRUE(db.try_lock());
+  EXPECT_EQ(HeldDepth(), 1);
+  db.unlock();
+  EXPECT_EQ(HeldDepth(), 0);
+
+  CheckedSharedMutex<LockRank::kDbEntry> shared_db;
+  ASSERT_TRUE(shared_db.try_lock_shared());
+  EXPECT_EQ(HeldDepth(), 1);
+  shared_db.unlock_shared();
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+TEST(LockRankTest, HeldRanksArePerThread) {
+  CheckedMutex<LockRank::kVerdictShard> shard;
+  std::lock_guard s(shard);
+  ASSERT_EQ(HeldDepth(), 1);
+  // Another thread starts with an empty stack and may take a *higher*
+  // rank than this thread holds: the discipline is per-thread.
+  std::thread other([] {
+    EXPECT_EQ(HeldDepth(), 0);
+    CheckedMutex<LockRank::kServiceRegistry> registry;
+    std::lock_guard r(registry);
+    EXPECT_EQ(HeldDepth(), 1);
+  });
+  other.join();
+  EXPECT_EQ(HeldDepth(), 1);
+}
+
+TEST(LockRankDeathTest, InversionDiesWithBothStacks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CheckedMutex<LockRank::kVerdictShard> shard;
+  CheckedSharedMutex<LockRank::kDbEntry> db;
+  // Holding a verdict shard while acquiring the per-database structure
+  // lock is exactly the inversion the serving-layer refactor could
+  // introduce; the checker must name both ranks and print both stacks.
+  EXPECT_DEATH(
+      {
+        std::lock_guard s(shard);
+        std::shared_lock d(db);
+      },
+      "lock-rank inversion: acquiring kDbEntry.*while holding.*kVerdictShard"
+      "(.|\n)*acquisition stack of the violating lock"
+      "(.|\n)*acquisition stack of the held lock");
+}
+
+TEST(LockRankDeathTest, NestedSameRankDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CheckedMutex<LockRank::kVerdictShard> shard_a;
+  CheckedMutex<LockRank::kVerdictShard> shard_b;
+  // Two shard locks nested would deadlock against a thread nesting them
+  // the other way; equal rank is an inversion by design.
+  EXPECT_DEATH(
+      {
+        std::lock_guard a(shard_a);
+        std::lock_guard b(shard_b);
+      },
+      "lock-rank inversion: acquiring kVerdictShard.*while holding.*"
+      "kVerdictShard");
+}
+
+TEST(LockRankDeathTest, RegistryUnderDbEntryDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CheckedSharedMutex<LockRank::kDbEntry> db;
+  CheckedMutex<LockRank::kServiceRegistry> registry;
+  // The registry lock is the hierarchy's top: taking it while holding any
+  // per-database lock is what Service::FindEntry's contract forbids.
+  EXPECT_DEATH(
+      {
+        std::shared_lock d(db);
+        std::lock_guard r(registry);
+      },
+      "lock-rank inversion: acquiring kServiceRegistry.*while holding.*"
+      "kDbEntry");
+}
+
+TEST(LockRankTest, RankNamesAreStable) {
+  EXPECT_STREQ(ToString(LockRank::kServiceRegistry), "kServiceRegistry");
+  EXPECT_STREQ(ToString(LockRank::kDbEntry), "kDbEntry");
+  EXPECT_STREQ(ToString(LockRank::kVerdictShard), "kVerdictShard");
+  EXPECT_STREQ(ToString(LockRank::kSolverInternal), "kSolverInternal");
+}
+
+TEST(LockRankTest, UncheckedWrapperIsAPlainMutex) {
+  // Checked=false: no rank bookkeeping at all (what Release builds get).
+  RankedMutex<LockRank::kVerdictShard, /*Checked=*/false> low;
+  RankedSharedMutex<LockRank::kDbEntry, /*Checked=*/false> high;
+  std::lock_guard l(low);
+  std::shared_lock h(high);  // Inverted order: legal when unchecked.
+  EXPECT_EQ(HeldDepth(), 0);
+}
+
+}  // namespace
+}  // namespace cqa

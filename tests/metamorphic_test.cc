@@ -158,6 +158,11 @@ TEST(MetamorphicTest, DuplicateInsertionIsInvariant) {
       EXPECT_EQ(after->certain, registered_base);
       // Nothing changed, so every component verdict comes from the cache.
       EXPECT_EQ(after->components_resolved, 0u);
+      // The duplicate-insert no-ops must not have disturbed any
+      // delta-maintained structure (data/audit.h).
+      StatusOr<AuditReport> audit = service.AuditDatabase(name);
+      ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+      ASSERT_TRUE(audit->ok()) << audit->ToString() << c.query;
       ASSERT_TRUE(service.DropDatabase(name).ok());
     }
   }

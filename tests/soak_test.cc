@@ -115,6 +115,15 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
         }
       }
 
+      // Deep audit of every delta-maintained structure (data/audit.h);
+      // its per-pass cost is a fresh repartition, so sample it.
+      if (step % 100 == 0) {
+        StatusOr<AuditReport> audit = service.AuditDatabase("db");
+        ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+        ASSERT_TRUE(audit->ok())
+            << audit->ToString() << "config " << config << " step " << step;
+      }
+
       if (step % 20 == 0) {
         ServiceStats stats = service.Stats();
         ASSERT_EQ(stats.databases.size(), 1u);
