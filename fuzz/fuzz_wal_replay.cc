@@ -1,0 +1,171 @@
+// Fuzzer for the durability decoders: arbitrary bytes in, typed Status
+// out, never a crash and never a silently-loaded corrupt state.
+//
+// These decoders are the recovery path's trust boundary — they read
+// whatever a torn write, a bit rot, or an attacker left on disk — so the
+// contract is absolute: any input either decodes to a state that passes
+// its own validation, or fails with kCorruptedData. An abort, an
+// out-of-bounds read (ASan), or a decoded-but-inconsistent database is a
+// bug this harness exists to find.
+//
+// Byte format: byte 0 selects the decoder target, the rest is its input.
+//   0  DecodeWal          — framed record stream; on success every
+//                           decoded record must re-encode byte-identical
+//                           (the codec is canonical), and valid_bytes
+//                           must cover exactly the decoded prefix.
+//   1  DecodeSnapshot     — full database rebuild; on success the
+//                           rebuilt database must pass the deep
+//                           invariant audit (a decoder that "succeeds"
+//                           into a corrupt database is the worst
+//                           failure mode).
+//   2  DecodeVerdicts     — validated against a small fixed database.
+//   3  DecodeWal on bytes spliced after a valid WAL header + one valid
+//      record: exercises the mid-stream truncation logic (valid prefix
+//      kept, corrupt tail reported) that plain random bytes rarely
+//      reach.
+//
+// Seed corpus: fuzz/corpus/wal_replay/ (valid files of each kind plus
+// truncated/bit-flipped variants). Build: -DCQA_FUZZ=ON.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "data/audit.h"
+#include "data/database.h"
+#include "data/schema.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace {
+
+using cqa::AuditReport;
+using cqa::Database;
+using cqa::Schema;
+using cqa::StatusCode;
+using cqa::StatusOr;
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_wal_replay: %s\n%s\n", what, detail.c_str());
+  std::abort();
+}
+
+// Every decode outcome must be one of: ok, or typed kCorruptedData.
+template <typename T>
+void CheckTyped(const StatusOr<T>& result) {
+  if (result.ok()) return;
+  if (result.status().code() != StatusCode::kCorruptedData) {
+    Die("decoder failed with an untyped/unexpected status",
+        result.status().ToString());
+  }
+}
+
+void FuzzWal(std::string_view bytes) {
+  cqa::store::WalDecodeResult result = cqa::store::DecodeWal(bytes);
+  if (!result.tail.ok() &&
+      result.tail.code() != StatusCode::kCorruptedData) {
+    Die("WAL tail failed with an untyped status", result.tail.ToString());
+  }
+  if (result.valid_bytes > bytes.size()) {
+    Die("valid_bytes past the input", std::to_string(result.valid_bytes));
+  }
+  // Canonical codec: whatever decoded must re-encode into exactly the
+  // bytes it was decoded from — that is what makes the truncation point
+  // (valid_bytes) trustworthy.
+  std::string reencoded;
+  if (result.valid_bytes > 0) reencoded = std::string(cqa::store::kWalMagic);
+  for (const cqa::store::WalRecord& record : result.records) {
+    reencoded += cqa::store::EncodeWalRecord(record);
+  }
+  if (reencoded != bytes.substr(0, result.valid_bytes)) {
+    Die("decoded prefix does not re-encode canonically",
+        std::to_string(result.records.size()) + " records, " +
+            std::to_string(result.valid_bytes) + " valid bytes");
+  }
+}
+
+void FuzzSnapshot(std::string_view bytes) {
+  StatusOr<cqa::store::DecodedSnapshot> decoded =
+      cqa::store::DecodeSnapshot(bytes);
+  CheckTyped(decoded);
+  if (!decoded.ok()) return;
+  // A decode that succeeds must have produced an *internally consistent*
+  // database: run the deep auditor over it.
+  AuditReport report = cqa::AuditDatabase(decoded->db);
+  if (!report.ok()) {
+    Die("snapshot decoded into a corrupt database", report.ToString());
+  }
+}
+
+void FuzzVerdicts(std::string_view bytes) {
+  Schema schema;
+  schema.AddRelation("R", 2, 1);
+  Database db(schema);
+  db.AddFactStr(0, "a b");
+  db.AddFactStr(0, "b c");
+  StatusOr<cqa::store::PersistedVerdictMap> decoded =
+      cqa::store::DecodeVerdicts(bytes, db);
+  CheckTyped(decoded);
+  if (!decoded.ok()) return;
+  // Validation promised every witness fact id is in range for `db`.
+  for (const auto& [key, verdicts] : *decoded) {
+    for (const cqa::store::PersistedVerdict& v : verdicts) {
+      for (const cqa::Fact& fact : v.witness_facts) {
+        if (fact.relation >= db.schema().NumRelations()) {
+          Die("verdict with out-of-range relation survived validation", key);
+        }
+        for (cqa::ElementId el : fact.args) {
+          if (el >= db.elements().size()) {
+            Die("verdict with out-of-range element survived validation", key);
+          }
+        }
+      }
+    }
+  }
+}
+
+void FuzzWalTail(std::string_view bytes) {
+  // Splice the fuzz bytes after a known-valid prefix, so the decoder's
+  // per-record loop (not just the header check) sees them.
+  cqa::store::WalRecord record;
+  record.seq = 1;
+  record.kind = cqa::store::WalRecord::Kind::kInsert;
+  record.facts = {{"R", {"a", "b"}}};
+  std::string spliced = std::string(cqa::store::kWalMagic) +
+                        cqa::store::EncodeWalRecord(record);
+  std::size_t prefix = spliced.size();
+  spliced.append(bytes);
+
+  cqa::store::WalDecodeResult result = cqa::store::DecodeWal(spliced);
+  // The valid prefix must never be lost to a corrupt tail.
+  if (result.records.empty() || result.valid_bytes < prefix) {
+    Die("corrupt tail destroyed the valid prefix",
+        std::to_string(result.valid_bytes));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  std::string_view bytes(reinterpret_cast<const char*>(data + 1), size - 1);
+  switch (data[0] % 4) {
+    case 0:
+      FuzzWal(bytes);
+      break;
+    case 1:
+      FuzzSnapshot(bytes);
+      break;
+    case 2:
+      FuzzVerdicts(bytes);
+      break;
+    case 3:
+      FuzzWalTail(bytes);
+      break;
+  }
+  return 0;
+}

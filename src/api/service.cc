@@ -34,6 +34,59 @@ std::string SpecToString(const FactSpec& spec) {
   return out + ")";
 }
 
+/// Escapes a database name into a file-system-safe directory name:
+/// [A-Za-z0-9_-] pass through, everything else becomes %XX. Injective,
+/// so UnescapeDbName can list a data_dir and recover the names.
+std::string EscapeDbName(std::string_view name) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  for (char c : name) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    }
+  }
+  return out;
+}
+
+/// Inverse of EscapeDbName; false on a malformed escape.
+bool UnescapeDbName(const std::string& dir, std::string* name) {
+  name->clear();
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    if (dir[i] != '%') {
+      name->push_back(dir[i]);
+      continue;
+    }
+    if (i + 2 >= dir.size()) return false;
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    int hi = nibble(dir[i + 1]);
+    int lo = nibble(dir[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    name->push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+/// The WAL's view of a FactSpec batch.
+std::vector<store::NamedFact> ToNamedFacts(const std::vector<FactSpec>& facts) {
+  std::vector<store::NamedFact> named;
+  named.reserve(facts.size());
+  for (const FactSpec& spec : facts) {
+    named.push_back(store::NamedFact{spec.relation, spec.args});
+  }
+  return named;
+}
+
 /// Resolves a FactSpec's relation against the database schema, checking
 /// the arity. Shared validation step of InsertFacts and DeleteFacts.
 StatusOr<RelationId> ResolveSpec(const Database& db, const FactSpec& spec) {
@@ -131,32 +184,150 @@ std::size_t Service::CompiledCount() const {
   return compiled_.size();
 }
 
+void Service::EnsurePrepared(DbEntry& entry) const {
+  std::call_once(entry.prepare_once, [&] {
+    auto prepare_start = std::chrono::steady_clock::now();
+    entry.prepared.emplace(entry.db);
+    entry.prepare_seconds = SecondsSince(prepare_start);
+    entry.prepared_ready.store(true, std::memory_order_release);
+  });
+}
+
+std::string Service::DbDir(std::string_view name) const {
+  return options_.durability.data_dir + "/" + EscapeDbName(name);
+}
+
 Status Service::RegisterDatabase(std::string_view name, Database db) {
-  std::lock_guard lock(mutex_);
-  auto it = databases_.find(name);
-  if (it != databases_.end()) {
-    return Status(StatusCode::kAlreadyExists,
-                  "database \"" + std::string(name) +
-                      "\" is already registered (DropDatabase first to "
-                      "replace it)");
-  }
   auto entry = std::make_shared<DbEntry>(std::move(db), options_.solver_cache);
-  auto prepare_start = std::chrono::steady_clock::now();
-  entry->prepared.emplace(entry->db);
-  entry->prepare_seconds = SecondsSince(prepare_start);
-  databases_.emplace(std::string(name), std::move(entry));
+  EnsurePrepared(*entry);  // Registration prepares eagerly.
+
+  // Reserve the name first: only one caller per name ever reaches the
+  // store-creation I/O below, so a racing Register cannot wipe the
+  // directory another one just initialized.
+  {
+    std::lock_guard lock(mutex_);
+    if (databases_.find(name) != databases_.end()) {
+      return Status(StatusCode::kAlreadyExists,
+                    "database \"" + std::string(name) +
+                        "\" is already registered (DropDatabase first to "
+                        "replace it)");
+    }
+    databases_.emplace(std::string(name), entry);
+  }
+  if (!options_.durability.enabled) return Status::Ok();
+
+  // Initialize the on-disk store (wiping any leftover directory from a
+  // dropped predecessor) outside the registry lock — it fsyncs.
+  store::DurableStore::Options store_options;
+  store_options.fsync = options_.durability.fsync;
+  store_options.fsync_interval = options_.durability.fsync_interval;
+  store_options.snapshot_interval = options_.durability.snapshot_interval;
+  store_options.persist_verdicts = options_.durability.persist_verdicts;
+  StatusOr<std::unique_ptr<store::DurableStore>> durable =
+      store::DurableStore::Create(DbDir(name), entry->db, {}, store_options);
+  if (!durable.ok()) {
+    // Roll the reservation back: a durability-enabled database must not
+    // exist without its store.
+    std::lock_guard lock(mutex_);
+    auto it = databases_.find(name);
+    if (it != databases_.end() && it->second == entry) databases_.erase(it);
+    return durable.status();
+  }
+  std::unique_lock lock(entry->structure);
+  entry->durable = std::move(durable).value();
   return Status::Ok();
 }
 
 Status Service::DropDatabase(std::string_view name) {
-  std::lock_guard lock(mutex_);
-  auto it = databases_.find(name);
-  if (it == databases_.end()) {
-    return Status(StatusCode::kNotFound,
-                  "unknown database \"" + std::string(name) + "\"");
+  bool durable = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = databases_.find(name);
+    if (it == databases_.end()) {
+      return Status(StatusCode::kNotFound,
+                    "unknown database \"" + std::string(name) + "\"");
+    }
+    durable = it->second->durable != nullptr;
+    databases_.erase(it);
   }
-  databases_.erase(it);
+  // Delete the on-disk state outside the registry lock (I/O). In-flight
+  // solves still hold the entry; removing files under an open WAL fd is
+  // fine on POSIX, and a re-register re-creates the directory fresh.
+  if (durable) return store::DurableStore::Destroy(DbDir(name));
   return Status::Ok();
+}
+
+Status Service::RecoverDatabase(std::string_view name) {
+  if (!options_.durability.enabled) {
+    return Status(StatusCode::kInvalidArgument,
+                  "RecoverDatabase requires ServiceOptions::durability");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (databases_.find(name) != databases_.end()) {
+      return Status(StatusCode::kAlreadyExists,
+                    "database \"" + std::string(name) +
+                        "\" is already registered");
+    }
+  }
+
+  store::DurableStore::Options store_options;
+  store_options.fsync = options_.durability.fsync;
+  store_options.fsync_interval = options_.durability.fsync_interval;
+  store_options.snapshot_interval = options_.durability.snapshot_interval;
+  store_options.persist_verdicts = options_.durability.persist_verdicts;
+  // Recover outside the registry lock: replay is O(state) and must not
+  // stall the service. A racing recovery of the same name does redundant
+  // read-only work; the registry insert keeps exactly one result.
+  StatusOr<store::DurableStore::OpenResult> opened =
+      store::DurableStore::Open(DbDir(name), store_options);
+  if (!opened.ok()) return opened.status();
+
+  auto entry = std::make_shared<DbEntry>(std::move(opened->db),
+                                         options_.solver_cache);
+  entry->durable = std::move(opened->store);
+  entry->recovered_verdicts = std::move(opened->verdicts);
+  entry->compactions = opened->meta.compactions;
+  entry->audits_run.store(opened->meta.audits_run,
+                          std::memory_order_relaxed);
+  entry->audit_violations.store(opened->meta.audit_violations,
+                                std::memory_order_relaxed);
+  entry->recoveries = 1;
+  // Preparation is deferred: the first solve or mutation pays the index
+  // build, so recovering N databases is I/O-bound, not index-bound.
+
+  std::lock_guard lock(mutex_);
+  if (databases_.find(name) != databases_.end()) {
+    return Status(StatusCode::kAlreadyExists,
+                  "database \"" + std::string(name) +
+                      "\" was registered while it was being recovered");
+  }
+  databases_.emplace(std::string(name), std::move(entry));
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> Service::RecoverAllDatabases() {
+  if (!options_.durability.enabled) {
+    return Status(StatusCode::kInvalidArgument,
+                  "RecoverAllDatabases requires ServiceOptions::durability");
+  }
+  StatusOr<std::vector<std::string>> entries =
+      store::ListDir(options_.durability.data_dir);
+  if (!entries.ok()) {
+    if (entries.status().code() == StatusCode::kNotFound) {
+      return std::vector<std::string>{};  // Nothing persisted yet.
+    }
+    return entries.status();
+  }
+  std::vector<std::string> recovered;
+  for (const std::string& dir : *entries) {
+    std::string name;
+    if (!UnescapeDbName(dir, &name)) continue;
+    // Partially-created or corrupt-beyond-fallback directories are
+    // skipped, not fatal: recovering the healthy databases matters more.
+    if (RecoverDatabase(name).ok()) recovered.push_back(std::move(name));
+  }
+  return recovered;
 }
 
 std::vector<std::string> Service::DatabaseNames() const {
@@ -220,6 +391,14 @@ std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
   made->state = q.state_;
   made->solver = std::make_unique<IncrementalSolver>(
       q.state_->solver, *entry.prepared, options_.verdict_cache);
+  // Seed the fresh cache with this query's persisted verdicts (recovery).
+  // Content-addressed fingerprints make them valid whenever a component
+  // re-reaches the recorded content, so re-seeding after an eviction is
+  // just as sound as the first seeding.
+  auto recovered = entry.recovered_verdicts.find(key);
+  if (recovered != entry.recovered_verdicts.end()) {
+    made->solver->ImportVerdicts(recovered->second);
+  }
   std::lock_guard lock(entry.inc_mu);
   // Same logical lookup as the probe above: don't count a second miss.
   if (auto* hit = entry.incremental.Find(key, /*count=*/false)) return *hit;
@@ -237,6 +416,45 @@ Service::LiveSolvers(DbEntry& entry) const {
         solvers.push_back(inc);
       });
   return solvers;
+}
+
+store::PersistedVerdictMap Service::ExportAllVerdicts(DbEntry& entry) const {
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<DbEntry::IncrementalEntry>>> solvers;
+  {
+    std::lock_guard lock(entry.inc_mu);
+    entry.incremental.ForEach(
+        [&](const std::string& key,
+            const std::shared_ptr<DbEntry::IncrementalEntry>& inc) {
+          solvers.emplace_back(key, inc);
+        });
+  }
+  store::PersistedVerdictMap map;
+  for (auto& [key, inc] : solvers) {
+    std::vector<store::PersistedVerdict> verdicts =
+        inc->solver->ExportVerdicts();
+    if (!verdicts.empty()) map.emplace(key, std::move(verdicts));
+  }
+  // Recovered verdicts whose solver was never re-created this run are
+  // carried forward — still valid (content-addressed), still worth a
+  // warm start next time.
+  for (const auto& [key, verdicts] : entry.recovered_verdicts) {
+    map.emplace(key, verdicts);  // No-op when a live export exists.
+  }
+  return map;
+}
+
+Status Service::SnapshotLocked(DbEntry& entry) const {
+  // Snapshots serialize the *compacted* columns (dense arena offsets are
+  // the format's contract), so reclaim tombstones first.
+  MaybeCompact(entry, LiveSolvers(entry), /*force=*/true);
+  store::MetaCounters meta;
+  meta.compactions = entry.compactions;
+  meta.audits_run = entry.audits_run.load(std::memory_order_relaxed);
+  meta.audit_violations =
+      entry.audit_violations.load(std::memory_order_relaxed);
+  return entry.durable->WriteSnapshot(entry.db, meta,
+                                      ExportAllVerdicts(entry));
 }
 
 bool Service::MaybeCompact(
@@ -272,6 +490,7 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
       // Benchmark baseline: the pre-sharding behavior, every incremental
       // solve exclusive per database.
       std::unique_lock lock((*entry)->structure);
+      EnsurePrepared(**entry);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
     } else {
@@ -279,11 +498,13 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
       // solves — cache hits and cache fills alike — proceed in parallel,
       // coordinating per component through the solver's shard locks.
       std::shared_lock lock((*entry)->structure);
+      EnsurePrepared(**entry);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
     }
   } else {
     std::shared_lock lock((*entry)->structure);
+    EnsurePrepared(**entry);
     report = ExecuteReport(q.classification(), q.state_->solver.backend(),
                            *(*entry)->prepared, options_.explain_non_certain);
   }
@@ -299,6 +520,7 @@ Status Service::InsertFacts(std::string_view db_name,
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
   std::unique_lock lock(entry.structure);
+  EnsurePrepared(entry);
 
   // Validate the whole batch before touching anything: a mutation either
   // applies completely or not at all.
@@ -308,6 +530,15 @@ Status Service::InsertFacts(std::string_view db_name,
     StatusOr<RelationId> rel = ResolveSpec(entry.db, spec);
     if (!rel.ok()) return rel.status();
     relations.push_back(*rel);
+  }
+
+  // WAL-before-apply: the batch is durable (per the fsync policy) before
+  // a single fact lands in memory; an append failure rejects the whole
+  // batch un-applied.
+  if (entry.durable != nullptr) {
+    Status logged = entry.durable->AppendBatch(
+        store::WalRecord::Kind::kInsert, ToNamedFacts(facts));
+    if (!logged.ok()) return logged;
   }
 
   std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers =
@@ -329,6 +560,12 @@ Status Service::InsertFacts(std::string_view db_name,
     for (const auto& inc : solvers) inc->solver->OnInsert(id);
     if (stats != nullptr) ++stats->applied;
   }
+  if (entry.durable != nullptr && entry.durable->ShouldSnapshot()) {
+    // The batch is already durable in the WAL; a snapshot failure only
+    // postpones compaction of the log, so it is deliberately swallowed.
+    Status snapshot = SnapshotLocked(entry);
+    (void)snapshot;
+  }
   return Status::Ok();
 }
 
@@ -339,6 +576,7 @@ Status Service::DeleteFacts(std::string_view db_name,
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
   std::unique_lock lock(entry.structure);
+  EnsurePrepared(entry);
 
   // Validate and resolve the whole batch before touching anything.
   std::vector<FactId> ids;
@@ -374,6 +612,14 @@ Status Service::DeleteFacts(std::string_view db_name,
     ids.push_back(id);
   }
 
+  // WAL-before-apply, as in InsertFacts: validated, then logged, then
+  // applied; never acknowledged without the log append succeeding.
+  if (entry.durable != nullptr) {
+    Status logged = entry.durable->AppendBatch(
+        store::WalRecord::Kind::kDelete, ToNamedFacts(facts));
+    if (!logged.ok()) return logged;
+  }
+
   std::vector<std::shared_ptr<DbEntry::IncrementalEntry>> solvers =
       LiveSolvers(entry);
   for (FactId id : ids) {
@@ -389,6 +635,10 @@ Status Service::DeleteFacts(std::string_view db_name,
   if (MaybeCompact(entry, solvers, /*force=*/false) && stats != nullptr) {
     ++stats->compactions;
   }
+  if (entry.durable != nullptr && entry.durable->ShouldSnapshot()) {
+    Status snapshot = SnapshotLocked(entry);
+    (void)snapshot;  // See InsertFacts: the WAL already covers the batch.
+  }
   return Status::Ok();
 }
 
@@ -397,8 +647,46 @@ Status Service::CompactDatabase(std::string_view db_name) {
   if (!found.ok()) return found.status();
   DbEntry& entry = **found;
   std::unique_lock lock(entry.structure);
+  EnsurePrepared(entry);
   MaybeCompact(entry, LiveSolvers(entry), /*force=*/true);
   return Status::Ok();
+}
+
+Status Service::CheckpointDatabase(std::string_view name) {
+  StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(name);
+  if (!found.ok()) return found.status();
+  DbEntry& entry = **found;
+  std::unique_lock lock(entry.structure);
+  if (entry.durable == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "database \"" + std::string(name) +
+                      "\" has no durable store (enable "
+                      "ServiceOptions::durability)");
+  }
+  EnsurePrepared(entry);
+  return SnapshotLocked(entry);
+}
+
+StatusOr<std::vector<FactSpec>> Service::ListFacts(
+    std::string_view db_name) const {
+  StatusOr<std::shared_ptr<DbEntry>> found = FindEntry(db_name);
+  if (!found.ok()) return found.status();
+  DbEntry& entry = **found;
+  std::shared_lock lock(entry.structure);
+  std::vector<FactSpec> out;
+  out.reserve(entry.db.NumAliveFacts());
+  for (FactId f = 0; f < entry.db.NumFacts(); ++f) {
+    if (!entry.db.alive(f)) continue;
+    FactRef fact = entry.db.fact(f);
+    FactSpec spec;
+    spec.relation = entry.db.schema().Relation(fact.relation).name;
+    spec.args.reserve(fact.args.size());
+    for (ElementId el : fact.args) {
+      spec.args.push_back(entry.db.elements().Name(el));
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
 }
 
 StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
@@ -487,8 +775,19 @@ ServiceStats Service::Stats() const {
     d.alive_facts = entry->db.NumAliveFacts();
     d.fact_slots = entry->db.NumFacts();
     d.tombstoned = entry->db.NumDeadSlots();
-    d.blocks = entry->prepared->blocks().size();
+    // A stats poll must not force a recovered entry's deferred index
+    // build; blocks read 0 until the first solve or mutation prepares.
+    d.blocks = entry->prepared_ready.load(std::memory_order_acquire)
+                   ? entry->prepared->blocks().size()
+                   : 0;
     d.compactions = entry->compactions;
+    if (entry->durable != nullptr) {
+      store::DurableStore::Counters wal = entry->durable->counters();
+      d.wal_records = wal.wal_records;
+      d.wal_bytes = wal.wal_bytes;
+      d.snapshots = wal.snapshots;
+    }
+    d.recoveries = entry->recoveries;
     // Snapshot the solver-map counters and list in one inc_mu section,
     // but sum the shard counters outside it: a shard mutex can be held
     // across a backend run, and blocking on it while holding inc_mu
@@ -535,6 +834,7 @@ StatusOr<AuditReport> Service::AuditDatabase(std::string_view db_name) const {
   // and compactions (exclusive) wait, which is what makes the snapshot
   // below internally consistent.
   std::shared_lock lock(entry->structure);
+  EnsurePrepared(*entry);
   report.Merge(::cqa::AuditDatabase(entry->db));
   report.Merge(AuditPrepared(*entry->prepared));
 

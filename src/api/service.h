@@ -58,9 +58,10 @@
 //
 // The acquisition order across these locks is a machine-checked hierarchy
 // (base/lock_rank.h): kServiceRegistry (mutex_) > kDbEntry (structure) >
-// kVerdictShard (inc_mu and the verdict-cache shard locks). Checking
-// builds (Debug/sanitizer trees, CQA_LOCK_RANK) abort with both
-// acquisition stacks on any out-of-order acquisition.
+// kWal (the DurableStore's WAL/snapshot lock) > kVerdictShard (inc_mu and
+// the verdict-cache shard locks). Checking builds (Debug/sanitizer trees,
+// CQA_LOCK_RANK) abort with both acquisition stacks on any out-of-order
+// acquisition.
 
 #ifndef CQA_API_SERVICE_H_
 #define CQA_API_SERVICE_H_
@@ -88,6 +89,7 @@
 #include "engine/batch.h"
 #include "engine/incremental.h"
 #include "engine/solver.h"
+#include "store/store.h"
 
 namespace cqa {
 
@@ -141,6 +143,32 @@ struct ServiceOptions {
   /// incremental solve (the pre-sharding PR 3 behavior) instead of
   /// running cache-filling solves in parallel under the shared lock.
   bool exclusive_lock_baseline = false;
+
+  // -- Durability (src/store) -----------------------------------------
+
+  /// On-disk durability for registered databases. When enabled, every
+  /// mutation batch is WAL-logged (and, per `fsync`, fsync'd) *before*
+  /// it is applied in memory and acknowledged; snapshots of the
+  /// compacted fact store are written every `snapshot_interval` batches;
+  /// RecoverDatabase rebuilds a database from the latest valid snapshot
+  /// plus the WAL tail, deferring index preparation to first use.
+  struct DurabilityOptions {
+    bool enabled = false;
+    /// Root directory; each database lives in <data_dir>/<escaped name>.
+    std::string data_dir;
+    /// When an acknowledged batch is guaranteed durable.
+    store::FsyncPolicy fsync = store::FsyncPolicy::kEveryBatch;
+    /// Batches between fsyncs under FsyncPolicy::kInterval.
+    std::uint32_t fsync_interval = 32;
+    /// WAL records between automatic snapshots; 0 disables them
+    /// (CheckpointDatabase still snapshots on demand).
+    std::uint32_t snapshot_interval = 1024;
+    /// Persist the verdict caches with each snapshot; recovery re-seeds
+    /// them (fingerprints are content-addressed, so persisted verdicts
+    /// are valid across restarts by construction).
+    bool persist_verdicts = true;
+  };
+  DurabilityOptions durability;
 };
 
 /// One fact named at the API boundary: a relation name plus element names
@@ -178,8 +206,16 @@ struct ServiceStats {
     CacheCounters verdicts;
     /// Debug layer: Service::AuditDatabase runs against this database
     /// and cumulative violations they found (0 is the healthy value).
+    /// Both survive a restart (they are persisted with each snapshot).
     std::uint64_t audits_run = 0;
     std::uint64_t audit_violations = 0;
+    /// Store layer (durability on): records/bytes in the live WAL,
+    /// snapshots written by this process, and whether this entry was
+    /// rebuilt from disk (1) or registered fresh (0).
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t recoveries = 0;
   };
 
   std::uint64_t compiled_queries = 0;
@@ -270,7 +306,38 @@ class Service {
   /// keep the entry alive (shared ownership) and finish normally; the
   /// storage is freed when the last of them returns. Witnesses held
   /// beyond that point into freed memory — discard them with the report.
+  /// With durability enabled, the database's on-disk WAL/snapshot
+  /// directory is deleted too, so a later RegisterDatabase under the
+  /// same name starts from a clean slate.
   [[nodiscard]] Status DropDatabase(std::string_view name);
+
+  // -- Durability (requires ServiceOptions::durability.enabled) -------
+
+  /// Rebuilds `name` from its on-disk state: latest valid snapshot, WAL
+  /// tail replayed on top (any torn or corrupt tail is detected by
+  /// checksum and cleanly truncated, never loaded), persisted verdict
+  /// cache re-seeded. Index preparation is deferred to the first solve
+  /// or mutation. Errors: kInvalidArgument (durability off),
+  /// kAlreadyExists (name registered), kNotFound (no durable state),
+  /// kCorruptedData (state exists but nothing decodes).
+  [[nodiscard]] Status RecoverDatabase(std::string_view name);
+
+  /// Recovers every database with durable state under data_dir; returns
+  /// the names recovered. Directories that fail to recover (partially
+  /// created, corrupt beyond the snapshot fallback) are skipped.
+  [[nodiscard]] StatusOr<std::vector<std::string>> RecoverAllDatabases();
+
+  /// Forces a durability checkpoint now: compacts the database, writes a
+  /// snapshot (with the verdict-cache export) and resets the WAL.
+  /// Errors: kNotFound, kInvalidArgument (database not durable),
+  /// kIoError.
+  [[nodiscard]] Status CheckpointDatabase(std::string_view name);
+
+  /// All alive facts of a registered database by name, in slot order
+  /// (recovery tests compare this against a shadow model). Errors:
+  /// kNotFound.
+  [[nodiscard]] StatusOr<std::vector<FactSpec>> ListFacts(
+      std::string_view db_name) const;
 
   /// Registered names in lexicographic order.
   std::vector<std::string> DatabaseNames() const;
@@ -359,8 +426,14 @@ class Service {
         : db(std::move(db_in)), incremental(solver_cache) {}
     Database db;
     // Prepared after `db` has its final address (construction order).
-    std::optional<PreparedDatabase> prepared;
-    double prepare_seconds = 0.0;
+    // Lazily built (EnsurePrepared): registration prepares eagerly, but
+    // recovery defers the O(db) index build to the first solve or
+    // mutation. `prepared_ready` lets Stats() peek without forcing the
+    // build; everyone else goes through EnsurePrepared.
+    mutable std::optional<PreparedDatabase> prepared;
+    mutable double prepare_seconds = 0.0;
+    mutable std::once_flag prepare_once;
+    mutable std::atomic<bool> prepared_ready{false};
     // Structure lock: mutations and compactions (which patch the
     // database, its preparation, and the component partitions) are
     // exclusive; every solve — including cache-filling incremental
@@ -391,13 +464,43 @@ class Service {
     // structure lock, read under the shared one.
     std::uint64_t compactions = 0;
     // Cumulative Service::AuditDatabase outcomes; atomic because audits
-    // run under the *shared* structure lock (they are reads).
+    // run under the *shared* structure lock (they are reads). Seeded
+    // from the snapshot's meta counters on recovery, so they survive a
+    // restart.
     mutable std::atomic<std::uint64_t> audits_run{0};
     mutable std::atomic<std::uint64_t> audit_violations{0};
+    // Durability (null when ServiceOptions::durability is off): the
+    // database's WAL + snapshot store. Mutations append under the
+    // exclusive structure lock before applying.
+    std::unique_ptr<store::DurableStore> durable;
+    // Verdicts loaded by recovery, imported into each incremental solver
+    // when it is (re)created; read-only after recovery. Content-
+    // addressed fingerprints keep them valid indefinitely.
+    store::PersistedVerdictMap recovered_verdicts;
+    // 1 when this entry was rebuilt from disk, 0 when registered fresh.
+    std::uint64_t recoveries = 0;
   };
 
   /// Looks up a registered database (service lock held inside).
   StatusOr<std::shared_ptr<DbEntry>> FindEntry(std::string_view db_name) const;
+
+  /// Builds the entry's prepared indexes if they are not built yet.
+  /// Caller holds the structure lock (shared suffices: preparation only
+  /// reads the database, and call_once serializes builders).
+  void EnsurePrepared(DbEntry& entry) const;
+
+  /// The on-disk directory of a database name under durability.data_dir.
+  std::string DbDir(std::string_view name) const;
+
+  /// Exports every live solver's verdict cache (plus still-unclaimed
+  /// recovered verdicts) keyed by solver cache key, for WriteSnapshot.
+  /// Caller holds the structure lock.
+  store::PersistedVerdictMap ExportAllVerdicts(DbEntry& entry) const;
+
+  /// Compacts (post-Compact is the snapshot's layout contract) and
+  /// writes a snapshot + verdict export + WAL reset. Caller holds the
+  /// exclusive structure lock.
+  Status SnapshotLocked(DbEntry& entry) const;
 
   /// The entry's incremental solver for `q`, created on first use.
   /// Caller holds the entry's structure lock (shared suffices: the map

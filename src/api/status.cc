@@ -13,6 +13,8 @@ std::string_view ToString(StatusCode code) {
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruptedData: return "CORRUPTED_DATA";
   }
   return "?";
 }
@@ -23,7 +25,8 @@ std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
       StatusCode::kUnknownBackend,  StatusCode::kCapabilityMismatch,
       StatusCode::kUnresolvedClass, StatusCode::kSchemaMismatch,
       StatusCode::kNotFound,        StatusCode::kAlreadyExists,
-      StatusCode::kInvalidArgument,
+      StatusCode::kInvalidArgument, StatusCode::kIoError,
+      StatusCode::kCorruptedData,
   };
   for (StatusCode code : kAll) {
     if (ToString(code) == name) return code;

@@ -34,6 +34,10 @@ enum class StatusCode {
   kNotFound,           ///< Unknown database name or stale handle.
   kAlreadyExists,      ///< Duplicate database registration.
   kInvalidArgument,    ///< Any other rejected input.
+  kIoError,            ///< A durability I/O operation failed (or a
+                       ///< simulated crash killed the store).
+  kCorruptedData,      ///< On-disk bytes failed a checksum or structural
+                       ///< validation; nothing of them was loaded.
 };
 
 /// Stable UPPER_SNAKE name of a code, e.g. "UNKNOWN_BACKEND".

@@ -17,6 +17,11 @@
 //   kDbEntry           DbEntry::structure, the per-database
 //                      reader/writer lock. Mutations/compactions hold it
 //                      exclusive, solves shared.
+//   kWal               DurableStore's mutex serializing WAL appends and
+//                      snapshot writes. Mutations take it under the
+//                      structure lock (append-then-apply); a snapshot
+//                      takes verdict-shard locks under it to export the
+//                      verdict cache.
 //   kVerdictShard      DbEntry::inc_mu (the solver-map lock) and the
 //                      16 IncrementalSolver shard locks. Taken under the
 //                      structure lock; inc_mu and a shard lock are never
@@ -52,8 +57,12 @@ namespace cqa {
 enum class LockRank : int {
   kSolverInternal = 0,  ///< Below everything: locks inside a backend run.
   kVerdictShard = 1,    ///< Solver-map lock + verdict-cache shard locks.
-  kDbEntry = 2,         ///< Per-database structure (reader/writer) lock.
-  kServiceRegistry = 3, ///< Service registry / compile-cache lock.
+  kWal = 2,             ///< DurableStore's WAL/snapshot lock. Taken under
+                        ///< the structure lock (mutations append before
+                        ///< applying); may take verdict-shard locks below
+                        ///< it (snapshot exports the verdict cache).
+  kDbEntry = 3,         ///< Per-database structure (reader/writer) lock.
+  kServiceRegistry = 4, ///< Service registry / compile-cache lock.
 };
 
 /// Stable name of a rank, e.g. "kDbEntry".

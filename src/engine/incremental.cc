@@ -55,6 +55,39 @@ CacheCounters IncrementalSolver::VerdictCacheCounters() const {
   return total;
 }
 
+std::vector<store::PersistedVerdict> IncrementalSolver::ExportVerdicts()
+    const {
+  std::vector<store::PersistedVerdict> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.cache.ForEach(
+        [&](const ComponentFingerprint& fp,
+            const std::shared_ptr<const CachedVerdict>& verdict) {
+          store::PersistedVerdict p;
+          p.fingerprint = fp;
+          p.certain = verdict->certain;
+          p.has_witness = verdict->has_witness;
+          p.witness_facts = verdict->witness_facts;
+          out.push_back(std::move(p));
+        });
+  }
+  return out;
+}
+
+void IncrementalSolver::ImportVerdicts(
+    const std::vector<store::PersistedVerdict>& verdicts) {
+  for (const store::PersistedVerdict& p : verdicts) {
+    CachedVerdict cv{p.certain, p.has_witness, p.witness_facts};
+    std::size_t bytes = VerdictBytes(cv);
+    Shard& shard = ShardFor(p.fingerprint);
+    std::lock_guard lock(shard.mu);
+    if (shard.cache.Find(p.fingerprint, /*count=*/false) != nullptr) continue;
+    shard.cache.Insert(p.fingerprint,
+                       std::make_shared<const CachedVerdict>(std::move(cv)),
+                       bytes);
+  }
+}
+
 void IncrementalSolver::AuditInto(AuditReport& report) const {
   report.Merge(AuditComponents(solver_->query(), *pdb_, components_));
   for (std::size_t i = 0; i < shards_.size(); ++i) {

@@ -51,6 +51,7 @@
 #include "base/lru.h"
 #include "data/prepared.h"
 #include "engine/solver.h"
+#include "store/snapshot.h"
 
 namespace cqa {
 
@@ -89,6 +90,17 @@ class IncrementalSolver {
   /// Counters of the verdict cache (entries, bytes, hits, misses,
   /// evictions), summed over the shards.
   CacheCounters VerdictCacheCounters() const;
+
+  /// Exports every cached verdict for snapshot persistence. Fingerprints
+  /// hash element *names*, so an exported verdict is valid in any future
+  /// process whose component reaches the same content. Takes each shard
+  /// lock in turn; safe alongside concurrent solves.
+  std::vector<store::PersistedVerdict> ExportVerdicts() const;
+
+  /// Seeds the cache from persisted verdicts (recovery). Entries beyond
+  /// the cache caps evict LRU as usual; the import is an optimization, so
+  /// losing some to the cap is fine.
+  void ImportVerdicts(const std::vector<store::PersistedVerdict>& verdicts);
 
   /// Deep-audits this solver's structures into `report` (data/audit.h):
   /// the component partition against a fresh repartition, and every

@@ -1,0 +1,96 @@
+#include "store/format.h"
+
+#include <array>
+
+namespace cqa {
+namespace store {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  std::uint32_t c = 0xffffffffu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void ByteWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+bool ByteReader::U8(std::uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<std::uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool ByteReader::U32(std::uint32_t* v) {
+  if (remaining() < 4) return false;
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::U64(std::uint64_t* v) {
+  if (remaining() < 8) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool ByteReader::Skip(std::size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::Str(std::string* s) {
+  std::uint32_t len = 0;
+  if (!U32(&len)) return false;
+  if (remaining() < len) return false;
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace store
+}  // namespace cqa

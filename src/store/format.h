@@ -1,0 +1,75 @@
+// Binary encoding primitives of the durability layer.
+//
+// Everything the store writes — WAL records, snapshots, verdict files —
+// is built from three primitives: fixed-width little-endian integers,
+// length-prefixed strings, and a CRC-32 over a finished payload. Writers
+// append into a std::string; readers are bounds-checked and *never* trust
+// a length field before checking it against the remaining bytes, so a
+// decoder fed arbitrary bytes (fuzz_wal_replay, a torn write) fails with
+// a typed Status instead of reading out of bounds.
+//
+// The encoding is deliberately fixed-width (no varints): snapshot columns
+// are bulk arrays of u32, and a fixed layout keeps the decoder's bounds
+// arithmetic trivially auditable.
+
+#ifndef CQA_STORE_FORMAT_H_
+#define CQA_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cqa {
+namespace store {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib recipe) over `data`. The one
+/// checksum of the on-disk formats: every WAL record and every snapshot
+/// body carries one, so a torn or bit-flipped write is detected before a
+/// single decoded field is believed.
+std::uint32_t Crc32(std::string_view data);
+
+/// Appends fixed-width little-endian values to an owned buffer.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte view. Every accessor returns false
+/// (leaving the output untouched) instead of reading past the end; a
+/// decoder turns that into a typed "truncated" Status.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* v);
+  bool U32(std::uint32_t* v);
+  bool U64(std::uint64_t* v);
+  /// Length-prefixed string; fails if the prefix exceeds the remaining
+  /// bytes (so a corrupt length cannot force a huge allocation).
+  bool Str(std::string* s);
+  /// Advances past `n` bytes; fails (without moving) if fewer remain.
+  bool Skip(std::size_t n);
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_FORMAT_H_

@@ -1,0 +1,344 @@
+#include "store/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace cqa {
+namespace store {
+namespace {
+
+// Process-global fault state. `armed` is the fast-path gate: with no
+// fault installed the per-op cost is one relaxed load plus the counter
+// increment. The mutex (a plain std::mutex, deliberately outside the
+// ranked hierarchy: it is a leaf that never nests with any other lock)
+// guards the slow path.
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_op_count{0};
+std::atomic<bool> g_tripped{false};
+std::mutex g_fault_mu;
+FaultPlan g_plan;
+
+/// What the current numbered op must do.
+enum class OpFate { kProceed, kFailCleanly, kPartialThenFail };
+
+/// Numbers this op and consults the fault plan. Called once per
+/// state-changing I/O operation, before it touches anything.
+OpFate CheckOp() {
+  std::uint64_t index = g_op_count.fetch_add(1, std::memory_order_relaxed);
+  if (!g_armed.load(std::memory_order_relaxed)) return OpFate::kProceed;
+  std::lock_guard lock(g_fault_mu);
+  if (g_tripped.load(std::memory_order_relaxed)) return OpFate::kFailCleanly;
+  if (index < g_plan.crash_at_op) return OpFate::kProceed;
+  g_tripped.store(true, std::memory_order_relaxed);
+  return g_plan.mode == FaultPlan::Mode::kPartialWrite
+             ? OpFate::kPartialThenFail
+             : OpFate::kFailCleanly;
+}
+
+Status CrashStatus(const char* what) {
+  return Status(StatusCode::kIoError,
+                std::string("simulated crash: ") + what);
+}
+
+Status Errno(const char* what, const std::string& path) {
+  return Status(StatusCode::kIoError, std::string(what) + " " + path + ": " +
+                                          std::strerror(errno));
+}
+
+/// Writes all of `bytes` to `fd` (retrying short writes).
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Status RemoveTreeImpl(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::Ok();
+    // Not a directory: remove as a file.
+    if (errno == ENOTDIR) {
+      if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+        return Errno("unlink", path);
+      }
+      return Status::Ok();
+    }
+    return Errno("opendir", path);
+  }
+  Status result = Status::Ok();
+  struct dirent* entry = nullptr;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    Status sub = RemoveTreeImpl(path + "/" + name);
+    if (!sub.ok() && result.ok()) result = sub;
+  }
+  ::closedir(dir);
+  if (!result.ok()) return result;
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("rmdir", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void InstallFault(const FaultPlan& plan) {
+  std::lock_guard lock(g_fault_mu);
+  g_plan = plan;
+  g_tripped.store(false, std::memory_order_relaxed);
+  g_op_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ClearFault() {
+  std::lock_guard lock(g_fault_mu);
+  g_armed.store(false, std::memory_order_relaxed);
+  g_tripped.store(false, std::memory_order_relaxed);
+  g_op_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t IoOpCount() {
+  return g_op_count.load(std::memory_order_relaxed);
+}
+
+bool FaultTripped() { return g_tripped.load(std::memory_order_relaxed); }
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+
+  // Op 1: write the tmp file (a torn write leaves a prefix in tmp, which
+  // readers never look at).
+  OpFate fate = CheckOp();
+  if (fate == OpFate::kFailCleanly) return CrashStatus("write");
+  std::size_t to_write =
+      fate == OpFate::kPartialThenFail ? bytes.size() / 2 : bytes.size();
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  bool wrote = WriteAll(fd, bytes.data(), to_write);
+  if (fate == OpFate::kPartialThenFail) {
+    ::fsync(fd);  // The torn prefix is what "survived the crash".
+    ::close(fd);
+    return CrashStatus("torn write");
+  }
+  if (!wrote) {
+    ::close(fd);
+    return Errno("write", tmp);
+  }
+
+  // Op 2: fsync the tmp file.
+  if (CheckOp() != OpFate::kProceed) {
+    ::close(fd);
+    return CrashStatus("fsync");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", tmp);
+  }
+  ::close(fd);
+
+  // Op 3: rename into place (atomic on POSIX).
+  if (CheckOp() != OpFate::kProceed) return CrashStatus("rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status(StatusCode::kNotFound, "no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (CheckOp() != OpFate::kProceed) return CrashStatus("remove");
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status MakeDirs(const std::string& path) {
+  if (CheckOp() != OpFate::kProceed) return CrashStatus("mkdir");
+  std::string partial;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    partial = path.substr(0, slash);
+    start = slash + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) {
+      return Status(StatusCode::kNotFound, "no such directory: " + path);
+    }
+    return Errno("opendir", path);
+  }
+  std::vector<std::string> names;
+  struct dirent* entry = nullptr;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  return names;
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  if (CheckOp() != OpFate::kProceed) return CrashStatus("rmtree");
+  return RemoveTreeImpl(path);
+}
+
+// -- AppendFile --------------------------------------------------------
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_),
+      pending_(std::move(other.pending_)),
+      synced_size_(other.synced_size_) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    pending_ = std::move(other.pending_);
+    synced_size_ = other.synced_size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+void AppendFile::Close() {
+  // No implicit flush: durability comes from Sync only (a destructor that
+  // silently synced would hide missing-fsync bugs from the crash tests).
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path,
+                                      std::int64_t truncate_to) {
+  if (truncate_to >= 0) {
+    if (CheckOp() != OpFate::kProceed) return CrashStatus("truncate");
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (truncate_to >= 0 &&
+      static_cast<std::uint64_t>(truncate_to) < size) {
+    if (::ftruncate(fd, truncate_to) != 0) {
+      ::close(fd);
+      return Errno("ftruncate", path);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Errno("fsync", path);
+    }
+    size = static_cast<std::uint64_t>(truncate_to);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  AppendFile file;
+  file.fd_ = fd;
+  file.synced_size_ = size;
+  return file;
+}
+
+Status AppendFile::Append(std::string_view bytes) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kIoError, "append on a closed file");
+  }
+  if (CheckOp() != OpFate::kProceed) return CrashStatus("append");
+  pending_.append(bytes.data(), bytes.size());
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) {
+    return Status(StatusCode::kIoError, "sync on a closed file");
+  }
+  OpFate fate = CheckOp();
+  if (fate == OpFate::kFailCleanly) return CrashStatus("sync");
+  std::size_t to_write = fate == OpFate::kPartialThenFail
+                             ? pending_.size() / 2
+                             : pending_.size();
+  if (!WriteAll(fd_, pending_.data(), to_write)) {
+    return Errno("write", "wal");
+  }
+  if (::fsync(fd_) != 0) return Errno("fsync", "wal");
+  if (fate == OpFate::kPartialThenFail) {
+    // The torn prefix is durable; the rest of the buffer died with the
+    // process.
+    synced_size_ += to_write;
+    pending_.clear();
+    return CrashStatus("torn sync");
+  }
+  synced_size_ += pending_.size();
+  pending_.clear();
+  return Status::Ok();
+}
+
+}  // namespace store
+}  // namespace cqa

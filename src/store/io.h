@@ -1,0 +1,148 @@
+// Storage I/O with crash-point fault injection.
+//
+// Every byte the durability layer persists flows through this file, and
+// every *state-changing* operation — buffering an append, flushing and
+// fsyncing, writing a file, renaming it into place, truncating, removing
+// — is one numbered "I/O op". A test installs a FaultPlan naming an op
+// index and a crash mode; when the numbered op is reached the simulated
+// process "dies": the op fails (kBeforeOp) or persists only a prefix of
+// its bytes (kPartialWrite, a torn write), and every subsequent op
+// returns kIoError until the fault is cleared. Reads are never faulted —
+// they model the *next* process, after the restart.
+//
+// The append path models a volatile page cache: AppendFile::Append only
+// buffers in memory, and the bytes reach the real file system only when
+// Sync flushes and fsyncs them. A crash therefore loses exactly the
+// un-synced suffix — which is what makes the fsync-policy matrix in
+// recovery_test mean something: under FsyncPolicy::kEveryBatch an
+// acknowledged mutation is durable by construction, while batched fsync
+// genuinely trades a window of acknowledged-but-lost batches for
+// throughput.
+//
+// With no fault installed the ops still count (IoOpCount), so a harness
+// can dry-run a workload once to learn the total op count W and then
+// enumerate crash points 0..W-1. All fault state is process-global and
+// mutex-guarded; production code never installs a fault, and the check
+// is one relaxed atomic load when none is installed.
+
+#ifndef CQA_STORE_IO_H_
+#define CQA_STORE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.h"
+
+namespace cqa {
+namespace store {
+
+// -- Fault injection (test hook) --------------------------------------
+
+struct FaultPlan {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// Index of the I/O op at which to crash (0-based, counted from the
+  /// last InstallFault/ClearFault). kNever = count ops, never crash.
+  std::uint64_t crash_at_op = kNever;
+
+  enum class Mode {
+    /// The op fails before changing anything; nothing of it is durable.
+    kBeforeOp,
+    /// The op persists a prefix of its bytes, then dies — a torn write.
+    /// Ops that move no bytes (rename, remove) degrade to kBeforeOp.
+    kPartialWrite,
+  };
+  Mode mode = Mode::kBeforeOp;
+};
+
+/// Installs `plan` and resets the op counter and the dead flag.
+void InstallFault(const FaultPlan& plan);
+
+/// Removes any fault and resets the op counter ("the process restarted").
+void ClearFault();
+
+/// I/O ops performed since the last InstallFault/ClearFault.
+std::uint64_t IoOpCount();
+
+/// True once an installed fault has fired (the simulated process is dead).
+bool FaultTripped();
+
+// -- Whole-file operations --------------------------------------------
+
+/// Writes `bytes` to `path` atomically: tmp file + fsync + rename, three
+/// I/O ops. A crash leaves either the old file or the new one, never a
+/// torn mix (a torn *tmp* is abandoned and ignored by readers).
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view bytes);
+
+/// Reads the whole file. kNotFound if absent, kIoError on a read failure.
+[[nodiscard]] StatusOr<std::string> ReadFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Removes a file; absent is not an error. One I/O op.
+[[nodiscard]] Status RemoveFile(const std::string& path);
+
+/// mkdir -p. One I/O op.
+[[nodiscard]] Status MakeDirs(const std::string& path);
+
+/// Names (not paths) of the entries in `path`, unsorted; "." and ".."
+/// excluded. kNotFound if the directory does not exist.
+[[nodiscard]] StatusOr<std::vector<std::string>> ListDir(
+    const std::string& path);
+
+/// rm -rf. One I/O op for the whole tree; absent is not an error.
+[[nodiscard]] Status RemoveDirRecursive(const std::string& path);
+
+// -- Append-only files (the WAL) --------------------------------------
+
+/// An append-only file with an explicit durability barrier. Append
+/// buffers in memory (one op); Sync flushes the buffer to the OS file
+/// and fsyncs it (one op). synced_size() is the byte count guaranteed to
+/// survive a crash. Not thread-safe: the caller serializes (the service
+/// holds the WAL lock).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Opens (creating if needed) for appending. `truncate_to` >= 0 first
+  /// truncates the file to that many bytes — recovery uses this to drop
+  /// a torn WAL tail before appending resumes.
+  [[nodiscard]] static StatusOr<AppendFile> Open(const std::string& path,
+                                                 std::int64_t truncate_to = -1);
+
+  /// Buffers `bytes` for the next Sync. One I/O op.
+  [[nodiscard]] Status Append(std::string_view bytes);
+
+  /// Flushes buffered bytes to the file and fsyncs. One I/O op; under
+  /// FaultPlan::Mode::kPartialWrite a prefix of the buffer lands on disk
+  /// (a torn record) before the simulated death.
+  [[nodiscard]] Status Sync();
+
+  /// Bytes known durable (synced). Buffered-but-unsynced bytes excluded.
+  std::uint64_t synced_size() const { return synced_size_; }
+  /// Bytes appended in total (synced + still buffered).
+  std::uint64_t appended_size() const {
+    return synced_size_ + pending_.size();
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+  std::uint64_t synced_size_ = 0;
+};
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_IO_H_

@@ -1,0 +1,106 @@
+// Snapshots: the compacted columnar fact store, serialized directly.
+//
+// A snapshot is one atomically-written file ("CQASNP01" magic, then a
+// CRC-32 over the rest) holding everything needed to rebuild a Database
+// byte-for-byte equivalent to the one it was taken from:
+//
+//   - the schema (relation names, arities, key lengths),
+//   - the full element interner, in insertion order — so every ElementId
+//     in the columns below (and in persisted witness facts) means the
+//     same element after the rebuild,
+//   - the fact columns: per-slot relation and alive flags plus the
+//     argument arena, concatenated span-by-span in slot order (offsets
+//     are re-derived densely; snapshots are written right after
+//     Compact(), so this is the layout the store already has),
+//   - the last WAL sequence number the snapshot covers, and the
+//     database's cumulative meta counters (compactions, audits) so
+//     Stats() survives a restart.
+//
+// DecodeSnapshot validates before it believes: every count against the
+// remaining bytes, every relation/element id against the decoded tables,
+// and — while rebuilding through the ordinary public Database API — that
+// AddFact assigns exactly the expected slot ids (which catches duplicate
+// facts and interner drift that the flat checks cannot see). Arbitrary
+// bytes yield a typed kCorruptedData, never an abort or a half-built
+// database.
+//
+// Verdict files ("CQAVRD01") ride alongside a snapshot: per solver cache
+// key, the component-fingerprint-keyed verdicts with their witness
+// tuples. Fingerprints hash element *names*, so a persisted verdict is
+// valid after recovery by construction; witness facts are stored by
+// element id, which the verbatim interner restore keeps meaningful (and
+// DecodeVerdicts re-validates every id against the recovered database).
+
+#ifndef CQA_STORE_SNAPSHOT_H_
+#define CQA_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/dynamic_components.h"
+#include "api/status.h"
+#include "data/database.h"
+
+namespace cqa {
+namespace store {
+
+inline constexpr std::string_view kSnapshotMagic = "CQASNP01";
+inline constexpr std::string_view kVerdictMagic = "CQAVRD01";
+
+/// Cumulative per-database counters that must survive a restart (the
+/// parts of Stats() that are history, not derivable from the facts).
+struct MetaCounters {
+  std::uint64_t compactions = 0;
+  std::uint64_t audits_run = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+/// Serializes `db` (schema + interner + columns) with its WAL watermark
+/// and meta counters.
+std::string EncodeSnapshot(const Database& db, std::uint64_t last_seq,
+                           const MetaCounters& meta);
+
+/// A successfully decoded and rebuilt snapshot.
+struct DecodedSnapshot {
+  Database db;
+  std::uint64_t last_seq = 0;
+  MetaCounters meta;
+
+  explicit DecodedSnapshot(Database d) : db(std::move(d)) {}
+};
+
+/// Decodes and rebuilds. Never aborts on any input; all failures are
+/// typed kCorruptedData.
+StatusOr<DecodedSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// One cached solve verdict, persisted content-addressed by component
+/// fingerprint. Mirrors engine/incremental.h's CachedVerdict (which this
+/// layer cannot include — the engine sits above the store).
+struct PersistedVerdict {
+  ComponentFingerprint fingerprint;
+  bool certain = false;
+  bool has_witness = false;
+  std::vector<Fact> witness_facts;
+};
+
+/// Verdicts grouped by solver cache key (std::map: deterministic encode
+/// order, so identical caches produce identical files).
+using PersistedVerdictMap =
+    std::map<std::string, std::vector<PersistedVerdict>>;
+
+std::string EncodeVerdicts(const PersistedVerdictMap& verdicts);
+
+/// Decodes a verdict file, validating every relation id, arity, and
+/// element id against `db` (the recovered database the verdicts will be
+/// imported into). Typed kCorruptedData on any violation — a corrupt
+/// verdict is never imported.
+StatusOr<PersistedVerdictMap> DecodeVerdicts(std::string_view bytes,
+                                             const Database& db);
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_SNAPSHOT_H_

@@ -1,0 +1,120 @@
+#include "store/wal.h"
+
+#include "store/format.h"
+
+namespace cqa {
+namespace store {
+
+namespace {
+
+Status Corrupt(std::string message) {
+  return Status(StatusCode::kCorruptedData, std::move(message));
+}
+
+/// Parses one checksummed payload into `record`. The payload has already
+/// passed its CRC, so a parse failure here means an encoder/decoder
+/// mismatch or a CRC collision on garbage — corrupt either way.
+bool ParsePayload(std::string_view payload, WalRecord* record) {
+  ByteReader reader(payload);
+  std::uint8_t kind = 0;
+  std::uint32_t nfacts = 0;
+  if (!reader.U8(&kind) || !reader.U64(&record->seq) || !reader.U32(&nfacts)) {
+    return false;
+  }
+  if (kind != static_cast<std::uint8_t>(WalRecord::Kind::kInsert) &&
+      kind != static_cast<std::uint8_t>(WalRecord::Kind::kDelete)) {
+    return false;
+  }
+  record->kind = static_cast<WalRecord::Kind>(kind);
+  record->facts.clear();
+  // No reserve from the untrusted count: each fact consumes at least 8
+  // bytes, so the bounds-checked reads terminate the loop on their own.
+  for (std::uint32_t i = 0; i < nfacts; ++i) {
+    NamedFact fact;
+    std::uint32_t nargs = 0;
+    if (!reader.Str(&fact.relation) || !reader.U32(&nargs)) return false;
+    for (std::uint32_t a = 0; a < nargs; ++a) {
+      std::string arg;
+      if (!reader.Str(&arg)) return false;
+      fact.args.push_back(std::move(arg));
+    }
+    record->facts.push_back(std::move(fact));
+  }
+  return reader.AtEnd();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  ByteWriter payload;
+  payload.U8(static_cast<std::uint8_t>(record.kind));
+  payload.U64(record.seq);
+  payload.U32(static_cast<std::uint32_t>(record.facts.size()));
+  for (const NamedFact& fact : record.facts) {
+    payload.Str(fact.relation);
+    payload.U32(static_cast<std::uint32_t>(fact.args.size()));
+    for (const std::string& arg : fact.args) payload.Str(arg);
+  }
+
+  ByteWriter frame;
+  frame.U32(static_cast<std::uint32_t>(payload.bytes().size()));
+  frame.U32(Crc32(payload.bytes()));
+  std::string out = frame.Take();
+  out += payload.bytes();
+  return out;
+}
+
+WalDecodeResult DecodeWal(std::string_view bytes) {
+  WalDecodeResult result;
+
+  // File magic. An empty file is a valid empty log (the header write
+  // itself can be lost to a crash); anything shorter than the magic is a
+  // truncated header, anything different is garbage.
+  if (bytes.empty()) return result;
+  if (bytes.size() < kWalMagic.size()) {
+    result.tail = Corrupt("wal: truncated header");
+    return result;
+  }
+  if (bytes.substr(0, kWalMagic.size()) != kWalMagic) {
+    result.tail = Corrupt("wal: garbage header");
+    return result;
+  }
+  result.valid_bytes = kWalMagic.size();
+
+  ByteReader reader(bytes);
+  reader.Skip(kWalMagic.size());
+
+  while (!reader.AtEnd()) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!reader.U32(&len) || !reader.U32(&crc)) {
+      result.tail = Corrupt("wal: truncated record frame");
+      return result;
+    }
+    if (len > kMaxWalPayload) {
+      result.tail = Corrupt("wal: garbage record length");
+      return result;
+    }
+    if (reader.remaining() < len) {
+      result.tail = Corrupt("wal: truncated record payload");
+      return result;
+    }
+    std::string_view payload = bytes.substr(reader.pos(), len);
+    if (Crc32(payload) != crc) {
+      result.tail = Corrupt("wal: bad record checksum");
+      return result;
+    }
+    WalRecord record;
+    if (!ParsePayload(payload, &record)) {
+      result.tail = Corrupt("wal: bad record payload");
+      return result;
+    }
+    reader.Skip(len);
+    result.records.push_back(std::move(record));
+    result.valid_bytes = reader.pos();
+  }
+  return result;
+}
+
+}  // namespace store
+}  // namespace cqa

@@ -1,0 +1,84 @@
+// Write-ahead log: length-prefixed, checksummed mutation records.
+//
+// One record per all-or-nothing InsertFacts/DeleteFacts batch, framed as
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//   payload = u8 kind | u64 seq | u32 nfacts |
+//             per fact: str relation | u32 nargs | nargs * str
+//
+// after an 8-byte file magic ("CQAWAL01"). Facts are logged by *name*
+// (relation and element strings, exactly the service's FactSpec shape),
+// so replay goes through the same interning path as the original
+// mutation and is independent of element-id assignment order.
+//
+// Sequence numbers are assigned by the writer, strictly increasing
+// across the database's lifetime; the snapshot records the last sequence
+// number it covers, and replay skips records at or below it, which makes
+// the snapshot-then-reset-WAL sequence crash-safe in any order.
+//
+// DecodeWal is the recovery (and fuzz) entry point: it decodes the
+// longest valid prefix and reports *why* it stopped as a typed Status —
+// kOk (clean end), or kCorruptedData naming a truncated record, a bad
+// checksum, a garbage header, or an unparseable payload. Recovery
+// truncates the file to the valid prefix; corrupt tails are never
+// silently replayed.
+
+#ifndef CQA_STORE_WAL_H_
+#define CQA_STORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.h"
+
+namespace cqa {
+namespace store {
+
+/// 8-byte magic opening every WAL file.
+inline constexpr std::string_view kWalMagic = "CQAWAL01";
+
+/// Upper bound on one record's payload; a length prefix past this is a
+/// garbage header, not a huge allocation.
+inline constexpr std::uint32_t kMaxWalPayload = 1u << 26;
+
+/// One fact named at the storage boundary: relation name plus element
+/// names. Identical in shape to the service's FactSpec (which converts).
+struct NamedFact {
+  std::string relation;
+  std::vector<std::string> args;
+};
+
+/// One all-or-nothing mutation batch.
+struct WalRecord {
+  enum class Kind : std::uint8_t { kInsert = 1, kDelete = 2 };
+
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kInsert;
+  std::vector<NamedFact> facts;
+};
+
+/// Frames one record (length prefix + checksum + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Outcome of decoding a WAL byte stream.
+struct WalDecodeResult {
+  std::vector<WalRecord> records;  ///< The longest valid prefix, in order.
+  /// Byte length of that prefix (including the magic); the recovery
+  /// truncation point when `tail` is not ok.
+  std::size_t valid_bytes = 0;
+  /// Why decoding stopped: Ok for a clean end of file, kCorruptedData
+  /// (with a message naming the failure: truncated record, bad checksum,
+  /// garbage header, bad payload) for anything else.
+  Status tail = Status::Ok();
+};
+
+/// Decodes `bytes` as a WAL file. Never aborts on any input; an empty
+/// input is a valid empty log.
+WalDecodeResult DecodeWal(std::string_view bytes);
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_WAL_H_

@@ -7,13 +7,22 @@
 //     (modulo shard rounding) and the solver map within its cap,
 //   - delta-solve answers stay identical to rebuild-solve answers and
 //     witnesses verify.
+// The run is durable: every few hundred mutations the process
+// "crashes" (a fault plan kills all further I/O, the Service is torn
+// down mid-flight) and a fresh Service recovers the database from its
+// WAL + snapshots — after which the recovered fact set must equal the
+// shadow model exactly (fsync-per-batch: acknowledged means durable)
+// and all of the bounds above keep holding across the reopen.
 // This is the ISSUE's 100k-churn acceptance scenario scaled to a CI
 // budget; bench_churn covers the full-size run.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/service.h"
@@ -21,6 +30,7 @@
 #include "base/rng.h"
 #include "engine/incremental.h"
 #include "gen/workloads.h"
+#include "store/io.h"
 
 namespace cqa {
 namespace {
@@ -40,12 +50,19 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     // workload's component count exceeds the verdict bound.
     options.verdict_cache = CacheOptions{/*max_entries=*/160, /*max_bytes=*/0};
     options.solver_cache = CacheOptions{/*max_entries=*/4, /*max_bytes=*/0};
-    Service service(options);
+    // Durable, fsync-per-batch: the periodic simulated crashes below may
+    // not lose a single acknowledged mutation.
+    options.durability.enabled = true;
+    options.durability.data_dir =
+        ::testing::TempDir() + "cqa_soak_" + std::to_string(config);
+    options.durability.snapshot_interval = 256;
+    ASSERT_TRUE(store::RemoveDirRecursive(options.durability.data_dir).ok());
+    auto service = std::make_unique<Service>(options);
 
     CompileOptions copts;
     copts.forced_backend = kForced[config % 2];
     StatusOr<CompiledQuery> q =
-        service.Compile(kQueries[config / 2], copts);
+        service->Compile(kQueries[config / 2], copts);
     ASSERT_TRUE(q.ok()) << q.status().ToString();
 
     // A pool of candidate facts; roughly half present at any time.
@@ -72,19 +89,22 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
       initial.AddFactNamed(rel, specs[i].args);
       present[i] = true;
     }
-    ASSERT_TRUE(service.RegisterDatabase("db", std::move(initial)).ok());
+    ASSERT_TRUE(service->RegisterDatabase("db", std::move(initial)).ok());
 
     const int kMutations = 2600;  // x4 configs > 10k total.
     std::uint64_t compactions = 0;
     std::uint64_t peak_slots = 0;
     std::uint64_t peak_verdicts = 0;
+    // Eviction counters are per-Service; the crash cycles below replace
+    // the Service, so carry the count across generations.
+    std::uint64_t evictions_before_crashes = 0;
     for (int step = 0; step < kMutations; ++step) {
       std::size_t pick = rng.Below(specs.size());
       MutationStats mstats;
       Status applied =
           present[pick]
-              ? service.DeleteFacts("db", {specs[pick]}, &mstats)
-              : service.InsertFacts("db", {specs[pick]}, &mstats);
+              ? service->DeleteFacts("db", {specs[pick]}, &mstats)
+              : service->InsertFacts("db", {specs[pick]}, &mstats);
       ASSERT_TRUE(applied.ok()) << applied.ToString();
       present[pick] = !present[pick];
       compactions += mstats.compactions;
@@ -93,7 +113,7 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
       // over; compare against a rebuild periodically (it is the
       // expensive part).
       if (step % 5 == 0) {
-        StatusOr<SolveReport> delta = service.Solve(*q, "db");
+        StatusOr<SolveReport> delta = service->Solve(*q, "db");
         ASSERT_TRUE(delta.ok()) << delta.status().ToString();
         if (delta->witness.has_value()) {
           Status verified =
@@ -108,24 +128,66 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
             RelationId rel = rebuild.schema().Find(specs[i].relation);
             rebuild.AddFactNamed(rel, specs[i].args);
           }
-          StatusOr<SolveReport> fresh = service.Solve(*q, rebuild);
+          StatusOr<SolveReport> fresh = service->Solve(*q, rebuild);
           ASSERT_TRUE(fresh.ok());
           ASSERT_EQ(delta->certain, fresh->certain)
               << "config " << config << " step " << step;
         }
       }
 
+      // Periodic simulated crash + reopen: kill all further I/O (the
+      // dying Service cannot flush anything on the way out), tear it
+      // down mid-flight, recover on a fresh Service, and require the
+      // recovered fact set to equal the shadow model exactly —
+      // fsync-per-batch means not one acknowledged mutation may be
+      // missing. The solver caches restart cold (minus the persisted
+      // verdicts), so the bounds below also re-prove themselves from a
+      // recovered state.
+      if (step % 650 == 649) {
+        evictions_before_crashes +=
+            service->Stats().databases[0].verdicts.evictions;
+        store::FaultPlan plan;
+        plan.crash_at_op = 0;
+        store::InstallFault(plan);
+        service.reset();  // The "crash": destructor I/O all fails.
+        store::ClearFault();
+
+        service = std::make_unique<Service>(options);
+        Status recovered = service->RecoverDatabase("db");
+        ASSERT_TRUE(recovered.ok())
+            << "config " << config << " step " << step << ": "
+            << recovered.ToString();
+        q = service->Compile(kQueries[config / 2], copts);
+        ASSERT_TRUE(q.ok());
+
+        StatusOr<std::vector<FactSpec>> listed = service->ListFacts("db");
+        ASSERT_TRUE(listed.ok());
+        std::set<std::pair<std::string, std::vector<std::string>>> state;
+        for (const FactSpec& f : *listed) state.insert({f.relation, f.args});
+        std::set<std::pair<std::string, std::vector<std::string>>> shadow;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          if (present[i]) shadow.insert({specs[i].relation, specs[i].args});
+        }
+        ASSERT_EQ(state, shadow)
+            << "config " << config << " step " << step
+            << ": recovery lost or invented facts";
+
+        StatusOr<AuditReport> audit = service->AuditDatabase("db");
+        ASSERT_TRUE(audit.ok());
+        ASSERT_TRUE(audit->ok()) << audit->ToString();
+      }
+
       // Deep audit of every delta-maintained structure (data/audit.h);
       // its per-pass cost is a fresh repartition, so sample it.
       if (step % 100 == 0) {
-        StatusOr<AuditReport> audit = service.AuditDatabase("db");
+        StatusOr<AuditReport> audit = service->AuditDatabase("db");
         ASSERT_TRUE(audit.ok()) << audit.status().ToString();
         ASSERT_TRUE(audit->ok())
             << audit->ToString() << "config " << config << " step " << step;
       }
 
       if (step % 20 == 0) {
-        ServiceStats stats = service.Stats();
+        ServiceStats stats = service->Stats();
         ASSERT_EQ(stats.databases.size(), 1u);
         const ServiceStats::DatabaseStats& d = stats.databases[0];
         peak_slots = std::max(peak_slots, d.fact_slots);
@@ -147,12 +209,14 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     }
 
     // The run must actually have exercised the lifecycle machinery.
-    ServiceStats stats = service.Stats();
+    ServiceStats stats = service->Stats();
     EXPECT_GT(compactions, 0u) << "config " << config;
     EXPECT_GT(peak_slots, stats.databases[0].alive_facts)
         << "config " << config;
     EXPECT_GT(peak_verdicts, 0u) << "config " << config;
-    EXPECT_GT(stats.databases[0].verdicts.evictions, 0u)
+    EXPECT_GT(evictions_before_crashes +
+                  stats.databases[0].verdicts.evictions,
+              0u)
         << "config " << config;
   }
 }
