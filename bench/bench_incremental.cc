@@ -158,6 +158,93 @@ void BM_RebuildSolve(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
+/// EXP-E3: warm SAT sessions vs rebuild-encoding, same delta path. Both
+/// variants force the sat backend and re-solve only delta-touched
+/// components through the verdict cache; the only difference is
+/// ServiceOptions::warm_sat_solvers. Warm keeps one incremental CDCL
+/// solver per component lineage (activation-literal retraction, learned
+/// clauses surviving the mutation); cold re-materializes the component
+/// sub-database and re-encodes its falsifier CNF into a fresh solver on
+/// every dirty solve. The gap is the materialize+encode+load cost the
+/// session amortizes, so the workload gives it something to amortize:
+/// `width`-fact clusters — R(k | a) plus width-1 blockmates R(a | b_j)
+/// in one wide block — mutated within a small hot set of clusters so the
+/// per-lineage solver is warm after the first visit (the anchor block
+/// R(k | a) never changes).
+constexpr std::uint32_t kSatHotClusters = 32;
+
+std::vector<FactSpec> WideClusteredFacts(std::uint32_t num_clusters,
+                                         std::uint32_t width) {
+  std::vector<FactSpec> facts;
+  facts.reserve(static_cast<std::size_t>(num_clusters) * width);
+  for (std::uint32_t i = 0; i < num_clusters; ++i) {
+    std::string c = "w" + std::to_string(i) + "_";
+    facts.push_back({"R", {c + "k", c + "a"}});
+    for (std::uint32_t j = 0; j + 1 < width; ++j) {
+      facts.push_back({"R", {c + "a", c + "b" + std::to_string(j)}});
+    }
+  }
+  return facts;
+}
+
+void SatResolveBody(benchmark::State& state, bool warm) {
+  std::uint32_t num_clusters = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t width = static_cast<std::uint32_t>(state.range(1));
+
+  ServiceOptions options;
+  options.warm_sat_solvers = warm;
+  Service service(options);
+  CompileOptions copts;
+  copts.forced_backend = "sat";
+  StatusOr<CompiledQuery> q = service.Compile(kQuery, copts);
+  CQA_CHECK(q.ok());
+  std::vector<FactSpec> facts = WideClusteredFacts(num_clusters, width);
+  CQA_CHECK(service
+                .RegisterDatabase("stream",
+                                  BuildDatabase(q->query().schema(), facts))
+                .ok());
+  CQA_CHECK(service.Solve(*q, "stream").ok());
+
+  Rng rng(0xBE7C);
+  std::uint64_t fresh_counter = 0;
+  std::uint32_t hot = std::min(num_clusters, kSatHotClusters);
+  for (auto _ : state) {
+    std::string c = "w" + std::to_string(rng.Below(hot)) + "_";
+    std::vector<FactSpec> delta = {
+        {"R", {c + "a", "fresh" + std::to_string(fresh_counter++)}}};
+    CQA_CHECK(service.InsertFacts("stream", delta).ok());
+    StatusOr<SolveReport> after_insert = service.Solve(*q, "stream");
+    CQA_CHECK(after_insert.ok());
+    CQA_CHECK(after_insert->sat_warm == warm);
+    benchmark::DoNotOptimize(after_insert->certain);
+    CQA_CHECK(service.DeleteFacts("stream", delta).ok());
+    StatusOr<SolveReport> after_delete = service.Solve(*q, "stream");
+    CQA_CHECK(after_delete.ok());
+    benchmark::DoNotOptimize(after_delete->certain);
+  }
+  ServiceStats stats = service.Stats();
+  const ServiceStats::DatabaseStats& d = stats.databases[0];
+  double solves = 2.0 * static_cast<double>(state.iterations());
+  state.counters["solves"] =
+      benchmark::Counter(solves, benchmark::Counter::kIsRate);
+  if (warm) {
+    CQA_CHECK(d.sat.solves > 0);
+    state.counters["warm_solves_per_solve"] =
+        static_cast<double>(d.sat.warm_solves) / solves;
+    state.counters["clauses_retracted"] =
+        static_cast<double>(d.sat.clauses_retracted);
+    state.counters["learned_kept"] = static_cast<double>(d.sat.learned_kept);
+  }
+}
+
+void BM_SatSessionSolve(benchmark::State& state) {
+  SatResolveBody(state, /*warm=*/true);
+}
+
+void BM_SatRebuildEncodingSolve(benchmark::State& state) {
+  SatResolveBody(state, /*warm=*/false);
+}
+
 void DeltaArgs(benchmark::internal::Benchmark* bench) {
   for (std::int64_t facts : {10002, 30000}) {
     for (std::int64_t delta : {1, 16, 128}) {
@@ -167,8 +254,20 @@ void DeltaArgs(benchmark::internal::Benchmark* bench) {
   bench->Unit(benchmark::kMillisecond);
 }
 
+void SatArgs(benchmark::internal::Benchmark* bench) {
+  // {clusters, cluster width}: 64x64 = 4k facts, 256x64 = 16k facts.
+  for (std::int64_t clusters : {64, 256}) {
+    for (std::int64_t width : {16, 64}) {
+      bench->Args({clusters, width});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_DeltaSolve)->Apply(DeltaArgs);
 BENCHMARK(BM_RebuildSolve)->Apply(DeltaArgs);
+BENCHMARK(BM_SatSessionSolve)->Apply(SatArgs);
+BENCHMARK(BM_SatRebuildEncodingSolve)->Apply(SatArgs);
 
 }  // namespace
 }  // namespace cqa

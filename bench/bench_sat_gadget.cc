@@ -11,12 +11,17 @@
 // Custom main (not google-benchmark): the A/B needs per-case parity
 // assertions and the shared BENCH_*.json emitter.
 //
-//   ./bench_sat_gadget [--smoke] [--label=L] [--solvers=dpll,cdcl]
-//                      [--out=DIR]
+//   ./bench_sat_gadget [--smoke] [--label=L]
+//                      [--solvers=dpll,cdcl,cdcl_inc] [--out=DIR]
 //
 // The DPLL stays available behind --solvers for A/B runs until a few
 // PRs of BENCH history confirm the CDCL everywhere; CDCL is the
-// production path (engine/backends.cc).
+// production path (engine/backends.cc). The cdcl_inc solver is the
+// persistent CdclSolver measured on the repeated-solve tier: the same
+// CNF decided round after round under a shifting assumption literal
+// (the mutate/re-solve shape the warm falsifier sessions see), warm
+// incremental vs a fresh SolveCdcl per round, with per-round verdict
+// parity asserted between the two.
 
 #include <cstdio>
 #include <string>
@@ -107,10 +112,93 @@ struct Options {
   bool smoke = false;
   bool run_dpll = true;
   bool run_cdcl = true;
+  bool run_cdcl_inc = true;
   std::string label = "adhoc";
   std::string out_dir;
   double min_seconds = 0.3;
 };
+
+/// Deterministic shifting assumption for repeat round `r`: walk the
+/// variables in order, flipping polarity on every pass.
+Literal AssumptionFor(std::uint64_t r, std::uint32_t num_vars) {
+  std::uint32_t var = static_cast<std::uint32_t>(r % num_vars);
+  bool positive = (r / num_vars) % 2 == 0;
+  return Literal{var, positive};
+}
+
+/// Repeated-solve tier: decide the same CNF over and over under a
+/// shifting assumption literal. "cdcl" pays a fresh solver (clause
+/// re-load included) per round, with the assumption appended as a unit
+/// clause; "cdcl_inc" loads the clauses once and re-solves one warm
+/// CdclSolver under the assumption, reusing watches, learned clauses,
+/// scores, and phases. When both run, the first rounds are checked for
+/// verdict parity (a unit clause and an assumption are equisatisfiable
+/// constraints).
+void RunRepeatTier(const Suite::Case& c, const Options& opt,
+                   bench::BenchJsonWriter& writer) {
+  if (!opt.run_cdcl && !opt.run_cdcl_inc) return;
+  CQA_CHECK(c.phi.num_vars > 0);
+
+  CdclSolver warm;
+  warm.AddVars(c.phi.num_vars);
+  for (const Clause& cl : c.phi.clauses) warm.AddClause(cl);
+
+  // Fresh-path scratch formula: last clause slot holds the round's unit.
+  CnfFormula work = c.phi;
+  work.clauses.emplace_back();
+
+  if (opt.run_cdcl && opt.run_cdcl_inc) {
+    for (std::uint64_t r = 0; r < 12; ++r) {
+      Literal lit = AssumptionFor(r, c.phi.num_vars);
+      work.clauses.back() = Clause{lit};
+      bool fresh_sat = SolveCdcl(work).satisfiable;
+      bool warm_sat = warm.SolveUnderAssumptions({lit});
+      CQA_CHECK_MSG(fresh_sat == warm_sat,
+                    "warm incremental verdict diverged from fresh solve");
+    }
+  }
+
+  std::uint64_t fresh_round = 0, warm_round = 0;
+  std::uint64_t fresh_sat_rounds = 0, warm_sat_rounds = 0;
+  bench::Measurement fresh_m, warm_m;
+  if (opt.run_cdcl) {
+    fresh_m = bench::Measure(
+        [&] {
+          Literal lit = AssumptionFor(fresh_round++, c.phi.num_vars);
+          work.clauses.back() = Clause{lit};
+          fresh_sat_rounds += SolveCdcl(work).satisfiable ? 1 : 0;
+        },
+        opt.min_seconds);
+    writer.Add("repeat/" + c.name, "cdcl", fresh_m,
+               {{"vars", static_cast<double>(c.phi.num_vars)},
+                {"clauses", static_cast<double>(c.phi.clauses.size())}});
+  }
+  if (opt.run_cdcl_inc) {
+    warm_m = bench::Measure(
+        [&] {
+          Literal lit = AssumptionFor(warm_round++, c.phi.num_vars);
+          warm_sat_rounds += warm.SolveUnderAssumptions({lit}) ? 1 : 0;
+        },
+        opt.min_seconds);
+    const CdclStats& s = warm.stats();
+    writer.Add("repeat/" + c.name, "cdcl_inc", warm_m,
+               {{"vars", static_cast<double>(c.phi.num_vars)},
+                {"clauses", static_cast<double>(c.phi.clauses.size())},
+                {"warm_solves", static_cast<double>(s.warm_solves)},
+                {"conflicts", static_cast<double>(s.conflicts)},
+                {"learned_kept", static_cast<double>(s.learned_kept)},
+                {"db_reductions", static_cast<double>(s.db_reductions)}});
+  }
+  if (opt.run_cdcl && opt.run_cdcl_inc) {
+    double fresh_op = fresh_m.wall_seconds / fresh_m.iterations;
+    double warm_op = warm_m.wall_seconds / warm_m.iterations;
+    std::printf(
+        "repeat/%-11s  fresh=%9.1fus  warm=%9.1fus  speedup=%5.1fx\n",
+        c.name.c_str(), fresh_op * 1e6, warm_op * 1e6, fresh_op / warm_op);
+  }
+  (void)fresh_sat_rounds;
+  (void)warm_sat_rounds;
+}
 
 void RunSuite(const Options& opt) {
   auto q2 = ParseQuery(kQ2);
@@ -147,6 +235,8 @@ void RunSuite(const Options& opt) {
                 (opt.run_cdcl ? cdcl_phi : dpll_phi).satisfiable
                     ? "sat"
                     : "unsat");
+
+    RunRepeatTier(c, opt, writer);
 
     if (!c.reduction_ready) continue;
 
@@ -217,10 +307,24 @@ int main(int argc, char** argv) {
                                     opt.smoke ? "smoke" : "adhoc");
   opt.out_dir = cqa::bench::FlagValue(argc, argv, "--out", "");
   std::string solvers =
-      cqa::bench::FlagValue(argc, argv, "--solvers", "dpll,cdcl");
-  opt.run_dpll = solvers.find("dpll") != std::string::npos;
-  opt.run_cdcl = solvers.find("cdcl") != std::string::npos;
-  CQA_CHECK_MSG(opt.run_dpll || opt.run_cdcl, "--solvers named no solver");
+      cqa::bench::FlagValue(argc, argv, "--solvers", "dpll,cdcl,cdcl_inc");
+  // Exact comma-separated tokens ("cdcl" must not also enable cdcl_inc).
+  auto has_solver = [&solvers](const std::string& name) {
+    std::size_t pos = 0;
+    while (pos <= solvers.size()) {
+      std::size_t comma = solvers.find(',', pos);
+      std::size_t end = comma == std::string::npos ? solvers.size() : comma;
+      if (solvers.compare(pos, end - pos, name) == 0) return true;
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return false;
+  };
+  opt.run_dpll = has_solver("dpll");
+  opt.run_cdcl = has_solver("cdcl");
+  opt.run_cdcl_inc = has_solver("cdcl_inc");
+  CQA_CHECK_MSG(opt.run_dpll || opt.run_cdcl || opt.run_cdcl_inc,
+                "--solvers named no solver");
   cqa::RunSuite(opt);
   return 0;
 }

@@ -165,6 +165,43 @@ void Run(const Options& opt) {
     }
   }
 
+  // Ingest: fact-by-fact AddFact (every insert probes the content index
+  // for set semantics) followed by a FindFact sweep — the ArgSpan
+  // equality + FactHash hot path, on an arity-4 relation so the word-wise
+  // tuple compare/hash has whole 8-byte words to chew.
+  {
+    auto q = ParseQuery("R(x, u | x, y) R(u, y | x, z)");
+    std::vector<std::uint32_t> sizes =
+        opt.smoke ? std::vector<std::uint32_t>{1024}
+                  : std::vector<std::uint32_t>{8192, 30000};
+    for (std::uint32_t n : sizes) {
+      Database source = Make(q, n, 96);
+      std::vector<Fact> facts;
+      facts.reserve(source.NumFacts());
+      for (FactId f = 0; f < source.NumFacts(); ++f) {
+        facts.push_back(source.MaterializeFact(f));
+      }
+      bench::Measurement m = bench::Measure(
+          [&] {
+            Database db(source.schema());
+            for (const Fact& f : facts) {
+              db.AddFact(f.relation, f.args);
+            }
+            std::size_t found = 0;
+            for (const Fact& f : facts) {
+              found += db.FindFact(f) != Database::kNoFact ? 1 : 0;
+            }
+            CQA_CHECK(found == facts.size());
+          },
+          opt.min_seconds);
+      writer.Add("ingest/" + std::to_string(n), opt.variant, m,
+                 {{"facts", static_cast<double>(facts.size())}});
+      std::printf("%-24s  %8.3f ms/op\n",
+                  ("ingest/" + std::to_string(n)).c_str(),
+                  1e3 * m.wall_seconds / static_cast<double>(m.iterations));
+    }
+  }
+
   // Solution enumeration: the hash join over per-relation fact indexes —
   // the tight loop the argument arena feeds directly.
   {

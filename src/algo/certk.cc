@@ -1,7 +1,9 @@
 #include "algo/certk.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
 
 #include "base/check.h"
 #include "base/hash.h"
@@ -33,14 +35,32 @@ FactSet Union(const FactSet& a, const FactSet& b) {
   return out;
 }
 
-/// Antichain of subset-minimal derived sets, with a hash index for
-/// duplicate suppression.
+/// Antichain of subset-minimal derived sets, indexed for the worklist
+/// fixpoint: members live in append-only slots stamped with the insertion
+/// generation (so a block can split pieces into seen/unseen), and a
+/// per-fact bucket maps each fact to the slots containing it. The bucket
+/// serves two queries: Implies(s) scans only members whose *smallest* fact
+/// lies in s (a subset's minimum is an element, so no member is missed and
+/// each is visited once), and ForEachContaining(u) enumerates exactly the
+/// members a block fact u can use as a witness piece. Removed members keep
+/// their slot (alive_ goes false); bucket entries are filtered lazily.
 class Antichain {
  public:
+  /// Generation of the most recent insertion (0 before any).
+  std::uint64_t generation() const { return gen_; }
+
   /// True if some member is a subset of s.
   bool Implies(const FactSet& s) const {
-    for (const FactSet& m : members_) {
-      if (m.size() <= s.size() && IsSubset(m, s)) return true;
+    if (has_empty_) return true;
+    for (FactId f : s) {
+      auto it = by_fact_.find(f);
+      if (it == by_fact_.end()) continue;
+      for (std::uint32_t slot : it->second) {
+        if (!alive_[slot]) continue;
+        const FactSet& m = slots_[slot];
+        if (m.front() != f) continue;  // Visit each member at its min only.
+        if (m.size() <= s.size() && IsSubset(m, s)) return true;
+      }
     }
     return false;
   }
@@ -49,22 +69,44 @@ class Antichain {
   /// s was already implied.
   bool Insert(const FactSet& s) {
     if (Implies(s)) return false;
-    members_.erase(
-        std::remove_if(members_.begin(), members_.end(),
-                       [&](const FactSet& m) { return IsSubset(s, m); }),
-        members_.end());
-    members_.push_back(s);
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (alive_[slot] && IsSubset(s, slots_[slot])) {
+        alive_[slot] = false;
+        --alive_count_;
+      }
+    }
+    std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+    for (FactId f : s) by_fact_[f].push_back(slot);
+    slots_.push_back(s);
+    alive_.push_back(true);
+    slot_gen_.push_back(++gen_);
+    ++alive_count_;
+    if (s.empty()) has_empty_ = true;
     return true;
   }
 
-  bool ContainsEmpty() const {
-    return members_.size() == 1 && members_[0].empty();
+  bool ContainsEmpty() const { return has_empty_; }
+
+  std::uint64_t NumAlive() const { return alive_count_; }
+
+  /// Calls fn(member, generation) for every live member containing u.
+  template <typename Fn>
+  void ForEachContaining(FactId u, Fn fn) const {
+    auto it = by_fact_.find(u);
+    if (it == by_fact_.end()) return;
+    for (std::uint32_t slot : it->second) {
+      if (alive_[slot]) fn(slots_[slot], slot_gen_[slot]);
+    }
   }
 
-  const std::vector<FactSet>& members() const { return members_; }
-
  private:
-  std::vector<FactSet> members_;
+  std::vector<FactSet> slots_;
+  std::vector<char> alive_;
+  std::vector<std::uint64_t> slot_gen_;
+  std::unordered_map<FactId, std::vector<std::uint32_t>> by_fact_;
+  std::uint64_t gen_ = 0;
+  std::uint64_t alive_count_ = 0;
+  bool has_empty_ = false;
 };
 
 /// Per-block conflict check: a k-set may contain at most one fact per block.
@@ -77,46 +119,75 @@ bool ExtendableToRepair(const PreparedDatabase& pdb, const FactSet& s) {
   return true;
 }
 
+/// One candidate witness piece for a block fact: m \ {u} for a member m
+/// containing u, tagged with whether m postdates the block's last visit.
+struct Piece {
+  FactSet set;
+  bool is_new = false;
+};
+
 /// DFS over per-fact witness pieces for one block, accumulating the union.
-/// pieces[i] lists candidate sets P with P ⊆ S ∪ {u_i} ⇔ P \ {u_i} ⊆ S;
-/// we build S as the union of one piece per fact. Newly derived sets are
-/// inserted into the antichain immediately, which both strengthens the
-/// pruning for the remainder of the search and lets the empty set abort
-/// everything.
+/// pieces[i] lists candidate sets P = m \ {u_i} over antichain members m
+/// *containing* u_i (a member without u_i would sit whole inside the
+/// union, making it implied — such choices can never derive anything).
+/// Delta discipline: a union of pieces all of which were already present
+/// at the block's previous visit was derived-or-pruned then, so every
+/// useful branch must pick at least one new piece; has_new_suffix_ lets
+/// the search abandon a branch the moment that becomes impossible. Newly
+/// derived sets are inserted into the antichain immediately — which both
+/// strengthens the pruning for the remainder of the search and lets the
+/// empty set abort everything — and reported to on_insert (the worklist
+/// re-enqueues the blocks they touch).
+template <typename OnInsert>
 class BlockDeriver {
  public:
   BlockDeriver(const PreparedDatabase& pdb, std::uint32_t k,
-               const std::vector<std::vector<FactSet>>& pieces,
-               Antichain* antichain, bool* changed)
+               const std::vector<std::vector<Piece>>& pieces,
+               Antichain* antichain, const OnInsert& on_insert)
       : pdb_(&pdb),
         k_(k),
         pieces_(&pieces),
         antichain_(antichain),
-        changed_(changed) {}
+        on_insert_(&on_insert) {
+    // has_new_suffix_[i]: some pieces_[j], j >= i, offers a new piece.
+    has_new_suffix_.assign(pieces.size() + 1, false);
+    for (std::size_t i = pieces.size(); i-- > 0;) {
+      bool any_new = false;
+      for (const Piece& p : pieces[i]) any_new = any_new || p.is_new;
+      has_new_suffix_[i] = any_new || has_new_suffix_[i + 1];
+    }
+  }
 
-  void Run() { Rec(0, FactSet{}); }
+  bool has_new() const { return has_new_suffix_[0]; }
+
+  void Run() { Rec(0, FactSet{}, /*used_new=*/false); }
 
  private:
-  void Rec(std::size_t fact_index, const FactSet& acc) {
+  void Rec(std::size_t fact_index, const FactSet& acc, bool used_new) {
     if (antichain_->ContainsEmpty()) return;
     if (acc.size() > k_) return;
+    if (!used_new && !has_new_suffix_[fact_index]) return;  // All-old
+                                                            // union: already
+                                                            // settled last
+                                                            // visit.
     if (antichain_->Implies(acc)) return;  // Already derivable; extensions
                                            // of acc are redundant.
     if (!ExtendableToRepair(*pdb_, acc)) return;
     if (fact_index == pieces_->size()) {
-      if (antichain_->Insert(acc)) *changed_ = true;
+      if (antichain_->Insert(acc)) (*on_insert_)(acc);
       return;
     }
-    for (const FactSet& piece : (*pieces_)[fact_index]) {
-      Rec(fact_index + 1, Union(acc, piece));
+    for (const Piece& piece : (*pieces_)[fact_index]) {
+      Rec(fact_index + 1, Union(acc, piece.set), used_new || piece.is_new);
     }
   }
 
   const PreparedDatabase* pdb_;
   std::uint32_t k_;
-  const std::vector<std::vector<FactSet>>* pieces_;
+  const std::vector<std::vector<Piece>>* pieces_;
   Antichain* antichain_;
-  bool* changed_;
+  const OnInsert* on_insert_;
+  std::vector<bool> has_new_suffix_;
 };
 
 }  // namespace
@@ -126,74 +197,103 @@ bool CertK(const ConjunctiveQuery& q, const PreparedDatabase& pdb,
   CQA_CHECK(q.NumAtoms() == 2);
   CQA_CHECK(k >= 1);
 
+  const auto& blocks = pdb.blocks();
   Antichain antichain;
+
+  // Worklist of blocks that might derive something new: a block B can only
+  // produce a fresh set from pieces m \ {u}, u in B, m a member containing
+  // u — so B needs (re)visiting exactly when a new member intersects it.
+  // Chaotic iteration over that trigger reaches the same least fixpoint as
+  // the original scan-all-blocks-until-stable loop, without rescanning the
+  // (typically vast) majority of blocks no new member touches.
+  std::deque<BlockId> worklist;
+  std::vector<char> in_queue(blocks.size(), 0);
+  std::vector<std::uint64_t> last_seen_gen(blocks.size(), 0);
+  auto enqueue_touched = [&](const FactSet& s) {
+    for (FactId f : s) {
+      BlockId b = pdb.BlockOf(f);
+      if (!in_queue[b]) {
+        in_queue[b] = 1;
+        worklist.push_back(b);
+      }
+    }
+  };
 
   // (init): minimal supports of solutions. A solution (a, b) needs both
   // facts in the same repair, so pairs within one block (a != b) are
   // discarded.
   for (const auto& [a, b] : solutions.pairs) {
     if (a == b) {
-      antichain.Insert(FactSet{a});
+      FactSet s{a};
+      if (antichain.Insert(s)) enqueue_touched(s);
     } else if (pdb.BlockOf(a) != pdb.BlockOf(b)) {
       FactSet s = a < b ? FactSet{a, b} : FactSet{b, a};
-      if (s.size() <= k) antichain.Insert(s);
+      if (s.size() <= k && antichain.Insert(s)) enqueue_touched(s);
     }
   }
 
-  const auto& blocks = pdb.blocks();
-  bool changed = true;
-  std::uint64_t rounds = 0;
-  while (changed && !antichain.ContainsEmpty()) {
-    changed = false;
+  std::uint64_t rounds = 0;  // Worklist pops == block visits.
+  while (!worklist.empty() && !antichain.ContainsEmpty()) {
+    BlockId b = worklist.front();
+    worklist.pop_front();
+    in_queue[b] = 0;
     ++rounds;
-    for (const Block& block : blocks) {
-      // pieces[i]: for fact u_i of the block, all m \ {u_i} over minimal
-      // derived sets m. Only ⊆-minimal pieces are kept (a non-minimal
-      // piece can only produce superset candidates), sorted by size so
-      // small unions are explored first.
-      std::vector<std::vector<FactSet>> pieces(block.facts.size());
-      bool feasible = true;
-      for (std::size_t i = 0; i < block.facts.size(); ++i) {
-        FactId u = block.facts[i];
-        for (const FactSet& m : antichain.members()) {
-          FactSet piece = SetMinus(m, u);
-          if (piece.size() > k) continue;
-          pieces[i].push_back(std::move(piece));
-        }
-        if (pieces[i].empty()) {
-          feasible = false;
-          break;
-        }
-        std::sort(pieces[i].begin(), pieces[i].end(),
-                  [](const FactSet& a, const FactSet& b) {
-                    return a.size() != b.size() ? a.size() < b.size()
-                                                : a < b;
-                  });
-        pieces[i].erase(std::unique(pieces[i].begin(), pieces[i].end()),
-                        pieces[i].end());
-        // Minimality filter: earlier (smaller) pieces dominate supersets.
-        std::vector<FactSet> minimal;
-        for (const FactSet& p : pieces[i]) {
-          bool dominated = false;
-          for (const FactSet& q2 : minimal) {
-            if (IsSubset(q2, p)) {
-              dominated = true;
-              break;
-            }
-          }
-          if (!dominated) minimal.push_back(p);
-        }
-        pieces[i] = std::move(minimal);
-      }
-      if (!feasible) continue;
+    const Block& block = blocks[b];
+    // Members inserted while this block runs count as unseen next visit
+    // (they re-enqueue b themselves if they intersect it).
+    std::uint64_t gen_before = antichain.generation();
 
-      BlockDeriver(pdb, k, pieces, &antichain, &changed).Run();
-      if (antichain.ContainsEmpty()) break;
+    // pieces[i]: for fact u_i of the block, m \ {u_i} over live members m
+    // containing u_i, tagged new if m postdates this block's last visit.
+    // Only ⊆-minimal pieces are kept (a non-minimal piece can only produce
+    // superset candidates), sorted by size so small unions are explored
+    // first. Minimality must not drop the is_new tag: when an old piece
+    // dominates an equal-or-smaller new one, the surviving piece inherits
+    // newness, or the delta pruning would skip a live branch.
+    std::vector<std::vector<Piece>> pieces(block.facts.size());
+    bool feasible = true;
+    for (std::size_t i = 0; i < block.facts.size(); ++i) {
+      FactId u = block.facts[i];
+      std::vector<Piece>& out = pieces[i];
+      antichain.ForEachContaining(
+          u, [&](const FactSet& m, std::uint64_t gen) {
+            Piece p{SetMinus(m, u), gen > last_seen_gen[b]};
+            if (p.set.size() <= k) out.push_back(std::move(p));
+          });
+      if (out.empty()) {
+        feasible = false;
+        break;
+      }
+      std::sort(out.begin(), out.end(), [](const Piece& a, const Piece& c) {
+        return a.set.size() != c.set.size() ? a.set.size() < c.set.size()
+                                            : a.set < c.set;
+      });
+      // Merge duplicates (OR-ing newness) and drop dominated pieces,
+      // OR-ing their newness into the dominating piece.
+      std::vector<Piece> minimal;
+      for (Piece& p : out) {
+        bool dominated = false;
+        for (Piece& q2 : minimal) {
+          if (IsSubset(q2.set, p.set)) {
+            q2.is_new = q2.is_new || p.is_new;
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) minimal.push_back(std::move(p));
+      }
+      pieces[i] = std::move(minimal);
     }
+    last_seen_gen[b] = gen_before;
+    if (!feasible) continue;
+
+    BlockDeriver deriver(pdb, k, pieces, &antichain, enqueue_touched);
+    if (!deriver.has_new()) continue;  // Nothing unseen: visit is a no-op.
+    deriver.Run();
   }
 
   if (stats != nullptr) {
-    stats->minimal_sets = antichain.members().size();
+    stats->minimal_sets = antichain.NumAlive();
     stats->rounds = rounds;
   }
   return antichain.ContainsEmpty();

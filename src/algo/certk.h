@@ -13,10 +13,18 @@
 // Implementation: Delta_k is upward closed within k-sets, so we maintain
 // only its subset-minimal members (an antichain). The inductive step is
 // generative: for a block B = {u_1..u_m}, the minimal new sets are unions
-// over i of (m_i \ {u_i}) for choices of minimal witnesses m_i; we explore
-// those unions with a DFS that prunes on size, block conflicts, and
-// already-derived supersets. This is exact (it derives a set iff the
-// textbook fixpoint does) without materializing all O(n^k) k-sets.
+// over i of (m_i \ {u_i}) for choices of minimal witnesses m_i *containing
+// u_i* (a witness without u_i sits whole inside the union, which is then
+// implied); we explore those unions with a DFS that prunes on size, block
+// conflicts, and already-derived supersets. The fixpoint is driven by a
+// worklist in the style of watched-literal propagation, not a
+// scan-until-stable rescan loop: inserting a member (re-)enqueues exactly
+// the blocks it intersects — the only blocks it can newly trigger — and a
+// visited block splits its witness pieces into seen/unseen by insertion
+// generation, skipping every union built purely from pieces already
+// settled at its previous visit. This is exact (it derives a set iff the
+// textbook fixpoint does) without materializing all O(n^k) k-sets and
+// without revisiting blocks no new member touches.
 //
 // Correctness guarantees from the paper:
 //   - Theorem 6.1: if key(A) ⊆ key(B) or vars(A)∩vars(B) ⊆ key(B)

@@ -64,6 +64,15 @@ struct SolveReport {
   /// configured CacheOptions bounds (incremental path only).
   std::uint64_t cache_evictions = 0;
 
+  /// Warm-SAT observability (incremental path with a session-capable
+  /// backend only; all-zero otherwise). True when a warm per-component
+  /// solver session served this solve's backend runs.
+  bool sat_warm = false;
+  /// Cumulative CDCL counters of the database's warm session as of the
+  /// end of this solve: solves/warm_solves, learned kept/deleted,
+  /// restarts, clauses retracted by activation-literal retraction, ...
+  CdclStats sat;
+
   /// A repair falsifying the query: present only when certain is false
   /// and the backend supports Explain. Points into the solved database
   /// and is valid while that database lives AND keeps its current

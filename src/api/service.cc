@@ -390,7 +390,10 @@ std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
   auto made = std::make_shared<DbEntry::IncrementalEntry>();
   made->state = q.state_;
   made->solver = std::make_unique<IncrementalSolver>(
-      q.state_->solver, *entry.prepared, options_.verdict_cache);
+      q.state_->solver, *entry.prepared, options_.verdict_cache,
+      IncrementalSolver::SessionOptions{options_.warm_sat_solvers,
+                                        options_.sat_solver_cache,
+                                        options_.sat_cdcl});
   // Seed the fresh cache with this query's persisted verdicts (recovery).
   // Content-addressed fingerprints make them valid whenever a component
   // re-reaches the recorded content, so re-seeding after an eviction is
@@ -805,6 +808,8 @@ ServiceStats Service::Stats() const {
     }
     for (const auto& inc : solvers) {
       d.verdicts += inc->solver->VerdictCacheCounters();
+      d.sat += inc->solver->SatSessionStats();
+      d.sat_solvers += inc->solver->SessionCacheCounters();
     }
     d.audits_run = entry->audits_run.load(std::memory_order_relaxed);
     d.audit_violations =
@@ -886,6 +891,17 @@ std::string ServiceStats::ToString() const {
            " hits=" + std::to_string(d.verdicts.hits) +
            " misses=" + std::to_string(d.verdicts.misses) +
            " evictions=" + std::to_string(d.verdicts.evictions) + "\n";
+    if (d.sat.solves != 0) {
+      out += "  sat: solves=" + std::to_string(d.sat.solves) +
+             " (warm " + std::to_string(d.sat.warm_solves) + ")" +
+             " conflicts=" + std::to_string(d.sat.conflicts) +
+             " restarts=" + std::to_string(d.sat.restarts) +
+             " learned kept=" + std::to_string(d.sat.learned_kept) +
+             " deleted=" + std::to_string(d.sat.learned_deleted) +
+             " retracted=" + std::to_string(d.sat.clauses_retracted) +
+             " solvers=" + std::to_string(d.sat_solvers.entries) +
+             " (evicted " + std::to_string(d.sat_solvers.evictions) + ")\n";
+    }
     if (d.audits_run != 0) {
       out += "  audits: runs=" + std::to_string(d.audits_run) +
              " violations=" + std::to_string(d.audit_violations) + "\n";

@@ -120,6 +120,23 @@ struct ServiceOptions {
   /// re-solves everything (~100 bytes/verdict, so the default costs at
   /// most a few MB per database/query pair).
   CacheOptions verdict_cache{/*max_entries=*/65536, /*max_bytes=*/0};
+  /// Keep per-component warm SAT sessions alive across mutations: with a
+  /// session-capable backend (currently "sat"), each incremental solver
+  /// holds one ComponentSession whose per-component CDCL solvers retain
+  /// learned clauses, VSIDS scores, and phase saves between solves;
+  /// mutations retract stale clauses via activation-literal assumptions
+  /// instead of re-encoding. Off restores the materialize-a-sub-database
+  /// cold path for every component solve.
+  bool warm_sat_solvers = true;
+  /// Bounds for each warm session's per-component solver pool (0 =
+  /// unbounded on that axis). Evicted solvers lose their learned clauses
+  /// (the next solve of that component starts cold) but their cumulative
+  /// counters are salvaged into the session totals.
+  CacheOptions sat_solver_cache{/*max_entries=*/64, /*max_bytes=*/0};
+  /// CDCL knobs for each warm session's solvers (clause-DB reduction
+  /// cadence, glue threshold, restart base). The defaults suit real
+  /// workloads; tests crank the reduction thresholds down to force churn.
+  CdclOptions sat_cdcl;
   /// Bounds for the per-database map of incremental solvers (one per
   /// distinct compiled query ever solved incrementally against it).
   /// Evicting a solver drops its component partition and verdict cache;
@@ -204,6 +221,14 @@ struct ServiceStats {
     /// Engine layer: per-component verdict caches, summed over this
     /// database's live solvers.
     CacheCounters verdicts;
+    /// SAT layer: cumulative warm-session CDCL counters (decisions,
+    /// conflicts, learned kept/deleted, restarts, warm re-solves, clauses
+    /// retracted), summed over this database's live solvers' sessions.
+    /// All-zero when warm_sat_solvers is off or no session-capable
+    /// backend has solved here.
+    CdclStats sat;
+    /// SAT layer: the sessions' per-component solver pools, summed.
+    CacheCounters sat_solvers;
     /// Debug layer: Service::AuditDatabase runs against this database
     /// and cumulative violations they found (0 is the healthy value).
     /// Both survive a restart (they are persisted with each snapshot).

@@ -78,6 +78,17 @@ class LruCache {
   /// evicted, so a single oversized value still caches). Returns how many
   /// entries were evicted.
   std::size_t Insert(Key key, Value value, std::size_t value_bytes = 1) {
+    return InsertWithEvictions(std::move(key), std::move(value), value_bytes,
+                               [](const Key&, const Value&) {});
+  }
+
+  /// Insert variant for caches whose values carry state the owner must
+  /// salvage before it is dropped (e.g. cumulative counters of an evicted
+  /// warm solver): `on_evict(key, value)` runs for every entry evicted by
+  /// this insertion, before the entry is destroyed.
+  template <typename EvictFn>
+  std::size_t InsertWithEvictions(Key key, Value value,
+                                  std::size_t value_bytes, EvictFn on_evict) {
     auto it = index_.find(key);
     if (it != index_.end()) {
       bytes_ -= it->second->bytes;
@@ -85,12 +96,12 @@ class LruCache {
       it->second->bytes = value_bytes;
       bytes_ += value_bytes;
       order_.splice(order_.begin(), order_, it->second);
-      return EvictOverCaps();
+      return EvictOverCaps(on_evict);
     }
     order_.push_front(Entry{key, std::move(value), value_bytes});
     index_.emplace(std::move(key), order_.begin());
     bytes_ += value_bytes;
-    return EvictOverCaps();
+    return EvictOverCaps(on_evict);
   }
 
   /// Visits every entry, most-recent first, as fn(key, value).
@@ -166,10 +177,12 @@ class LruCache {
            (options_.max_bytes != 0 && bytes_ > options_.max_bytes);
   }
 
-  std::size_t EvictOverCaps() {
+  template <typename EvictFn>
+  std::size_t EvictOverCaps(EvictFn on_evict) {
     std::size_t evicted = 0;
     while (order_.size() > 1 && OverCaps()) {
       const Entry& cold = order_.back();
+      on_evict(cold.key, cold.value);
       bytes_ -= cold.bytes;
       index_.erase(cold.key);
       order_.pop_back();

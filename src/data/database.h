@@ -60,7 +60,7 @@ using KeyView = ArgSpan;
 /// block partition and PreparedDatabase's key index so the two can never
 /// drift apart. Identical to FactHash's recipe over a full-argument span.
 inline std::size_t HashRelationKey(RelationId relation, KeyView key) {
-  return HashCombine(HashRange(key.begin(), key.end()), relation);
+  return HashCombine(FactHash::HashArgs(key.data, key.len), relation);
 }
 
 /// How Compact() renumbered fact slots: the contract between the Database

@@ -16,13 +16,17 @@
 #define CQA_ENGINE_BACKEND_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "base/lru.h"
 #include "data/prepared.h"
 #include "data/repair.h"
 #include "query/query.h"
+#include "sat/cdcl.h"
 
 namespace cqa {
 
@@ -47,6 +51,49 @@ struct BackendOptions {
   /// Proposition 8.2 (already 8 for key length 1) is exact but usually
   /// overkill; Cert_k is sound for every k.
   std::uint32_t practical_k = 4;
+};
+
+/// Verdict of one in-place component solve through a warm session.
+struct ComponentVerdict {
+  bool certain = false;
+  /// When not certain and a witness was requested: one chosen fact per
+  /// component block (parent-database ids), jointly a falsifying repair
+  /// of the component. Empty otherwise.
+  std::vector<FactId> witness;
+};
+
+/// A per-database warm-solver session: state a backend keeps alive across
+/// repeated component solves of one mutating database (e.g. the sat
+/// backend's per-component incremental CDCL solvers, which retain learned
+/// clauses across mutations). Sessions solve components *in place* over
+/// the parent database — no sub-database materialization.
+///
+/// Not internally synchronized: the engine serializes all calls on one
+/// session instance (IncrementalSolver holds it under a
+/// LockRank::kSolverInternal mutex, which nests under the verdict-shard
+/// locks).
+class ComponentSession {
+ public:
+  virtual ~ComponentSession() = default;
+
+  /// Decides certainty of the component `members` (whole blocks of
+  /// pdb.db()). Repeated calls across mutations of the same database are
+  /// the point; results must equal the backend's Solve/Explain on the
+  /// materialized component.
+  virtual ComponentVerdict SolveComponent(const PreparedDatabase& pdb,
+                                          const std::vector<FactId>& members,
+                                          bool want_witness) = 0;
+
+  /// Mirrors a Database::Compact (ApplyRemap protocol): every held FactId
+  /// must be rewritten before the next SolveComponent.
+  virtual void ApplyRemap(const FactIdRemap& remap) = 0;
+
+  /// Aggregated solver counters over the session's lifetime (including
+  /// solvers that have since been evicted from its internal cache).
+  virtual CdclStats Stats() const = 0;
+
+  /// Counters of the session's warm-solver cache.
+  virtual CacheCounters CacheStats() const = 0;
 };
 
 /// One certain-answer algorithm behind a uniform prepare/solve interface.
@@ -84,6 +131,19 @@ class CertainBackend {
   virtual std::optional<Repair> Explain(const PreparedDatabase& pdb) const {
     (void)pdb;
     return std::nullopt;
+  }
+
+  /// Optional warm-session hook: a backend that can amortize state across
+  /// repeated component solves returns a fresh session (cache caps bound
+  /// its per-component solver pool; solver_options tunes each solver's
+  /// clause-DB reduction cadence); backends without one return nullptr
+  /// and the engine falls back to materialized Solve/Explain calls.
+  virtual std::unique_ptr<ComponentSession> NewSession(
+      const CacheOptions& cache_options,
+      const CdclOptions& solver_options) const {
+    (void)cache_options;
+    (void)solver_options;
+    return nullptr;
   }
 };
 

@@ -1,8 +1,10 @@
 // The six built-in certain-answer backends and the global registry.
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "algo/certk.h"
 #include "algo/combined.h"
@@ -116,6 +118,75 @@ class ExhaustiveBackend : public TwoAtomBackend {
   }
 };
 
+/// Warm per-component session of the sat backend: an LRU pool of
+/// IncrementalFalsifier instances, one per component lineage, keyed by a
+/// content *anchor* — the (relation, key) hash of the smallest member's
+/// block. Element ids are immutable and block keys survive compaction, so
+/// the anchor is stable where fact ids are not; and because every
+/// falsifier re-diffs against the exact current membership on each solve,
+/// a wrong pairing (component merged, split, or anchor hash collision)
+/// costs only warmth, never correctness.
+class SatSession : public ComponentSession {
+ public:
+  SatSession(ConjunctiveQuery query, const CacheOptions& cache_options,
+             const CdclOptions& solver_options)
+      : query_(std::move(query)),
+        cache_(cache_options),
+        solver_options_(solver_options) {}
+
+  ComponentVerdict SolveComponent(const PreparedDatabase& pdb,
+                                  const std::vector<FactId>& members,
+                                  bool want_witness) override {
+    const Database& db = pdb.db();
+    FactId min_f = *std::min_element(members.begin(), members.end());
+    std::size_t anchor =
+        HashRelationKey(db.fact(min_f).relation, db.KeyViewOf(min_f));
+
+    std::shared_ptr<IncrementalFalsifier> falsifier;
+    if (std::shared_ptr<IncrementalFalsifier>* hit = cache_.Find(anchor)) {
+      falsifier = *hit;
+    } else {
+      falsifier = std::make_shared<IncrementalFalsifier>(query_, solver_options_);
+    }
+    IncrementalFalsifier::Verdict v =
+        falsifier->SolveComponent(pdb, members, want_witness);
+    // (Re-)insert with a fresh byte estimate; salvage the counters of any
+    // solver the insertion evicts so session stats stay cumulative.
+    cache_.InsertWithEvictions(
+        anchor, falsifier, falsifier->MemoryEstimateBytes(),
+        [this](const std::size_t&,
+               const std::shared_ptr<IncrementalFalsifier>& evicted) {
+          retired_ += evicted->stats();
+        });
+    return ComponentVerdict{v.certain, std::move(v.witness)};
+  }
+
+  void ApplyRemap(const FactIdRemap& remap) override {
+    // Anchors are content hashes — no rekeying, only the held fact ids.
+    cache_.ForEach([&](const std::size_t&,
+                       const std::shared_ptr<IncrementalFalsifier>& f) {
+      f->ApplyRemap(remap);
+    });
+  }
+
+  CdclStats Stats() const override {
+    CdclStats total = retired_;
+    cache_.ForEach([&](const std::size_t&,
+                       const std::shared_ptr<IncrementalFalsifier>& f) {
+      total += f->stats();
+    });
+    return total;
+  }
+
+  CacheCounters CacheStats() const override { return cache_.Counters(); }
+
+ private:
+  ConjunctiveQuery query_;
+  LruCache<std::size_t, std::shared_ptr<IncrementalFalsifier>> cache_;
+  CdclOptions solver_options_;
+  CdclStats retired_;  ///< Counters of evicted falsifiers.
+};
+
 class SatBackend : public TwoAtomBackend {
  public:
   std::string_view name() const override { return "sat"; }
@@ -149,6 +220,12 @@ class SatBackend : public TwoAtomBackend {
       CQA_CHECK_MSG(found, "satisfying assignment misses a block");
     }
     return Repair(&pdb.db(), std::move(choice));
+  }
+  std::unique_ptr<ComponentSession> NewSession(
+      const CacheOptions& cache_options,
+      const CdclOptions& solver_options) const override {
+    return std::make_unique<SatSession>(query(), cache_options,
+                                        solver_options);
   }
 };
 

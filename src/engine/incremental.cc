@@ -14,7 +14,17 @@ namespace cqa {
 IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
                                      const PreparedDatabase& pdb,
                                      CacheOptions cache_options)
+    : IncrementalSolver(solver, pdb, cache_options, SessionOptions{}) {}
+
+IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
+                                     const PreparedDatabase& pdb,
+                                     CacheOptions cache_options,
+                                     SessionOptions session_options)
     : solver_(&solver), pdb_(&pdb), components_(solver.query(), pdb) {
+  if (session_options.enabled) {
+    session_ = solver.backend().NewSession(session_options.cache,
+                                           session_options.solver);
+  }
   // Split the caps evenly over the shards (0 stays "unbounded"). Rounding
   // up keeps the total at least the requested cap; the effective bound is
   // a multiple of kNumShards.
@@ -31,6 +41,26 @@ IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
         LruCache<ComponentFingerprint, std::shared_ptr<const CachedVerdict>,
                  ComponentFingerprintHash>(per_shard);
   }
+}
+
+void IncrementalSolver::ApplyRemap(const FactIdRemap& remap) {
+  components_.ApplyRemap(remap);
+  if (session_ != nullptr) {
+    std::lock_guard lock(session_mu_);
+    session_->ApplyRemap(remap);
+  }
+}
+
+CdclStats IncrementalSolver::SatSessionStats() const {
+  if (session_ == nullptr) return CdclStats{};
+  std::lock_guard lock(session_mu_);
+  return session_->Stats();
+}
+
+CacheCounters IncrementalSolver::SessionCacheCounters() const {
+  if (session_ == nullptr) return CacheCounters{};
+  std::lock_guard lock(session_mu_);
+  return session_->CacheStats();
 }
 
 IncrementalSolver::Shard& IncrementalSolver::ShardFor(
@@ -103,6 +133,29 @@ void IncrementalSolver::AuditInto(AuditReport& report) const {
 IncrementalSolver::CachedVerdict IncrementalSolver::SolveComponent(
     const std::vector<FactId>& members, bool want_witness) const {
   const Database& db = pdb_->db();
+
+  // Warm path: the backend session solves the component in place over the
+  // parent database, reusing a per-component incremental solver. The
+  // session lock (rank kSolverInternal) nests under this call's
+  // verdict-shard lock.
+  if (session_ != nullptr) {
+    bool explain = want_witness && solver_->backend().CanExplain();
+    ComponentVerdict v;
+    {
+      std::lock_guard lock(session_mu_);
+      v = session_->SolveComponent(*pdb_, members, explain);
+    }
+    CachedVerdict verdict;
+    verdict.certain = v.certain;
+    if (!v.certain && explain) {
+      verdict.has_witness = true;
+      verdict.witness_facts.reserve(v.witness.size());
+      for (FactId f : v.witness) {
+        verdict.witness_facts.push_back(db.MaterializeFact(f));
+      }
+    }
+    return verdict;
+  }
 
   // Materialize the component as its own database, re-interning element
   // names so blocks and solutions are preserved verbatim (the shape
@@ -251,6 +304,11 @@ SolveReport IncrementalSolver::Solve(bool want_witness) const {
     for (char c : covered) complete = complete && c != 0;
     CQA_CHECK_MSG(complete, "component witnesses left a block unassigned");
     report.witness = Repair(&db, std::move(choice));
+  }
+
+  if (session_ != nullptr) {
+    report.sat_warm = true;
+    report.sat = SatSessionStats();
   }
 
   report.timings.solve_seconds =

@@ -57,6 +57,16 @@ namespace cqa {
 
 class IncrementalSolver {
  public:
+  /// Warm-session knobs: whether to ask the backend for a per-component
+  /// warm-solver session (backends without one are unaffected) and the
+  /// caps of its solver pool.
+  struct SessionOptions {
+    bool enabled = true;
+    CacheOptions cache{/*max_entries=*/64, /*max_bytes=*/0};
+    /// Per-solver CDCL knobs (clause-DB reduction cadence, restarts).
+    CdclOptions solver;
+  };
+
   /// Builds the component partition of the current database state.
   /// `solver` (whose query must have exactly two atoms) and `pdb` must
   /// outlive this object, and `pdb` must stay in sync with the database
@@ -66,6 +76,8 @@ class IncrementalSolver {
   /// shard count.
   IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb,
                     CacheOptions cache_options = {});
+  IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb,
+                    CacheOptions cache_options, SessionOptions session_options);
 
   /// Absorbs a fact insertion/removal; same call contract as
   /// DynamicComponents::OnInsert/OnRemove. Requires exclusive access.
@@ -74,9 +86,9 @@ class IncrementalSolver {
 
   /// Absorbs a Database::Compact (call once, right after, with the remap
   /// it returned, after PreparedDatabase::ApplyRemap). The verdict cache
-  /// is content-addressed and survives untouched. Requires exclusive
-  /// access.
-  void ApplyRemap(const FactIdRemap& remap) { components_.ApplyRemap(remap); }
+  /// is content-addressed and survives untouched; the warm session's
+  /// solvers rewrite their held fact ids. Requires exclusive access.
+  void ApplyRemap(const FactIdRemap& remap);
 
   /// Answers certain(q) on the current state, re-solving only components
   /// absent from the cache. The report's incremental/components_*/
@@ -90,6 +102,16 @@ class IncrementalSolver {
   /// Counters of the verdict cache (entries, bytes, hits, misses,
   /// evictions), summed over the shards.
   CacheCounters VerdictCacheCounters() const;
+
+  /// True if the backend provided a warm per-component session.
+  bool has_session() const { return session_ != nullptr; }
+
+  /// Cumulative solver counters of the warm session (all-zero without
+  /// one). Safe alongside concurrent solves.
+  CdclStats SatSessionStats() const;
+
+  /// Counters of the warm session's solver pool (all-zero without one).
+  CacheCounters SessionCacheCounters() const;
 
   /// Exports every cached verdict for snapshot persistence. Fingerprints
   /// hash element *names*, so an exported verdict is valid in any future
@@ -149,6 +171,14 @@ class IncrementalSolver {
   const PreparedDatabase* pdb_;
   DynamicComponents components_;
   mutable std::array<Shard, kNumShards> shards_;
+
+  /// Warm per-component session, when the backend offers one. All access
+  /// goes through session_mu_: rank kSolverInternal (0), the innermost
+  /// rank, taken while a verdict-shard lock (rank 1) is held across a
+  /// backend run. Serializing the session across shards trades a little
+  /// cross-component parallelism for learned-clause reuse.
+  mutable RankedMutex<LockRank::kSolverInternal> session_mu_;
+  std::unique_ptr<ComponentSession> session_;
 };
 
 }  // namespace cqa

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -201,6 +202,162 @@ CnfFormula EncodeFalsifierCnf(const SolutionSet& solutions,
     f.clauses.push_back({Literal{a, false}, Literal{b, false}});
   }
   return f;
+}
+
+IncrementalFalsifier::IncrementalFalsifier(const ConjunctiveQuery& q,
+                                           CdclOptions options)
+    : q_(&q), solver_(options) {}
+
+std::uint32_t IncrementalFalsifier::VarOf(FactId f) {
+  auto it = fact_var_.find(f);
+  if (it != fact_var_.end()) return it->second;
+  std::uint32_t var = solver_.AddVars(1);
+  fact_var_.emplace(f, var);
+  return var;
+}
+
+IncrementalFalsifier::Verdict IncrementalFalsifier::SolveComponent(
+    const PreparedDatabase& pdb, const std::vector<FactId>& members,
+    bool want_witness) {
+  const Database& db = pdb.db();
+
+  // The component is a union of whole blocks (Prop 10.6 decomposition);
+  // visit them in ascending-min-member order so clause insertion — and
+  // with it the solver's search bias — is independent of union-find
+  // history.
+  std::vector<FactId> ordered = members;
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<BlockId> block_ids;
+  {
+    std::unordered_set<BlockId> seen;
+    seen.reserve(ordered.size());
+    for (FactId f : ordered) {
+      CQA_DCHECK(db.alive(f));
+      BlockId b = pdb.BlockOf(f);
+      if (seen.insert(b).second) block_ids.push_back(b);
+    }
+  }
+
+  // Diff each block against its last encoded version. A changed block
+  // retires the old activation variable for good (permanent unit ~act)
+  // and re-encodes under a fresh one; vanished facts are pinned false.
+  std::vector<Literal> assumptions;
+  assumptions.reserve(block_ids.size());
+  for (BlockId b : block_ids) {
+    const Block& block = pdb.blocks()[b];
+    std::vector<FactId> current = block.facts;
+    std::sort(current.begin(), current.end());
+
+    BlockKey key{block.relation, block.key};
+    auto [it, inserted] = blocks_.emplace(std::move(key), BlockState{});
+    BlockState& state = it->second;
+    if (!inserted && state.members == current) {
+      assumptions.push_back(Literal{state.act_var, true});
+      continue;
+    }
+    if (!inserted && !state.members.empty()) {
+      solver_.AddClause({Literal{state.act_var, false}});
+      solver_.NoteRetraction(1);
+      for (FactId old : state.members) {
+        if (!std::binary_search(current.begin(), current.end(), old)) {
+          solver_.AddClause({Literal{VarOf(old), false}});
+        }
+      }
+    }
+    std::uint32_t act = solver_.AddVars(1);
+    Clause at_least_one;
+    at_least_one.reserve(current.size() + 1);
+    at_least_one.push_back(Literal{act, false});
+    for (FactId f : current) at_least_one.push_back(Literal{VarOf(f), true});
+    solver_.AddClause(at_least_one);
+    state.members = std::move(current);
+    state.act_var = act;
+    assumptions.push_back(Literal{act, true});
+  }
+
+  // Solution structure among the current members. Pair and self clauses
+  // are permanent — a solution depends only on the two immutable tuples —
+  // so only the ones not yet added go in.
+  SolutionSet solutions = ComputeSolutionsAmong(*q_, db, members);
+  for (FactId f : members) {
+    if (solutions.self[f]) solver_.AddClause({Literal{VarOf(f), false}});
+  }
+  for (const auto& [a, b] : solutions.pairs) {
+    if (a == b || pdb.BlockOf(a) == pdb.BlockOf(b)) continue;
+    std::uint32_t va = VarOf(a), vb = VarOf(b);
+    std::uint64_t key = (static_cast<std::uint64_t>(std::min(va, vb)) << 32) |
+                        std::max(va, vb);
+    if (!pair_clauses_.insert(key).second) continue;
+    solver_.AddClause({Literal{va, false}, Literal{vb, false}});
+  }
+
+  // Every permanent clause is satisfied by the all-false assignment, so
+  // the solver can never become unconditionally unsatisfiable.
+  CQA_CHECK(solver_.ok());
+
+  Verdict verdict;
+  bool sat = solver_.SolveUnderAssumptions(assumptions);
+  verdict.certain = !sat;
+  if (sat && want_witness) {
+    // Restricting the model to one chosen fact per block keeps it
+    // solution-free (same argument as EncodeFalsifierCnf), so the chosen
+    // set is a falsifying repair of the component.
+    verdict.witness.reserve(block_ids.size());
+    for (BlockId b : block_ids) {
+      FactId chosen = Database::kNoFact;
+      for (FactId f : pdb.blocks()[b].facts) {
+        if (solver_.ValueOf(fact_var_.at(f))) {
+          chosen = f;
+          break;
+        }
+      }
+      CQA_CHECK_MSG(chosen != Database::kNoFact,
+                    "activated block has no selected fact in the model");
+      verdict.witness.push_back(chosen);
+    }
+  }
+  return verdict;
+}
+
+void IncrementalFalsifier::ApplyRemap(const FactIdRemap& remap) {
+  // Variables of reclaimed tombstones are pinned false: their old pair
+  // clauses become vacuous and any at-least-one clause still listing them
+  // effectively shrinks to the survivors.
+  std::unordered_map<FactId, std::uint32_t> next;
+  next.reserve(fact_var_.size());
+  for (const auto& [fid, var] : fact_var_) {
+    FactId nid = remap.Apply(fid);
+    if (nid == Database::kNoFact) {
+      solver_.AddClause({Literal{var, false}});
+    } else {
+      next.emplace(nid, var);
+    }
+  }
+  fact_var_.swap(next);
+
+  // Member lists stay sorted: the remap is monotone on survivors.
+  for (auto& [key, state] : blocks_) {
+    std::size_t keep = 0;
+    for (FactId m : state.members) {
+      FactId nid = remap.Apply(m);
+      if (nid != Database::kNoFact) state.members[keep++] = nid;
+    }
+    state.members.resize(keep);
+  }
+}
+
+std::size_t IncrementalFalsifier::MemoryEstimateBytes() const {
+  std::size_t bytes = sizeof(IncrementalFalsifier);
+  bytes += solver_.ArenaWords() * sizeof(std::uint32_t);
+  bytes += solver_.num_vars() * 32;  // Per-var solver columns, roughly.
+  bytes += fact_var_.size() * (sizeof(FactId) + sizeof(std::uint32_t) + 16);
+  bytes += pair_clauses_.size() * (sizeof(std::uint64_t) + 16);
+  for (const auto& [key, state] : blocks_) {
+    bytes += sizeof(BlockKey) + sizeof(BlockState) +
+             key.key.size() * sizeof(ElementId) +
+             state.members.size() * sizeof(FactId);
+  }
+  return bytes;
 }
 
 }  // namespace cqa

@@ -20,12 +20,16 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "data/database.h"
 #include "data/prepared.h"
 #include "query/eval.h"
 #include "query/query.h"
+#include "sat/cdcl.h"
 #include "sat/cnf.h"
 #include "tripath/search.h"
 
@@ -62,6 +66,97 @@ SatGadget BuildSatGadget(const ConjunctiveQuery& q,
 /// block keeps it solution-free, and the chosen set is a falsifying repair.
 CnfFormula EncodeFalsifierCnf(const SolutionSet& solutions,
                               const PreparedDatabase& pdb);
+
+/// Incremental falsifier search over a persistent CdclSolver: the warm
+/// counterpart of EncodeFalsifierCnf + SolveCdcl for repeated solves of a
+/// mutating q-connected component.
+///
+/// Encoding: one solver variable per fact (allocated on first sight,
+/// never freed) plus one *activation* variable per encoded block version.
+/// A block's at-least-one constraint is guarded by its activation:
+///   (~act v x_f1 v ... v x_fm)
+/// and enabled by assuming `act` at solve time. Self-solution facts and
+/// deleted facts are pinned with permanent units `~x_f`; cross-block
+/// solution pairs get permanent clauses (~x_a v ~x_b). Pair and unit
+/// clauses are *globally* true statements about immutable fact tuples, so
+/// they — and every clause the solver learns from them — stay valid
+/// forever. Only the membership clauses are versioned: when a diff against
+/// the block's exact current members shows a change, the old version is
+/// retracted for good with the unit `~act_old` and the block is re-encoded
+/// under a fresh activation variable. Everything learned over the
+/// unchanged prefix survives.
+///
+/// Because every solve diffs against the exact current membership and
+/// assumes exactly the current component's activation variables,
+/// correctness never depends on which component this instance is paired
+/// with — solver reuse is purely a performance heuristic, so the engine's
+/// anchor-keyed cache can be wrong (after merges, splits, evictions) and
+/// still gets the right verdict.
+///
+/// Not thread-safe; the engine serializes access per instance under
+/// LockRank::kSolverInternal.
+class IncrementalFalsifier {
+ public:
+  explicit IncrementalFalsifier(const ConjunctiveQuery& q,
+                                CdclOptions options = CdclOptions());
+
+  struct Verdict {
+    bool certain = false;
+    /// When not certain and a witness was requested: one chosen fact per
+    /// component block (parent-database ids), jointly a falsifying
+    /// repair of the component.
+    std::vector<FactId> witness;
+  };
+
+  /// Decides certainty of the component `members` (whole blocks of
+  /// pdb.db()). Callable any number of times as the database mutates
+  /// between calls; fact ids must be stable since the last ApplyRemap.
+  Verdict SolveComponent(const PreparedDatabase& pdb,
+                         const std::vector<FactId>& members,
+                         bool want_witness);
+
+  /// Mirrors a Database::Compact: rewrites every held FactId. Ids that
+  /// vanished (tombstones reclaimed) have their variables pinned false.
+  void ApplyRemap(const FactIdRemap& remap);
+
+  /// Cumulative solver counters (solves, warm_solves, learned_kept,
+  /// clauses_retracted, ...).
+  const CdclStats& stats() const { return solver_.stats(); }
+
+  /// Rough resident size for cache byte-accounting.
+  std::size_t MemoryEstimateBytes() const;
+
+ private:
+  struct BlockKey {
+    RelationId relation = 0;
+    std::vector<ElementId> key;
+    bool operator==(const BlockKey& o) const {
+      return relation == o.relation && key == o.key;
+    }
+  };
+  struct BlockKeyHash {
+    std::size_t operator()(const BlockKey& k) const {
+      return HashRelationKey(
+          k.relation,
+          KeyView{k.key.data(), static_cast<std::uint32_t>(k.key.size())});
+    }
+  };
+  struct BlockState {
+    std::vector<FactId> members;  ///< Sorted, as last encoded.
+    std::uint32_t act_var = 0;
+  };
+
+  /// Solver variable of fact `f`, allocated on first request.
+  std::uint32_t VarOf(FactId f);
+
+  const ConjunctiveQuery* q_;
+  CdclSolver solver_;
+  std::unordered_map<FactId, std::uint32_t> fact_var_;
+  std::unordered_map<BlockKey, BlockState, BlockKeyHash> blocks_;
+  /// Cross-block pair clauses already added, keyed by solver-variable
+  /// pair (stable across compactions, unlike fact ids).
+  std::unordered_set<std::uint64_t> pair_clauses_;
+};
 
 }  // namespace cqa
 

@@ -1,6 +1,7 @@
 #include "sat/cdcl.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "base/check.h"
@@ -20,11 +21,19 @@ inline std::uint32_t VarOf(Lit l) { return l >> 1; }
 inline bool Sign(Lit l) { return (l & 1) == 0; }  // True for positive.
 
 // Clauses live in one flat literal arena; a ClauseRef is the offset of a
-// clause's header. Layout: [size][lit_0 ... lit_{size-1}]. Learned clauses
-// are appended after the problem clauses; nothing is ever moved, so refs
-// stay stable for reasons on the trail.
+// clause's header. Layout: [size][meta][activity][lit_0 ... lit_{size-1}].
+// `meta` packs the learned flag (bit 31), a deleted mark used only inside
+// ReduceDb (bit 30), and the literal-block distance at learn time (low 30
+// bits). `activity` holds float bits, bumped when the clause participates
+// in conflict analysis. Learned clauses are appended after the problem
+// clauses; refs stay stable between garbage collections, and collections
+// happen only at decision level 0 with all reasons cleared.
 using ClauseRef = std::uint32_t;
 constexpr ClauseRef kNoReason = 0xffffffffu;
+constexpr std::uint32_t kHeaderWords = 3;
+constexpr std::uint32_t kLearnedBit = 0x80000000u;
+constexpr std::uint32_t kDeletedBit = 0x40000000u;
+constexpr std::uint32_t kLbdMask = 0x3fffffffu;
 
 enum class Value : std::int8_t { kFalse = -1, kUnset = 0, kTrue = 1 };
 
@@ -34,9 +43,33 @@ struct Watch {
                     ///< true the clause needs no inspection.
 };
 
-struct Solver {
+inline float BitsToFloat(std::uint32_t bits) {
+  float f;
+  static_assert(sizeof(f) == sizeof(bits));
+  __builtin_memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+inline std::uint32_t FloatToBits(float f) {
+  std::uint32_t bits;
+  __builtin_memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+struct CdclSolver::Impl {
+  explicit Impl(CdclOptions opts) : options(opts) {
+    next_reduce_interval = options.first_reduce_conflicts;
+    next_reduce_at = options.first_reduce_conflicts;
+  }
+
+  CdclOptions options;
   std::uint32_t num_vars = 0;
+  bool ok = true;  // False once permanently unsatisfiable.
+
   std::vector<std::uint32_t> arena;         // Clause storage.
+  std::vector<ClauseRef> problem_clauses;   // Refs of input clauses.
+  std::vector<ClauseRef> learned;           // Refs of live learned clauses.
   std::vector<std::vector<Watch>> watches;  // Indexed by literal: clauses
                                             // to visit when it turns false.
   std::vector<Value> assigns;               // Indexed by var.
@@ -50,18 +83,34 @@ struct Solver {
   // lazy max-heap over activity and saved phases for decisions.
   std::vector<double> activity;
   double var_inc = 1.0;
+  float cla_inc = 1.0f;
   std::vector<std::uint32_t> heap;       // Binary max-heap of vars.
   std::vector<std::uint32_t> heap_pos;   // Position in heap, or kNotInHeap.
   std::vector<char> saved_phase;         // Last assigned polarity per var.
 
-  std::vector<char> seen;  // Scratch for conflict analysis.
+  std::vector<char> seen;                  // Scratch for conflict analysis.
+  std::vector<std::uint64_t> level_stamp;  // Scratch for LBD counting.
+  std::uint64_t stamp = 0;
+
+  std::vector<char> model;  // Assignment of the last successful solve.
+
+  std::uint64_t next_reduce_at = 0;
+  std::uint64_t next_reduce_interval = 0;
+  std::uint64_t restarts_this_solve = 0;
+
   CdclStats stats;
 
   static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
 
   std::uint32_t ClauseSize(ClauseRef c) const { return arena[c]; }
-  const std::uint32_t* ClauseLits(ClauseRef c) const { return &arena[c + 1]; }
-  std::uint32_t* ClauseLits(ClauseRef c) { return &arena[c + 1]; }
+  std::uint32_t Meta(ClauseRef c) const { return arena[c + 1]; }
+  bool IsLearned(ClauseRef c) const { return (Meta(c) & kLearnedBit) != 0; }
+  std::uint32_t Lbd(ClauseRef c) const { return Meta(c) & kLbdMask; }
+  float ClauseActivity(ClauseRef c) const { return BitsToFloat(arena[c + 2]); }
+  const std::uint32_t* ClauseLits(ClauseRef c) const {
+    return &arena[c + kHeaderWords];
+  }
+  std::uint32_t* ClauseLits(ClauseRef c) { return &arena[c + kHeaderWords]; }
 
   Value ValueOfLit(Lit l) const {
     Value v = assigns[VarOf(l)];
@@ -132,7 +181,21 @@ struct Solver {
     if (heap_pos[var] != kNotInHeap) SiftUp(heap_pos[var]);
   }
 
-  void DecayActivities() { var_inc /= 0.95; }
+  void BumpClause(ClauseRef c) {
+    float act = ClauseActivity(c) + cla_inc;
+    arena[c + 2] = FloatToBits(act);
+    if (act > 1e20f) {
+      for (ClauseRef l : learned) {
+        arena[l + 2] = FloatToBits(ClauseActivity(l) * 1e-20f);
+      }
+      cla_inc *= 1e-20f;
+    }
+  }
+
+  void DecayActivities() {
+    var_inc /= 0.95;
+    cla_inc /= 0.999f;
+  }
 
   // -- Assignment / trail -------------------------------------------------
 
@@ -162,13 +225,21 @@ struct Solver {
 
   // -- Clauses ------------------------------------------------------------
 
-  ClauseRef AddClause(const std::uint32_t* lits, std::uint32_t size) {
+  ClauseRef AddClauseInternal(const std::uint32_t* lits, std::uint32_t size,
+                              bool is_learned, std::uint32_t lbd) {
     CQA_DCHECK(size >= 2);
     ClauseRef c = static_cast<ClauseRef>(arena.size());
     arena.push_back(size);
+    arena.push_back((is_learned ? kLearnedBit : 0u) | (lbd & kLbdMask));
+    arena.push_back(FloatToBits(0.0f));
     arena.insert(arena.end(), lits, lits + size);
     watches[lits[0] ^ 1].push_back(Watch{c, lits[1]});
     watches[lits[1] ^ 1].push_back(Watch{c, lits[0]});
+    if (is_learned) {
+      learned.push_back(c);
+    } else {
+      problem_clauses.push_back(c);
+    }
     return c;
   }
 
@@ -222,17 +293,20 @@ struct Solver {
     return kNoReason;
   }
 
-  /// First-UIP conflict analysis. Fills `learned` (learned[0] is the
-  /// asserting literal) and returns the backjump level.
-  std::uint32_t Analyze(ClauseRef confl, std::vector<Lit>* learned) {
-    learned->clear();
-    learned->push_back(kNoLit);  // Slot for the asserting literal.
-    std::uint32_t counter = 0;   // Current-level literals still to resolve.
+  /// First-UIP conflict analysis. Fills `learned_out` (learned_out[0] is
+  /// the asserting literal), computes the clause's LBD, and returns the
+  /// backjump level. Bumps variable and clause activities along the way.
+  std::uint32_t Analyze(ClauseRef confl, std::vector<Lit>* learned_out,
+                        std::uint32_t* lbd_out) {
+    learned_out->clear();
+    learned_out->push_back(kNoLit);  // Slot for the asserting literal.
+    std::uint32_t counter = 0;       // Current-level literals to resolve.
     std::size_t index = trail.size();
     Lit p = kNoLit;
 
     do {
       CQA_DCHECK(confl != kNoReason);
+      if (IsLearned(confl)) BumpClause(confl);
       std::uint32_t size = ClauseSize(confl);
       const std::uint32_t* lits = ClauseLits(confl);
       // Skip lits[0] on resolution steps: it is the literal being resolved.
@@ -244,7 +318,7 @@ struct Solver {
         if (level[var] == DecisionLevel()) {
           ++counter;
         } else {
-          learned->push_back(lits[j]);
+          learned_out->push_back(lits[j]);
         }
       }
       // Walk the trail back to the next marked current-level literal.
@@ -256,77 +330,185 @@ struct Solver {
       confl = reason[VarOf(p)];
       --counter;
     } while (counter > 0);
-    (*learned)[0] = p ^ 1;
+    (*learned_out)[0] = p ^ 1;
 
-    // Cheap minimization: drop literals implied at level 0 were already
-    // skipped; now compute the backjump level (highest level among the
-    // non-asserting literals).
+    // Literals implied at level 0 were already skipped; now compute the
+    // backjump level (highest level among the non-asserting literals).
     std::uint32_t backjump = 0;
     std::size_t max_at = 1;
-    for (std::size_t j = 1; j < learned->size(); ++j) {
-      std::uint32_t l = level[VarOf((*learned)[j])];
+    for (std::size_t j = 1; j < learned_out->size(); ++j) {
+      std::uint32_t l = level[VarOf((*learned_out)[j])];
       if (l > backjump) {
         backjump = l;
         max_at = j;
       }
     }
-    if (learned->size() > 1) {
-      std::swap((*learned)[1], (*learned)[max_at]);  // Second watch.
+    if (learned_out->size() > 1) {
+      std::swap((*learned_out)[1], (*learned_out)[max_at]);  // Second watch.
     }
-    for (std::size_t j = 1; j < learned->size(); ++j) {
-      seen[VarOf((*learned)[j])] = 0;
+    for (std::size_t j = 1; j < learned_out->size(); ++j) {
+      seen[VarOf((*learned_out)[j])] = 0;
     }
+
+    // LBD: distinct decision levels among the clause's literals.
+    ++stamp;
+    std::uint32_t lbd = 0;
+    for (Lit l : *learned_out) {
+      std::uint32_t lv = level[VarOf(l)];
+      if (level_stamp[lv] != stamp) {
+        level_stamp[lv] = stamp;
+        ++lbd;
+      }
+    }
+    *lbd_out = lbd;
     return backjump;
   }
 
-  bool Search() {
-    std::vector<Lit> learned;
+  // -- Learned-clause database reduction ----------------------------------
+
+  /// Deletes the worst half of the non-glue learned clauses (highest LBD,
+  /// then lowest activity) and garbage-collects the arena. Must run at
+  /// decision level 0. Safe because Analyze never traces a level-0
+  /// variable's reason, so clearing those reasons leaves no dangling ref.
+  void ReduceDb() {
+    CQA_DCHECK(DecisionLevel() == 0);
+    ++stats.db_reductions;
+    for (Lit l : trail) reason[VarOf(l)] = kNoReason;
+
+    std::vector<ClauseRef> deletable;
+    deletable.reserve(learned.size());
+    for (ClauseRef c : learned) {
+      if (Lbd(c) > options.glue_lbd) deletable.push_back(c);
+    }
+    std::sort(deletable.begin(), deletable.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                std::uint32_t la = Lbd(a), lb = Lbd(b);
+                if (la != lb) return la > lb;
+                return ClauseActivity(a) < ClauseActivity(b);
+              });
+    std::size_t to_delete = deletable.size() / 2;
+    for (std::size_t i = 0; i < to_delete; ++i) {
+      arena[deletable[i] + 1] |= kDeletedBit;
+    }
+    stats.learned_deleted += to_delete;
+
+    std::size_t keep = 0;
+    for (ClauseRef c : learned) {
+      if ((Meta(c) & kDeletedBit) == 0) learned[keep++] = c;
+    }
+    learned.resize(keep);
+
+    // Compact the arena: problem clauses first, surviving learned after,
+    // rewriting the refs in place. Nothing else holds a ClauseRef (level-0
+    // reasons were cleared above; there are no other assigned variables).
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(arena.size());
+    auto relocate = [&](ClauseRef& ref) {
+      std::uint32_t words = kHeaderWords + arena[ref];
+      ClauseRef moved = static_cast<ClauseRef>(fresh.size());
+      fresh.insert(fresh.end(), arena.begin() + ref,
+                   arena.begin() + ref + words);
+      ref = moved;
+    };
+    for (ClauseRef& c : problem_clauses) relocate(c);
+    for (ClauseRef& c : learned) relocate(c);
+    arena.swap(fresh);
+
+    // Rebuild every watch list. Propagate keeps the watched pair at
+    // lits[0]/lits[1], so this reproduces the exact watch structure.
+    for (std::vector<Watch>& w : watches) w.clear();
+    auto rewatch = [&](ClauseRef c) {
+      const std::uint32_t* lits = ClauseLits(c);
+      watches[lits[0] ^ 1].push_back(Watch{c, lits[1]});
+      watches[lits[1] ^ 1].push_back(Watch{c, lits[0]});
+    };
+    for (ClauseRef c : problem_clauses) rewatch(c);
+    for (ClauseRef c : learned) rewatch(c);
+
+    stats.learned_kept = learned.size();
+    next_reduce_interval += options.reduce_increment;
+    next_reduce_at = stats.conflicts + next_reduce_interval;
+  }
+
+  // -- Search -------------------------------------------------------------
+
+  /// CDCL search under `assumptions` (internal literals). Returns true on
+  /// SAT; on false, `ok` distinguishes permanent UNSAT from UNSAT under
+  /// the assumptions.
+  bool Search(const std::vector<Lit>& assumptions) {
+    std::vector<Lit> learned_scratch;
     std::uint64_t conflicts_until_restart = LubyRestartLimit();
     for (;;) {
       ClauseRef confl = Propagate();
       if (confl != kNoReason) {
         ++stats.conflicts;
-        if (DecisionLevel() == 0) return false;  // Conflict under no
-                                                 // assumptions: UNSAT.
-        std::uint32_t backjump = Analyze(confl, &learned);
+        if (DecisionLevel() == 0) {
+          ok = false;  // Conflict under no decisions: permanently UNSAT.
+          return false;
+        }
+        std::uint32_t lbd = 0;
+        std::uint32_t backjump = Analyze(confl, &learned_scratch, &lbd);
         CancelUntil(backjump);
-        if (learned.size() == 1) {
-          Enqueue(learned[0], kNoReason);
+        if (learned_scratch.size() == 1) {
+          Enqueue(learned_scratch[0], kNoReason);
         } else {
-          ClauseRef c = AddClause(learned.data(),
-                                  static_cast<std::uint32_t>(learned.size()));
+          ClauseRef c = AddClauseInternal(
+              learned_scratch.data(),
+              static_cast<std::uint32_t>(learned_scratch.size()),
+              /*is_learned=*/true, lbd);
           ++stats.learned_clauses;
-          stats.learned_literals += learned.size();
-          Enqueue(learned[0], c);
+          stats.learned_literals += learned_scratch.size();
+          Enqueue(learned_scratch[0], c);
         }
         DecayActivities();
         if (--conflicts_until_restart == 0) {
           ++stats.restarts;
+          ++restarts_this_solve;
           CancelUntil(0);
+          if (stats.conflicts >= next_reduce_at) ReduceDb();
           conflicts_until_restart = LubyRestartLimit();
         }
         continue;
       }
-      // Decide.
-      std::uint32_t var = kNotInHeap;
-      while (!heap.empty()) {
-        std::uint32_t candidate = HeapPopMax();
-        if (assigns[candidate] == Value::kUnset) {
-          var = candidate;
+      // Extend: assumptions first (as pseudo-decisions), then decide.
+      Lit next = kNoLit;
+      while (DecisionLevel() < assumptions.size()) {
+        Lit p = assumptions[DecisionLevel()];
+        Value v = ValueOfLit(p);
+        if (v == Value::kTrue) {
+          // Already satisfied: open an empty level so indices line up.
+          trail_lim.push_back(static_cast<std::uint32_t>(trail.size()));
+        } else if (v == Value::kFalse) {
+          return false;  // UNSAT under the assumptions; clauses are fine.
+        } else {
+          next = p;
           break;
         }
       }
-      if (var == kNotInHeap) return true;  // Total assignment: SAT.
-      ++stats.decisions;
+      if (next == kNoLit) {
+        std::uint32_t var = kNotInHeap;
+        while (!heap.empty()) {
+          std::uint32_t candidate = HeapPopMax();
+          if (assigns[candidate] == Value::kUnset) {
+            var = candidate;
+            break;
+          }
+        }
+        if (var == kNotInHeap) return true;  // Total assignment: SAT.
+        ++stats.decisions;
+        next = MakeLit(var, saved_phase[var] != 0);
+      }
       trail_lim.push_back(static_cast<std::uint32_t>(trail.size()));
-      Enqueue(MakeLit(var, saved_phase[var] != 0), kNoReason);
+      Enqueue(next, kNoReason);
     }
   }
 
   std::uint64_t LubyRestartLimit() {
-    // luby(i) * 64 conflicts for restart number i (0-based), computed with
-    // the standard find-the-subsequence loop (Luby et al. 1993).
-    std::uint64_t x = stats.restarts;
+    // luby(i) * restart_base conflicts for restart number i within this
+    // solve (0-based), computed with the standard find-the-subsequence
+    // loop (Luby et al. 1993). Counting per solve keeps the cadence fresh
+    // for every incremental call.
+    std::uint64_t x = restarts_this_solve;
     std::uint64_t size = 1, seq = 0;
     while (size < x + 1) {
       ++seq;
@@ -337,74 +519,155 @@ struct Solver {
       --seq;
       x = x % size;
     }
-    return (1ULL << seq) * 64;
+    return (1ULL << seq) * options.restart_base;
+  }
+
+  bool SolveInternal(const std::vector<Lit>& assumptions) {
+    ++stats.solves;
+    if (stats.solves > 1) ++stats.warm_solves;
+    if (!ok) return false;
+    CQA_DCHECK(DecisionLevel() == 0);
+    // Every unassigned variable must be decidable so the model is total,
+    // including variables no clause mentions and ones added since the
+    // last call.
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      if (assigns[v] == Value::kUnset) HeapInsert(v);
+    }
+    restarts_this_solve = 0;
+    if (stats.conflicts >= next_reduce_at) {
+      // Reduction needs a clean level-0 state: propagate pending units
+      // first. A conflict here is a level-0 conflict — permanently UNSAT.
+      if (Propagate() != kNoReason) {
+        ++stats.conflicts;
+        ok = false;
+        stats.learned_kept = learned.size();
+        return false;
+      }
+      ReduceDb();
+    }
+    bool sat = Search(assumptions);
+    if (sat) {
+      model.resize(num_vars);
+      for (std::uint32_t v = 0; v < num_vars; ++v) {
+        model[v] = assigns[v] == Value::kTrue ? 1 : 0;
+      }
+    }
+    CancelUntil(0);
+    stats.learned_kept = learned.size();
+    return sat;
   }
 };
 
-}  // namespace
+CdclSolver::CdclSolver(CdclOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+CdclSolver::~CdclSolver() = default;
+CdclSolver::CdclSolver(CdclSolver&&) noexcept = default;
+CdclSolver& CdclSolver::operator=(CdclSolver&&) noexcept = default;
+
+std::uint32_t CdclSolver::num_vars() const { return impl_->num_vars; }
+
+std::uint32_t CdclSolver::AddVars(std::uint32_t n) {
+  Impl& s = *impl_;
+  std::uint32_t first = s.num_vars;
+  s.num_vars += n;
+  s.watches.resize(2 * s.num_vars);
+  s.assigns.resize(s.num_vars, Value::kUnset);
+  s.level.resize(s.num_vars, 0);
+  s.reason.resize(s.num_vars, kNoReason);
+  s.activity.resize(s.num_vars, 0.0);
+  s.heap_pos.resize(s.num_vars, Impl::kNotInHeap);
+  s.saved_phase.resize(s.num_vars, 0);
+  s.seen.resize(s.num_vars, 0);
+  s.level_stamp.resize(s.num_vars + 1, 0);
+  return first;
+}
+
+bool CdclSolver::AddClause(const Clause& clause) {
+  Impl& s = *impl_;
+  if (!s.ok) return false;
+  CQA_DCHECK(s.DecisionLevel() == 0);
+  // Normalize: drop duplicates and level-0-false literals, detect
+  // tautologies and level-0-satisfied clauses.
+  std::vector<Lit> scratch;
+  scratch.reserve(clause.size());
+  for (const Literal& lit : clause) {
+    CQA_CHECK_MSG(lit.var < s.num_vars, "literal out of range");
+    Lit l = MakeLit(lit.var, lit.positive);
+    Value v = s.ValueOfLit(l);
+    if (v == Value::kTrue) return true;   // Satisfied at level 0.
+    if (v == Value::kFalse) continue;     // Permanently false literal.
+    if (std::find(scratch.begin(), scratch.end(), l) != scratch.end()) {
+      continue;
+    }
+    if (std::find(scratch.begin(), scratch.end(), l ^ 1) != scratch.end()) {
+      return true;  // Tautology.
+    }
+    scratch.push_back(l);
+  }
+  if (scratch.empty()) {
+    s.ok = false;
+    return false;
+  }
+  if (scratch.size() == 1) {
+    // Unit at level 0: enqueue now, propagate lazily at the next solve.
+    s.Enqueue(scratch[0], kNoReason);
+    return true;
+  }
+  s.AddClauseInternal(scratch.data(),
+                      static_cast<std::uint32_t>(scratch.size()),
+                      /*is_learned=*/false, /*lbd=*/0);
+  return true;
+}
+
+bool CdclSolver::ok() const { return impl_->ok; }
+
+bool CdclSolver::Solve() { return impl_->SolveInternal({}); }
+
+bool CdclSolver::SolveUnderAssumptions(
+    const std::vector<Literal>& assumptions) {
+  Impl& s = *impl_;
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const Literal& a : assumptions) {
+    CQA_CHECK_MSG(a.var < s.num_vars, "assumption out of range");
+    lits.push_back(MakeLit(a.var, a.positive));
+  }
+  return s.SolveInternal(lits);
+}
+
+bool CdclSolver::ValueOf(std::uint32_t var) const {
+  CQA_CHECK_MSG(var < impl_->model.size(), "no model for this variable");
+  return impl_->model[var] != 0;
+}
+
+const CdclStats& CdclSolver::stats() const { return impl_->stats; }
+
+std::size_t CdclSolver::ArenaWords() const { return impl_->arena.size(); }
+
+void CdclSolver::NoteRetraction(std::uint64_t clauses) {
+  impl_->stats.clauses_retracted += clauses;
+}
 
 SatResult SolveCdcl(const CnfFormula& f, CdclStats* stats) {
-  Solver s;
-  s.num_vars = f.num_vars;
-  s.watches.assign(2 * f.num_vars, {});
-  s.assigns.assign(f.num_vars, Value::kUnset);
-  s.level.assign(f.num_vars, 0);
-  s.reason.assign(f.num_vars, kNoReason);
-  s.activity.assign(f.num_vars, 0.0);
-  s.heap_pos.assign(f.num_vars, Solver::kNotInHeap);
-  s.saved_phase.assign(f.num_vars, 0);
-  s.seen.assign(f.num_vars, 0);
-
-  // Ingest clauses: drop tautologies and duplicate literals, enqueue units
-  // at level 0, fail immediately on an empty clause.
-  std::vector<Lit> scratch;
+  CdclSolver solver;
+  solver.AddVars(f.num_vars);
   bool ok = true;
   for (const Clause& c : f.clauses) {
-    scratch.clear();
-    bool tautology = false;
-    for (const Literal& lit : c) {
-      CQA_CHECK_MSG(lit.var < f.num_vars, "literal out of range");
-      Lit l = MakeLit(lit.var, lit.positive);
-      if (std::find(scratch.begin(), scratch.end(), l) != scratch.end()) {
-        continue;
-      }
-      if (std::find(scratch.begin(), scratch.end(), l ^ 1) != scratch.end()) {
-        tautology = true;
-        break;
-      }
-      scratch.push_back(l);
-    }
-    if (tautology) continue;
-    if (scratch.empty()) {
+    if (!solver.AddClause(c)) {
       ok = false;
       break;
     }
-    if (scratch.size() == 1) {
-      Value v = s.ValueOfLit(scratch[0]);
-      if (v == Value::kFalse) {
-        ok = false;
-        break;
-      }
-      if (v == Value::kUnset) s.Enqueue(scratch[0], kNoReason);
-      continue;
-    }
-    s.AddClause(scratch.data(), static_cast<std::uint32_t>(scratch.size()));
   }
-
-  // Seed the decision heap with every variable so the model is total even
-  // for variables no clause mentions.
-  for (std::uint32_t v = 0; v < f.num_vars; ++v) s.HeapInsert(v);
-
   SatResult result;
-  result.satisfiable = ok && s.Search();
+  result.satisfiable = ok && solver.Solve();
   if (result.satisfiable) {
     result.assignment.resize(f.num_vars);
     for (std::uint32_t v = 0; v < f.num_vars; ++v) {
-      result.assignment[v] = s.assigns[v] == Value::kTrue;
+      result.assignment[v] = solver.ValueOf(v);
     }
     CQA_CHECK(f.Evaluate(result.assignment));
   }
-  if (stats != nullptr) *stats = s.stats;
+  if (stats != nullptr) *stats = solver.stats();
   return result;
 }
 

@@ -458,6 +458,90 @@ TEST(IncrementalSolverTest, UntouchedComponentsAreCached) {
 }
 
 // ---------------------------------------------------------------------
+// Warm per-component SAT sessions vs the materialized cold path.
+// ---------------------------------------------------------------------
+
+TEST(IncrementalSolverTest, WarmSatSessionsMatchColdPathOver1000Steps) {
+  // Two services solving the same 1000-step mutation sequence through the
+  // sat backend: one with warm per-component CDCL sessions (solvers keep
+  // learned clauses across mutations; stale blocks retract via
+  // activation-literal units), one with sessions disabled (every
+  // component solve materializes a sub-database and encodes from
+  // scratch). Verdicts and witness validity must agree at every step —
+  // the whole point of the encoding's diff-against-current-membership
+  // discipline is that warmth is a pure optimization. Aggressive
+  // compaction on the warm service routes the sequence through
+  // ApplyRemap's var-pinning path too.
+  ServiceOptions warm_opts;
+  warm_opts.compact_dead_ratio = 0.3;
+  warm_opts.compact_min_slots = 8;
+  ServiceOptions cold_opts;
+  cold_opts.warm_sat_solvers = false;
+  Service warm(warm_opts);
+  Service cold(cold_opts);
+  CompileOptions copts;
+  copts.forced_backend = "sat";
+  StatusOr<CompiledQuery> qw = warm.Compile("R(x | y) R(y | z)", copts);
+  StatusOr<CompiledQuery> qc = cold.Compile("R(x | y) R(y | z)", copts);
+  ASSERT_TRUE(qw.ok() && qc.ok());
+
+  Rng rng(0xFEED5EED);
+  SpecPool pool = MakePool(qw->query(), 48, 24, &rng);
+  Database seed = BuildFromSpecs(qw->query().schema(), pool);
+  ASSERT_TRUE(warm.RegisterDatabase("db", seed).ok());
+  ASSERT_TRUE(cold.RegisterDatabase("db", std::move(seed)).ok());
+
+  const int kSteps = 1000;
+  for (int step = 0; step < kSteps; ++step) {
+    bool is_insert = false;
+    const FactSpec& spec = RandomStep(&pool, &rng, &is_insert);
+    for (Service* s : {&warm, &cold}) {
+      Status applied = is_insert ? s->InsertFacts("db", {spec})
+                                 : s->DeleteFacts("db", {spec});
+      ASSERT_TRUE(applied.ok()) << applied.ToString();
+    }
+
+    StatusOr<SolveReport> w = warm.Solve(*qw, "db");
+    StatusOr<SolveReport> c = cold.Solve(*qc, "db");
+    ASSERT_TRUE(w.ok() && c.ok());
+    ASSERT_EQ(w->certain, c->certain) << "step " << step;
+    EXPECT_TRUE(w->sat_warm);
+    EXPECT_FALSE(c->sat_warm);
+    ASSERT_EQ(w->witness.has_value(), c->witness.has_value())
+        << "step " << step;
+    if (w->witness.has_value()) {
+      Status ok = VerifyWitness(qw->query(), *w->witness->database(),
+                                *w->witness);
+      ASSERT_TRUE(ok.ok()) << ok.ToString() << "\nstep " << step;
+    }
+    // Periodic deep audit + forced compaction: the warm session must
+    // survive arbitrary FactId remaps mid-sequence.
+    if (step % 97 == 96) {
+      ASSERT_TRUE(warm.CompactDatabase("db").ok());
+      StatusOr<AuditReport> audit = warm.AuditDatabase("db");
+      ASSERT_TRUE(audit.ok() && audit->ok())
+          << "step " << step << "\n"
+          << (audit.ok() ? audit->ToString() : audit.status().ToString());
+      StatusOr<SolveReport> after = warm.Solve(*qw, "db");
+      ASSERT_TRUE(after.ok());
+      ASSERT_EQ(after->certain, c->certain) << "post-compact step " << step;
+    }
+  }
+
+  // The warm machinery demonstrably ran: sessions solved, re-solved warm
+  // solvers, and retracted stale block clauses as the database churned.
+  ServiceStats stats = warm.Stats();
+  ASSERT_EQ(stats.databases.size(), 1u);
+  const ServiceStats::DatabaseStats& d = stats.databases[0];
+  EXPECT_GT(d.sat.solves, 0u);
+  EXPECT_GT(d.sat.warm_solves, 0u);
+  EXPECT_GT(d.sat.clauses_retracted, 0u);
+  EXPECT_GT(d.sat_solvers.entries, 0u);
+  ServiceStats cold_stats = cold.Stats();
+  EXPECT_EQ(cold_stats.databases[0].sat.solves, 0u);
+}
+
+// ---------------------------------------------------------------------
 // Mutation API error paths (all-or-nothing semantics).
 // ---------------------------------------------------------------------
 

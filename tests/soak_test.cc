@@ -6,7 +6,11 @@
 //   - the verdict-cache entry count stays within CacheOptions.max_entries
 //     (modulo shard rounding) and the solver map within its cap,
 //   - delta-solve answers stay identical to rebuild-solve answers and
-//     witnesses verify.
+//     witnesses verify,
+//   - under the sat backend with the clause-DB reduction thresholds
+//     cranked low, the warm sessions' resident learned-clause count
+//     (CdclStats::learned_kept) stays bounded across the whole churn —
+//     reduction is actually shedding clauses, not just accumulating.
 // The run is durable: every few hundred mutations the process
 // "crashes" (a fault plan kills all further I/O, the Service is torn
 // down mid-flight) and a fresh Service recovers the database from its
@@ -40,9 +44,15 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
       "R(x | y) R(y | z)",         // cert2 dispatch.
       "R(x | y, z) R(z | x, y)",   // certk+matching dispatch.
   };
-  const char* kForced[] = {"", "exhaustive"};
+  const char* kForced[] = {"", "exhaustive", "sat"};
+  // Generous ceiling for the resident learned-clause gauge: with
+  // reduction thresholds of 20/10 and small sparse components, a warm
+  // session that sheds clauses stays two orders of magnitude below this;
+  // a session that never deletes would blow through it.
+  const std::uint64_t kLearnedCeiling = 2048;
 
-  for (int config = 0; config < 4; ++config) {
+  for (int config = 0; config < 6; ++config) {
+    const bool sat_config = (config % 3 == 2);
     ServiceOptions options;
     options.compact_dead_ratio = 0.4;
     options.compact_min_slots = 64;
@@ -50,6 +60,13 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     // workload's component count exceeds the verdict bound.
     options.verdict_cache = CacheOptions{/*max_entries=*/160, /*max_bytes=*/0};
     options.solver_cache = CacheOptions{/*max_entries=*/4, /*max_bytes=*/0};
+    // Small warm-solver pool (forces evictions + counter salvage) and
+    // aggressive clause-DB reduction so the learned-memory bound below is
+    // load-bearing, not vacuous.
+    options.sat_solver_cache = CacheOptions{/*max_entries=*/32, /*max_bytes=*/0};
+    options.sat_cdcl.first_reduce_conflicts = 20;
+    options.sat_cdcl.reduce_increment = 10;
+    options.sat_cdcl.restart_base = 16;
     // Durable, fsync-per-batch: the periodic simulated crashes below may
     // not lose a single acknowledged mutation.
     options.durability.enabled = true;
@@ -60,9 +77,9 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     auto service = std::make_unique<Service>(options);
 
     CompileOptions copts;
-    copts.forced_backend = kForced[config % 2];
+    copts.forced_backend = kForced[config % 3];
     StatusOr<CompiledQuery> q =
-        service->Compile(kQueries[config / 2], copts);
+        service->Compile(kQueries[config / 3], copts);
     ASSERT_TRUE(q.ok()) << q.status().ToString();
 
     // A pool of candidate facts; roughly half present at any time.
@@ -91,13 +108,15 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
     }
     ASSERT_TRUE(service->RegisterDatabase("db", std::move(initial)).ok());
 
-    const int kMutations = 2600;  // x4 configs > 10k total.
+    const int kMutations = 2600;  // x6 configs > 15k total.
     std::uint64_t compactions = 0;
     std::uint64_t peak_slots = 0;
     std::uint64_t peak_verdicts = 0;
-    // Eviction counters are per-Service; the crash cycles below replace
-    // the Service, so carry the count across generations.
+    std::uint64_t peak_learned = 0;
+    // Eviction/CDCL counters are per-Service; the crash cycles below
+    // replace the Service, so carry the counts across generations.
     std::uint64_t evictions_before_crashes = 0;
+    CdclStats sat_before_crashes;
     for (int step = 0; step < kMutations; ++step) {
       std::size_t pick = rng.Below(specs.size());
       MutationStats mstats;
@@ -144,8 +163,11 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
       // verdicts), so the bounds below also re-prove themselves from a
       // recovered state.
       if (step % 650 == 649) {
-        evictions_before_crashes +=
-            service->Stats().databases[0].verdicts.evictions;
+        {
+          ServiceStats dying = service->Stats();
+          evictions_before_crashes += dying.databases[0].verdicts.evictions;
+          sat_before_crashes += dying.databases[0].sat;
+        }
         store::FaultPlan plan;
         plan.crash_at_op = 0;
         store::InstallFault(plan);
@@ -157,7 +179,7 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
         ASSERT_TRUE(recovered.ok())
             << "config " << config << " step " << step << ": "
             << recovered.ToString();
-        q = service->Compile(kQueries[config / 2], copts);
+        q = service->Compile(kQueries[config / 3], copts);
         ASSERT_TRUE(q.ok());
 
         StatusOr<std::vector<FactSpec>> listed = service->ListFacts("db");
@@ -205,6 +227,14 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
                       IncrementalSolver::kNumShards)
             << "config " << config << " step " << step;
         ASSERT_LE(d.solvers.entries, options.solver_cache.max_entries);
+        // Learned-memory bound: clause-DB reduction must keep each warm
+        // session's resident learned-clause count from growing without
+        // bound across the churn. learned_kept is a gauge (clauses
+        // currently resident, summed over the database's sessions).
+        peak_learned = std::max(peak_learned, d.sat.learned_kept);
+        ASSERT_LE(d.sat.learned_kept, kLearnedCeiling)
+            << "config " << config << " step " << step
+            << ": learned clauses accumulating without reduction";
       }
     }
 
@@ -218,6 +248,17 @@ TEST(SoakTest, BoundsHoldAndAnswersMatchRebuildUnder10kMutations) {
                   stats.databases[0].verdicts.evictions,
               0u)
         << "config " << config;
+    if (sat_config) {
+      // The sat configs must have run their warm sessions for real:
+      // solves happened, most were warm re-solves, and mutations
+      // retracted stale clauses via activation literals.
+      CdclStats total_sat = sat_before_crashes;
+      total_sat += stats.databases[0].sat;
+      EXPECT_GT(total_sat.solves, 0u) << "config " << config;
+      EXPECT_GT(total_sat.warm_solves, 0u) << "config " << config;
+      EXPECT_GT(total_sat.clauses_retracted, 0u) << "config " << config;
+      EXPECT_LE(peak_learned, kLearnedCeiling) << "config " << config;
+    }
   }
 }
 
