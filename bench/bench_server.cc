@@ -1,0 +1,289 @@
+// bench_server: end-to-end serving-layer throughput and latency — the
+// full path a real client pays (frame encode → socket → admission queue
+// → worker pipeline → solve → frame decode), not just the engine.
+//
+// Tiers:
+//   1. Closed-loop scaling over in-process socketpair transport: N
+//      clients (1/2/4/8), each issuing requests back-to-back against a
+//      shared registered database. Reports QPS and p50/p95/p99 request
+//      latency per tier.
+//   2. The same workload over real TCP (127.0.0.1), to price the kernel
+//      network stack against tier 1.
+//   3. Overload: more pipelining clients than workers against a small
+//      bounded queue — the interesting numbers are the clean-shed rate
+//      (every shed is a typed kOverloaded, never a lost response) and
+//      the bounded peak queue depth.
+//
+// Custom main (not google-benchmark): the experiments need client thread
+// fleets, a live Server, and post-run counter assertions, which fit a
+// plain driver better than the fixture API.
+//
+//   ./bench_server [--smoke] [--requests=N] [--label=L] [--out=DIR]
+//
+// --smoke shrinks everything for CI artifact runs. Results append to
+// BENCH_server.json via the shared emitter.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "bench_json.h"
+#include "gen/workloads.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace cqa {
+namespace {
+
+constexpr const char* kQuery = "R(x | y) R(y | z)";
+
+struct Config {
+  std::size_t requests_per_client = 2000;
+  bool smoke = false;
+  std::string label = "adhoc";
+  std::string out_dir;
+};
+
+struct TierResult {
+  double wall_seconds = 0.0;
+  std::uint64_t requests = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_micros, double pct) {
+  if (sorted_micros.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      pct * static_cast<double>(sorted_micros.size() - 1));
+  return sorted_micros[idx];
+}
+
+void RegisterWorkload(Service& service, bool smoke) {
+  StatusOr<CompiledQuery> q = service.Compile(kQuery);
+  CQA_CHECK(q.ok());
+  Rng rng(0xBE7C);
+  Database db =
+      ChainInstance(q->query(), smoke ? 6 : 24, 0.5, 0.6, &rng);
+  CQA_CHECK(service.RegisterDatabase("bench", std::move(db)).ok());
+  // Warm the compile cache and the incremental solver so the tiers
+  // measure steady-state serving, not first-touch preparation.
+  CQA_CHECK(service.Solve(*q, "bench").ok());
+}
+
+server::Client Connect(server::Server& server, bool tcp) {
+  if (tcp) {
+    StatusOr<server::Client> client =
+        server::Client::ConnectTcp(server.port());
+    CQA_CHECK(client.ok());
+    return std::move(*client);
+  }
+  int client_fd = -1;
+  int server_fd = -1;
+  CQA_CHECK(server::LocalSocketPair(&client_fd, &server_fd).ok());
+  CQA_CHECK(server.ServeFd(server_fd).ok());
+  return server::Client::FromFd(client_fd);
+}
+
+/// Closed-loop tier: `clients` threads, each Call()ing back-to-back.
+TierResult RunClosedLoop(Service& service, std::size_t clients,
+                         std::size_t per_client, bool tcp) {
+  server::ServerOptions options;
+  options.num_workers = 4;
+  options.max_queue = 256;
+  server::Server server(service, options);
+  if (tcp) CQA_CHECK(server.ListenTcp(0).ok());
+
+  std::mutex latencies_mu;
+  std::vector<double> latencies_micros;
+  latencies_micros.reserve(clients * per_client);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      server::Client client = Connect(server, tcp);
+      std::vector<double> local;
+      local.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        server::Request req;
+        req.request_id = c * 1000000 + i + 1;
+        req.db_name = "bench";
+        req.query_text = kQuery;
+        auto t0 = std::chrono::steady_clock::now();
+        StatusOr<server::Response> resp = client.Call(req);
+        auto t1 = std::chrono::steady_clock::now();
+        CQA_CHECK(resp.ok());
+        CQA_CHECK_MSG(resp->code == StatusCode::kOk,
+                      "closed-loop tier must never shed");
+        local.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+      std::lock_guard lock(latencies_mu);
+      latencies_micros.insert(latencies_micros.end(), local.begin(),
+                              local.end());
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  server.Stop();
+
+  std::sort(latencies_micros.begin(), latencies_micros.end());
+  TierResult result;
+  result.wall_seconds = wall;
+  result.requests = clients * per_client;
+  result.p50_micros = Percentile(latencies_micros, 0.50);
+  result.p95_micros = Percentile(latencies_micros, 0.95);
+  result.p99_micros = Percentile(latencies_micros, 0.99);
+  return result;
+}
+
+void EmitTier(const char* name, const char* variant, const TierResult& r,
+              std::map<std::string, double> extra,
+              bench::BenchJsonWriter* writer) {
+  bench::BenchEntry entry;
+  entry.name = name;
+  entry.variant = variant;
+  entry.wall_seconds = r.wall_seconds;
+  entry.iterations = r.requests;
+  entry.seconds_per_op = r.wall_seconds / static_cast<double>(r.requests);
+  entry.ops_per_second = static_cast<double>(r.requests) / r.wall_seconds;
+  entry.counters["p50_micros"] = r.p50_micros;
+  entry.counters["p95_micros"] = r.p95_micros;
+  entry.counters["p99_micros"] = r.p99_micros;
+  for (auto& [key, value] : extra) entry.counters[key] = value;
+  std::printf("%-28s %-10s  %8.0f qps  p50=%6.0fus p95=%6.0fus p99=%6.0fus\n",
+              name, variant, entry.ops_per_second, r.p50_micros,
+              r.p95_micros, r.p99_micros);
+  writer->Add(std::move(entry));
+}
+
+/// Overload tier: pipelining clients against a tiny queue; reports the
+/// shed rate and asserts the sheds were clean and the queue bounded.
+void RunOverloadTier(Service& service, const Config& config,
+                     bench::BenchJsonWriter* writer) {
+  constexpr std::size_t kClients = 16;
+  const std::size_t per_client = config.smoke ? 50 : 400;
+
+  server::ServerOptions options;
+  options.num_workers = 2;
+  options.max_queue = 8;
+  server::Server server(service, options);
+
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> shed_count{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> fleet;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    fleet.emplace_back([&, c] {
+      server::Client client = Connect(server, /*tcp=*/false);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        server::Request req;
+        req.request_id = c * 1000000 + i + 1;
+        req.db_name = "bench";
+        req.query_text = kQuery;
+        CQA_CHECK(client.Send(req).ok());
+      }
+      for (std::size_t i = 0; i < per_client; ++i) {
+        StatusOr<server::Response> resp = client.Receive();
+        CQA_CHECK(resp.ok());
+        if (resp->code == StatusCode::kOk) {
+          ++ok_count;
+        } else {
+          CQA_CHECK_MSG(resp->code == StatusCode::kOverloaded,
+                        "overload tier saw a non-kOverloaded failure");
+          ++shed_count;
+        }
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+  ServiceStats stats = server.Stats();
+  server.Stop();
+  CQA_CHECK_MSG(shed_count.load() > 0,
+                "overload tier failed to overload the queue");
+  CQA_CHECK(ok_count.load() + shed_count.load() == kClients * per_client);
+  CQA_CHECK_MSG(stats.server.peak_queue_depth <= stats.server.queue_capacity,
+                "queue depth exceeded its bound");
+
+  TierResult result;
+  result.wall_seconds = wall;
+  result.requests = ok_count.load();  // QPS counts *executed* requests
+  std::map<std::string, double> extra;
+  extra["clients"] = static_cast<double>(kClients);
+  extra["shed_overloaded"] = static_cast<double>(shed_count.load());
+  extra["offered"] = static_cast<double>(kClients * per_client);
+  extra["peak_queue_depth"] =
+      static_cast<double>(stats.server.peak_queue_depth);
+  extra["queue_capacity"] = static_cast<double>(stats.server.queue_capacity);
+  EmitTier("serve/q3/overload", "pipelined", result, std::move(extra),
+           writer);
+}
+
+void Run(const Config& config) {
+  Service service;
+  RegisterWorkload(service, config.smoke);
+  bench::BenchJsonWriter writer("server", config.label);
+  std::printf("bench_server: requests/client=%zu%s\n\n",
+              config.requests_per_client, config.smoke ? " (smoke)" : "");
+
+  for (std::size_t clients : {1u, 2u, 4u, 8u}) {
+    TierResult r = RunClosedLoop(service, clients,
+                                 config.requests_per_client, /*tcp=*/false);
+    std::string name = "serve/q3/clients=" + std::to_string(clients);
+    std::map<std::string, double> extra;
+    extra["clients"] = static_cast<double>(clients);
+    EmitTier(name.c_str(), "socketpair", r, std::move(extra), &writer);
+  }
+
+  {
+    TierResult r = RunClosedLoop(service, 4, config.requests_per_client,
+                                 /*tcp=*/true);
+    std::map<std::string, double> extra;
+    extra["clients"] = 4.0;
+    EmitTier("serve/q3/clients=4", "tcp", r, std::move(extra), &writer);
+  }
+
+  RunOverloadTier(service, config, &writer);
+
+  std::string path = writer.WriteMerged(config.out_dir);
+  std::printf("\nwrote %s (label=%s, %zu entries)\n", path.c_str(),
+              config.label.c_str(), writer.entries().size());
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  cqa::Config config;
+  config.smoke = cqa::bench::HasFlag(argc, argv, "--smoke");
+  if (config.smoke) config.requests_per_client = 150;
+  std::string requests = cqa::bench::FlagValue(argc, argv, "--requests", "");
+  if (!requests.empty()) {
+    config.requests_per_client =
+        static_cast<std::size_t>(std::strtoull(requests.c_str(), nullptr, 10));
+  }
+  config.label = cqa::bench::FlagValue(argc, argv, "--label",
+                                       config.smoke ? "smoke" : "adhoc");
+  config.out_dir = cqa::bench::FlagValue(argc, argv, "--out", "");
+  cqa::Run(config);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Fuzzer for the serving layer's wire decoders: arbitrary bytes in,
+// typed Status (or a clean kCorrupt/kNeedMore) out, never a crash.
+//
+// The frame decoder and payload decoders are the server's trust
+// boundary — they read whatever a client, a proxy, or an attacker puts
+// on the socket — so the contract mirrors the durability decoders':
+// any input either decodes into a value that re-encodes canonically, or
+// fails with a typed error; no abort, no out-of-bounds read (ASan), no
+// unbounded allocation from a lying length field.
+//
+// Byte format: byte 0 selects the target, the rest is its input.
+//   0  DecodeRequest      — on success the decoded request must
+//                           re-encode byte-identical (canonical codec).
+//   1  DecodeResponse     — same, for the response payload.
+//   2  FrameReader        — the input is fed in chunks whose sizes are
+//                           derived from the input itself (torn frames),
+//                           and every yielded payload must round-trip
+//                           through DecodeRequest/DecodeResponse safely;
+//                           frames the reader yields must equal what a
+//                           whole-buffer feed yields.
+//   3  Valid-prefix splice — the fuzz bytes are appended after a valid
+//                           framed request: the reader must still yield
+//                           the valid frame, then fail or wait cleanly.
+//
+// Seed corpus: fuzz/corpus/protocol/ (valid framed requests/responses
+// plus truncated and bit-flipped variants). Build: -DCQA_FUZZ=ON.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace {
+
+using cqa::Status;
+using cqa::StatusCode;
+using cqa::server::DecodeRequest;
+using cqa::server::DecodeResponse;
+using cqa::server::EncodeRequest;
+using cqa::server::EncodeResponse;
+using cqa::server::Frame;
+using cqa::server::FrameReader;
+using cqa::server::Request;
+using cqa::server::Response;
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_protocol: %s\n%s\n", what, detail.c_str());
+  std::abort();
+}
+
+void CheckTyped(const Status& status) {
+  if (status.ok()) return;
+  if (status.code() != StatusCode::kCorruptedData &&
+      status.code() != StatusCode::kCapabilityMismatch) {
+    Die("decoder failed with an untyped/unexpected status",
+        status.ToString());
+  }
+}
+
+void FuzzRequest(std::string_view bytes) {
+  Request req;
+  Status decoded = DecodeRequest(bytes, &req);
+  CheckTyped(decoded);
+  if (!decoded.ok()) return;
+  // Canonical codec: success means the bytes were the one encoding.
+  if (EncodeRequest(req) != bytes) {
+    Die("decoded request does not re-encode canonically",
+        std::to_string(bytes.size()) + " bytes");
+  }
+}
+
+void FuzzResponse(std::string_view bytes) {
+  Response resp;
+  Status decoded = DecodeResponse(bytes, &resp);
+  CheckTyped(decoded);
+  if (!decoded.ok()) return;
+  if (EncodeResponse(resp) != bytes) {
+    Die("decoded response does not re-encode canonically",
+        std::to_string(bytes.size()) + " bytes");
+  }
+}
+
+void FuzzFrameReader(std::string_view bytes) {
+  // Chunk sizes come from the input itself, so the fuzzer controls where
+  // the tears land (header split, length split, mid-payload).
+  FrameReader chunked;
+  FrameReader whole;
+  std::string chunked_payloads;
+  std::string whole_payloads;
+  std::string payload;
+
+  std::string_view rest = bytes;
+  std::size_t salt = bytes.size();
+  while (!rest.empty()) {
+    std::size_t chunk = 1 + (salt * 2654435761u + rest.size()) % 37;
+    if (chunk > rest.size()) chunk = rest.size();
+    chunked.Feed(rest.substr(0, chunk));
+    rest.remove_prefix(chunk);
+    for (;;) {
+      FrameReader::Result result = chunked.Next(&payload);
+      if (result != FrameReader::Result::kFrame) break;
+      chunked_payloads += payload;
+      chunked_payloads += '\x1e';
+      // Whatever framing yields must be safe to hand to the decoders.
+      FuzzRequest(payload);
+      FuzzResponse(payload);
+    }
+  }
+
+  whole.Feed(bytes);
+  for (;;) {
+    FrameReader::Result result = whole.Next(&payload);
+    if (result != FrameReader::Result::kFrame) break;
+    whole_payloads += payload;
+    whole_payloads += '\x1e';
+  }
+  // Tearing must never change which frames come out.
+  if (chunked_payloads != whole_payloads) {
+    Die("chunked feed yielded different frames than whole feed",
+        std::to_string(chunked_payloads.size()) + " vs " +
+            std::to_string(whole_payloads.size()) + " payload bytes");
+  }
+}
+
+void FuzzValidPrefixSplice(std::string_view bytes) {
+  Request req;
+  req.request_id = 7;
+  req.db_name = "db";
+  req.query_text = "R(x | y) R(y | z)";
+  std::string valid = Frame(EncodeRequest(req));
+  std::string spliced = valid;
+  spliced.append(bytes);
+
+  FrameReader reader;
+  reader.Feed(spliced);
+  std::string payload;
+  // The valid frame must survive whatever follows it.
+  if (reader.Next(&payload) != FrameReader::Result::kFrame) {
+    Die("garbage tail destroyed a valid leading frame",
+        std::to_string(bytes.size()) + " tail bytes");
+  }
+  if (payload != EncodeRequest(req)) {
+    Die("leading frame payload corrupted by the tail", payload);
+  }
+  // The tail itself must resolve to more frames, a clean wait, or a
+  // clean corrupt verdict — never a crash.
+  for (;;) {
+    FrameReader::Result result = reader.Next(&payload);
+    if (result == FrameReader::Result::kFrame) {
+      FuzzRequest(payload);
+      continue;
+    }
+    break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  std::string_view bytes(reinterpret_cast<const char*>(data + 1), size - 1);
+  switch (data[0] % 4) {
+    case 0:
+      FuzzRequest(bytes);
+      break;
+    case 1:
+      FuzzResponse(bytes);
+      break;
+    case 2:
+      FuzzFrameReader(bytes);
+      break;
+    case 3:
+      FuzzValidPrefixSplice(bytes);
+      break;
+  }
+  return 0;
+}

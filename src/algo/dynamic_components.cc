@@ -95,17 +95,34 @@ void DynamicComponents::Union(FactId a, FactId b) {
 }
 
 void DynamicComponents::ConnectWithinBlockAndSolutions(FactId f) {
-  const std::vector<FactId>& blockmates =
-      pdb_->blocks()[pdb_->BlockOf(f)].facts;
-  Union(f, blockmates.front());
-  for (FactId g : SolutionPartners(*q_, binding_, *pdb_, f)) Union(f, g);
+  // The database may be *ahead* of this partition: deltas are queued and
+  // flushed in mutation order (engine/incremental.h), so while f's insert
+  // flushes, later-inserted facts already sit in the block lists and
+  // solution indexes with ids >= parent_.size(). Skip them — each will
+  // union with its own (by then known) blockmates and partners when its
+  // own delta flushes, and both relations are symmetric, so no edge is
+  // lost. All *known* blockmates are already mutually unioned (blocks are
+  // cliques, maintained inductively), so one union per block suffices.
+  for (FactId g : pdb_->blocks()[pdb_->BlockOf(f)].facts) {
+    if (g < parent_.size()) {
+      Union(f, g);
+      break;
+    }
+  }
+  for (FactId g : SolutionPartners(*q_, binding_, *pdb_, f)) {
+    if (g < parent_.size()) Union(f, g);
+  }
 }
 
 void DynamicComponents::OnInsert(FactId f) {
   CQA_CHECK(f == parent_.size());  // Ids are append-only.
   parent_.push_back(f);
   MakeSingleton(f);
-  ConnectWithinBlockAndSolutions(f);
+  // A fact inserted and removed by later-queued deltas is already
+  // tombstoned here: register it as a singleton (its tuple is still
+  // readable) and let its own OnRemove erase it; probing the block
+  // partition for a dead fact is meaningless.
+  if (pdb_->db().alive(f)) ConnectWithinBlockAndSolutions(f);
 }
 
 void DynamicComponents::OnRemove(FactId f) {
@@ -123,12 +140,24 @@ void DynamicComponents::OnRemove(FactId f) {
   const Database& db = pdb_->db();
   for (FactId m : members) {
     if (m == f) continue;
-    Union(m, db.blocks()[db.BlockOf(m)].facts.front());
+    // Members tombstoned by later-queued deltas have no block slot any
+    // more; they stay singletons until their own OnRemove flushes. An
+    // alive member's block list can contain later-inserted (unknown)
+    // ids — union with a known blockmate (the clique needs only one).
+    if (!db.alive(m)) continue;
+    for (FactId g : db.blocks()[db.BlockOf(m)].facts) {
+      if (g < parent_.size()) {
+        Union(m, g);
+        break;
+      }
+    }
   }
+  // Dead members (tombstoned by later-queued deltas) sit the join out:
+  // they have no index entries, and their own OnRemove erases them.
   std::vector<FactId> survivors;
   survivors.reserve(members.size() - 1);
   for (FactId m : members) {
-    if (m != f) survivors.push_back(m);
+    if (m != f && db.alive(m)) survivors.push_back(m);
   }
   for (const auto& [a, b] : ComputeSolutionsAmong(*q_, db, survivors).pairs) {
     Union(a, b);

@@ -84,11 +84,17 @@ class DynamicComponents {
 
   /// Absorbs a Database::AddFact of `f`. Call after the database and the
   /// PreparedDatabase have been updated. O(alpha) plus the partner probe.
+  /// Deltas may be applied later than the database updates as long as
+  /// they arrive in mutation order (engine/incremental.h queues them):
+  /// facts the database already holds beyond this partition's horizon are
+  /// skipped during the probe and connect themselves when their own
+  /// delta arrives.
   void OnInsert(FactId f);
 
   /// Absorbs a Database::RemoveFact of `f`. Call after the database has
-  /// tombstoned `f` (its tuple must still be readable) and the
-  /// PreparedDatabase has been updated. Repartitions f's component only.
+  /// tombstoned `f` (its tuple must still be readable — compaction must
+  /// not run before the delta is applied) and the PreparedDatabase has
+  /// been updated. Repartitions f's component only.
   void OnRemove(FactId f);
 
   /// Absorbs a Database::Compact (call once, right after, with the remap

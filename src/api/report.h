@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "classify/classifier.h"
 #include "data/prepared.h"
@@ -25,6 +26,16 @@
 #include "engine/backend.h"
 
 namespace cqa {
+
+/// One fact named at the API boundary: a relation name plus element names
+/// (interned on insert). The schema decides which prefix is the key.
+/// Mutation batches are vectors of these, and named witnesses use them
+/// too — names survive mutations and process boundaries where FactIds
+/// and block indexes do not.
+struct FactSpec {
+  std::string relation;
+  std::vector<std::string> args;
+};
 
 /// Wall-clock seconds per phase. Parse and classify happen once per
 /// compiled query (Service::Compile) and are amortized over every solve
@@ -80,6 +91,14 @@ struct SolveReport {
   /// DeleteFacts) shifts blocks and choices, so previously returned
   /// witnesses must be discarded (re-solve for a fresh one).
   std::optional<Repair> witness;
+
+  /// The same falsifying repair as named fact tuples (one per block),
+  /// filled only when the solve was asked to name it
+  /// (Service::Solve(q, db_name, /*name_witness=*/true)). Unlike
+  /// `witness`, names stay meaningful after later mutations and across
+  /// process boundaries — the serving layer ships these over the wire,
+  /// and WitnessFromSpecs (api/witness.h) rebuilds a checkable Repair.
+  std::optional<std::vector<FactSpec>> named_witness;
 
   /// One-line human-readable summary (never prints raw enum ints).
   std::string Summary() const;

@@ -373,6 +373,26 @@ std::string IncrementalKey(const CompiledQuery& q) {
   return key;
 }
 
+// Resolves report->witness into named FactSpecs. Must run under the same
+// structure-lock hold as the solve that produced the witness: the Repair
+// holds block indexes into the current partition, and a mutation between
+// solve and naming would shift them under us.
+void NameWitness(const Database& db, SolveReport* report) {
+  if (!report->witness.has_value()) return;
+  const Repair& repair = *report->witness;
+  std::vector<FactSpec> specs;
+  specs.reserve(db.blocks().size());
+  for (BlockId b = 0; b < db.blocks().size(); ++b) {
+    FactRef fact = db.fact(repair.FactIn(b));
+    FactSpec spec;
+    spec.relation = db.schema().Relation(fact.relation).name;
+    spec.args.reserve(fact.args.size());
+    for (ElementId el : fact.args) spec.args.push_back(db.elements().Name(el));
+    specs.push_back(std::move(spec));
+  }
+  report->named_witness = std::move(specs);
+}
+
 }  // namespace
 
 std::shared_ptr<Service::DbEntry::IncrementalEntry> Service::IncrementalFor(
@@ -469,6 +489,9 @@ bool Service::MaybeCompact(
     if (entry.db.DeadSlotRatio() <= options_.compact_dead_ratio) return false;
   }
   if (entry.db.NumDeadSlots() == 0) return false;
+  // Settle every solver's queued deltas first: they hold pre-remap fact
+  // ids and read tombstoned tuples the compaction is about to destroy.
+  for (const auto& inc : solvers) inc->solver->FlushPending();
   FactIdRemap remap = entry.db.Compact();
   entry.prepared->ApplyRemap(remap);
   for (const auto& inc : solvers) inc->solver->ApplyRemap(remap);
@@ -477,7 +500,8 @@ bool Service::MaybeCompact(
 }
 
 StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
-                                     std::string_view db_name) const {
+                                     std::string_view db_name,
+                                     bool name_witness) const {
   if (!q.valid()) {
     return Status(StatusCode::kInvalidArgument,
                   "empty CompiledQuery handle (use Service::Compile)");
@@ -496,6 +520,7 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
       EnsurePrepared(**entry);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
+      if (name_witness) NameWitness((*entry)->db, &report);
     } else {
       // The shared lock only excludes mutations/compactions: concurrent
       // solves — cache hits and cache fills alike — proceed in parallel,
@@ -504,12 +529,14 @@ StatusOr<SolveReport> Service::Solve(const CompiledQuery& q,
       EnsurePrepared(**entry);
       auto inc = IncrementalFor(**entry, q);
       report = inc->solver->Solve(options_.explain_non_certain);
+      if (name_witness) NameWitness((*entry)->db, &report);
     }
   } else {
     std::shared_lock lock((*entry)->structure);
     EnsurePrepared(**entry);
     report = ExecuteReport(q.classification(), q.state_->solver.backend(),
                            *(*entry)->prepared, options_.explain_non_certain);
+    if (name_witness) NameWitness((*entry)->db, &report);
   }
   report.timings.prepare_seconds = (*entry)->prepare_seconds;
   FillCompileTimings(q, &report);
@@ -875,6 +902,21 @@ std::string ServiceStats::ToString() const {
       " (hits=" + std::to_string(compiled.hits) +
       " misses=" + std::to_string(compiled.misses) +
       " evictions=" + std::to_string(compiled.evictions) + ")\n";
+  if (server.queue_capacity != 0) {
+    out += "server: queue=" + std::to_string(server.queue_depth) + "/" +
+           std::to_string(server.queue_capacity) +
+           " (peak " + std::to_string(server.peak_queue_depth) + ")" +
+           " admitted=" + std::to_string(server.admitted) +
+           " completed=" + std::to_string(server.completed) +
+           " shed=" + std::to_string(server.shed_overloaded) +
+           " deadline=" +
+           std::to_string(server.deadline_rejected_admission) + "/" +
+           std::to_string(server.deadline_rejected_dequeue) + "/" +
+           std::to_string(server.deadline_rejected_pipeline) +
+           " conns=" + std::to_string(server.connections_open) + "/" +
+           std::to_string(server.connections_accepted) +
+           " decode_errors=" + std::to_string(server.decode_errors) + "\n";
+  }
   for (const DatabaseStats& d : databases) {
     out += "database \"" + d.name + "\": facts=" +
            std::to_string(d.alive_facts) + " slots=" +

@@ -46,22 +46,29 @@
 // each registered database carries a structure lock (shared_mutex):
 // mutations and compactions take it exclusive for their (short, index-
 // patching) critical section, while every solve — including cache-filling
-// incremental solves — takes it shared. Concurrent cache-filling solves
-// coordinate through the verdict cache's component-sharded locks (see
-// engine/incremental.h): solvers of disjoint components run their backend
-// passes in parallel; two solvers racing on the same component serialize,
-// and the loser reuses the winner's verdict. Compile, registration, and
-// solves on different databases also run concurrently; a database dropped
-// mid-solve stays alive until the solve returns.
-// ServiceOptions::exclusive_lock_baseline restores the pre-sharding
-// behavior (every incremental solve exclusive) for benchmarking.
+// incremental solves — takes it shared. Mutations do NOT maintain the
+// per-query component partitions inline: under the exclusive lock they
+// only enqueue O(1) deltas per solver (engine/incremental.h), so batches
+// touching disjoint components spend their exclusive window on the
+// database/index writes alone; the union-find catch-up happens on the
+// next solve or audit of each query, under that solver's own components
+// lock. Concurrent cache-filling solves coordinate through the verdict
+// cache's component-sharded locks: solvers of disjoint components run
+// their backend passes in parallel; two solvers racing on the same
+// component serialize, and the loser reuses the winner's verdict.
+// Compile, registration, and solves on different databases also run
+// concurrently; a database dropped mid-solve stays alive until the solve
+// returns. ServiceOptions::exclusive_lock_baseline restores the
+// pre-sharding behavior (every incremental solve exclusive) for
+// benchmarking.
 //
 // The acquisition order across these locks is a machine-checked hierarchy
 // (base/lock_rank.h): kServiceRegistry (mutex_) > kDbEntry (structure) >
-// kWal (the DurableStore's WAL/snapshot lock) > kVerdictShard (inc_mu and
-// the verdict-cache shard locks). Checking builds (Debug/sanitizer trees,
-// CQA_LOCK_RANK) abort with both acquisition stacks on any out-of-order
-// acquisition.
+// kWal (the DurableStore's WAL/snapshot lock) > kComponents (each
+// incremental solver's deferred-delta/partition lock) > kVerdictShard
+// (inc_mu and the verdict-cache shard locks). Checking builds
+// (Debug/sanitizer trees, CQA_LOCK_RANK) abort with both acquisition
+// stacks on any out-of-order acquisition.
 
 #ifndef CQA_API_SERVICE_H_
 #define CQA_API_SERVICE_H_
@@ -188,13 +195,6 @@ struct ServiceOptions {
   DurabilityOptions durability;
 };
 
-/// One fact named at the API boundary: a relation name plus element names
-/// (interned on insert). The schema decides which prefix is the key.
-struct FactSpec {
-  std::string relation;
-  std::vector<std::string> args;
-};
-
 /// What a mutation batch did.
 struct MutationStats {
   std::uint64_t applied = 0;             ///< Facts inserted or deleted.
@@ -243,9 +243,39 @@ struct ServiceStats {
     std::uint64_t recoveries = 0;
   };
 
+  /// Serving layer (src/server): admission-queue and request-pipeline
+  /// counters. The Service itself never writes these — they are all-zero
+  /// until a server::Server wraps this service and fills them in its
+  /// Stats() (the struct lives here so the one stats snapshot callers
+  /// already consume covers the network boundary too).
+  struct ServerCounters {
+    /// Bounded admission queue: capacity, instantaneous depth, and the
+    /// high-water mark since the server started.
+    std::uint64_t queue_capacity = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t peak_queue_depth = 0;
+    /// Requests accepted into the queue / completed with a response.
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    /// Requests shed with kOverloaded because the queue was full.
+    std::uint64_t shed_overloaded = 0;
+    /// Requests rejected with kDeadlineExceeded: at admission (already
+    /// expired when decoded), at dequeue (expired while queued), and
+    /// between pipeline stages (expired mid-execution).
+    std::uint64_t deadline_rejected_admission = 0;
+    std::uint64_t deadline_rejected_dequeue = 0;
+    std::uint64_t deadline_rejected_pipeline = 0;
+    /// Connections ever accepted / currently open, and frames that
+    /// failed to decode into a request.
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_open = 0;
+    std::uint64_t decode_errors = 0;
+  };
+
   std::uint64_t compiled_queries = 0;
   /// API layer: the LRU map of compiled queries (Service::Compile).
   CacheCounters compiled;
+  ServerCounters server;
   std::vector<DatabaseStats> databases;
 
   /// Multi-line human-readable rendering of the snapshot.
@@ -400,8 +430,20 @@ class Service {
 
   /// Answers certain(q) on a registered database. Errors: kNotFound,
   /// kSchemaMismatch, kInvalidArgument (empty handle).
+  ///
+  /// With `name_witness`, a non-certain report additionally carries
+  /// SolveReport::named_witness — the falsifying repair as fact *names*,
+  /// resolved under the same lock hold as the solve, so it is consistent
+  /// even when other threads mutate the database right after this call
+  /// returns (the id-based `witness` is not: the serving layer always
+  /// names). Costs one name lookup per block on non-certain answers.
   [[nodiscard]] StatusOr<SolveReport> Solve(const CompiledQuery& q,
-                                            std::string_view db_name) const;
+                                            std::string_view db_name,
+                                            bool name_witness) const;
+  [[nodiscard]] StatusOr<SolveReport> Solve(const CompiledQuery& q,
+                                            std::string_view db_name) const {
+    return Solve(q, db_name, /*name_witness=*/false);
+  }
 
   /// Answers certain(q) on a caller-owned database (prepared per call).
   [[nodiscard]] StatusOr<SolveReport> Solve(const CompiledQuery& q,

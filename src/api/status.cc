@@ -15,6 +15,8 @@ std::string_view ToString(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kCorruptedData: return "CORRUPTED_DATA";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
 }
@@ -26,7 +28,8 @@ std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
       StatusCode::kUnresolvedClass, StatusCode::kSchemaMismatch,
       StatusCode::kNotFound,        StatusCode::kAlreadyExists,
       StatusCode::kInvalidArgument, StatusCode::kIoError,
-      StatusCode::kCorruptedData,
+      StatusCode::kCorruptedData,   StatusCode::kOverloaded,
+      StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : kAll) {
     if (ToString(code) == name) return code;

@@ -38,6 +38,12 @@ enum class StatusCode {
                        ///< simulated crash killed the store).
   kCorruptedData,      ///< On-disk bytes failed a checksum or structural
                        ///< validation; nothing of them was loaded.
+  kOverloaded,         ///< The server's admission queue is full; the
+                       ///< request was shed without being executed. Safe
+                       ///< to retry (with backoff).
+  kDeadlineExceeded,   ///< The request's deadline expired before (or
+                       ///< while) it executed; it was abandoned at a
+                       ///< pipeline-stage boundary.
 };
 
 /// Stable UPPER_SNAKE name of a code, e.g. "UNKNOWN_BACKEND".

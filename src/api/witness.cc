@@ -1,5 +1,7 @@
 #include "api/witness.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 
 #include "query/eval.h"
@@ -34,6 +36,59 @@ Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
                   "witness repair satisfies the query (not falsifying)");
   }
   return Status::Ok();
+}
+
+StatusOr<Repair> WitnessFromSpecs(const Database& db,
+                                  const std::vector<FactSpec>& specs) {
+  const std::vector<Block>& blocks = db.blocks();
+  std::vector<std::uint32_t> choice(blocks.size(), 0);
+  std::vector<char> covered(blocks.size(), 0);
+  for (const FactSpec& spec : specs) {
+    RelationId rel = db.schema().Find(spec.relation);
+    if (rel == Schema::kNotFound) {
+      return Status(StatusCode::kSchemaMismatch,
+                    "witness names unknown relation '" + spec.relation + "'");
+    }
+    if (spec.args.size() != db.schema().Relation(rel).arity) {
+      return Status(StatusCode::kSchemaMismatch,
+                    "witness fact arity mismatch for '" + spec.relation + "'");
+    }
+    Fact fact;
+    fact.relation = rel;
+    fact.args.reserve(spec.args.size());
+    bool exists = true;
+    for (const std::string& name : spec.args) {
+      ElementId el = db.elements().Find(name);
+      if (el == Interner::kNotFound) {
+        exists = false;
+        break;
+      }
+      fact.args.push_back(el);
+    }
+    FactId id = exists ? db.FindFact(fact) : Database::kNoFact;
+    if (id == Database::kNoFact) {
+      return Status(StatusCode::kNotFound,
+                    "witness names a fact absent from the database ('" +
+                        spec.relation + "')");
+    }
+    BlockId b = db.BlockOf(id);
+    if (covered[b] != 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "witness selects block " + std::to_string(b) + " twice");
+    }
+    const std::vector<FactId>& facts = blocks[b].facts;
+    choice[b] = static_cast<std::uint32_t>(
+        std::find(facts.begin(), facts.end(), id) - facts.begin());
+    covered[b] = 1;
+  }
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    if (covered[b] == 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "witness leaves block " + std::to_string(b) +
+                        " unselected");
+    }
+  }
+  return Repair(&db, std::move(choice));
 }
 
 }  // namespace cqa

@@ -10,6 +10,9 @@
 #ifndef CQA_API_WITNESS_H_
 #define CQA_API_WITNESS_H_
 
+#include <vector>
+
+#include "api/report.h"
 #include "api/status.h"
 #include "data/database.h"
 #include "data/repair.h"
@@ -23,6 +26,15 @@ namespace cqa {
 /// when db cannot be bound to q at all.
 [[nodiscard]] Status VerifyWitness(const ConjunctiveQuery& q, const Database& db,
                      const Repair& witness);
+
+/// Rebuilds a Repair from a named witness (SolveReport::named_witness or
+/// a wire response): each spec must resolve to exactly one alive fact of
+/// `db`, and together they must select one fact per block. The result is
+/// checkable with VerifyWitness against the same database state. Error
+/// codes: kSchemaMismatch (unknown relation/arity), kNotFound (no such
+/// fact), kInvalidArgument (a block selected twice or not at all).
+[[nodiscard]] StatusOr<Repair> WitnessFromSpecs(
+    const Database& db, const std::vector<FactSpec>& specs);
 
 }  // namespace cqa
 

@@ -18,6 +18,8 @@ const char* ToString(LockRank rank) {
       return "kSolverInternal";
     case LockRank::kVerdictShard:
       return "kVerdictShard";
+    case LockRank::kComponents:
+      return "kComponents";
     case LockRank::kWal:
       return "kWal";
     case LockRank::kDbEntry:

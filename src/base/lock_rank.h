@@ -22,6 +22,14 @@
 //                      structure lock (append-then-apply); a snapshot
 //                      takes verdict-shard locks under it to export the
 //                      verdict cache.
+//   kComponents        Each IncrementalSolver's reader/writer lock over
+//                      its component partition. Mutations only *enqueue*
+//                      deltas (under the exclusive structure lock, no
+//                      kComponents acquisition); the next solve flushes
+//                      the queue exclusive, then reads the partition
+//                      shared while its shard-locked backend runs fill
+//                      the verdict cache. Never taken with kWal held
+//                      (compaction flushes before the snapshot path).
 //   kVerdictShard      DbEntry::inc_mu (the solver-map lock) and the
 //                      16 IncrementalSolver shard locks. Taken under the
 //                      structure lock; inc_mu and a shard lock are never
@@ -57,12 +65,17 @@ namespace cqa {
 enum class LockRank : int {
   kSolverInternal = 0,  ///< Below everything: locks inside a backend run.
   kVerdictShard = 1,    ///< Solver-map lock + verdict-cache shard locks.
-  kWal = 2,             ///< DurableStore's WAL/snapshot lock. Taken under
+  kComponents = 2,      ///< Each IncrementalSolver's component-partition
+                        ///< lock: solves hold it shared while reading the
+                        ///< partition (and across their shard-locked
+                        ///< backend runs); flushing queued mutation
+                        ///< deltas, remaps, and audits take it exclusive.
+  kWal = 3,             ///< DurableStore's WAL/snapshot lock. Taken under
                         ///< the structure lock (mutations append before
                         ///< applying); may take verdict-shard locks below
                         ///< it (snapshot exports the verdict cache).
-  kDbEntry = 3,         ///< Per-database structure (reader/writer) lock.
-  kServiceRegistry = 4, ///< Service registry / compile-cache lock.
+  kDbEntry = 4,         ///< Per-database structure (reader/writer) lock.
+  kServiceRegistry = 5, ///< Service registry / compile-cache lock.
 };
 
 /// Stable name of a rank, e.g. "kDbEntry".

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 
 #include "base/check.h"
@@ -43,8 +44,42 @@ IncrementalSolver::IncrementalSolver(const CertainSolver& solver,
   }
 }
 
+void IncrementalSolver::Enqueue(FactId f, bool insert) {
+  pending_.push_back(PendingDelta{f, insert});
+  pending_count_.store(pending_.size(), std::memory_order_release);
+}
+
+void IncrementalSolver::FlushPendingLocked() const {
+  for (const PendingDelta& delta : pending_) {
+    if (delta.insert) {
+      components_.OnInsert(delta.id);
+    } else {
+      components_.OnRemove(delta.id);
+    }
+  }
+  pending_.clear();
+  pending_count_.store(0, std::memory_order_release);
+}
+
+void IncrementalSolver::FlushPending() const {
+  if (pending_count_.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock lock(components_mu_);
+  // No re-check needed for correctness (flushing an empty queue is a
+  // no-op), but racing flushers both seeing nonzero is common enough
+  // that the second pass over an already-empty vector is the cheap path.
+  FlushPendingLocked();
+}
+
 void IncrementalSolver::ApplyRemap(const FactIdRemap& remap) {
-  components_.ApplyRemap(remap);
+  {
+    std::unique_lock lock(components_mu_);
+    // Queued deltas hold pre-remap ids and read tombstoned tuples the
+    // compaction just destroyed; the caller must have flushed first.
+    CQA_CHECK_MSG(pending_.empty(),
+                  "ApplyRemap with queued deltas (FlushPending before "
+                  "Database::Compact)");
+    components_.ApplyRemap(remap);
+  }
   if (session_ != nullptr) {
     std::lock_guard lock(session_mu_);
     session_->ApplyRemap(remap);
@@ -119,7 +154,14 @@ void IncrementalSolver::ImportVerdicts(
 }
 
 void IncrementalSolver::AuditInto(AuditReport& report) const {
-  report.Merge(AuditComponents(solver_->query(), *pdb_, components_));
+  {
+    // Exclusive: the audit drains the delta queue and then compares the
+    // settled partition against a fresh repartition; a concurrent solve's
+    // flush must not interleave.
+    std::unique_lock lock(components_mu_);
+    FlushPendingLocked();
+    report.Merge(AuditComponents(solver_->query(), *pdb_, components_));
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& shard = shards_[i];
     std::lock_guard lock(shard.mu);
@@ -217,6 +259,15 @@ SolveReport IncrementalSolver::Solve(bool want_witness) const {
   report.incremental = true;
 
   auto start = std::chrono::steady_clock::now();
+
+  // Settle the partition, then read it shared: deltas queued by earlier
+  // mutations are drained here (exclusive, serialized against other
+  // flushers), and the shared hold across both cache passes below keeps
+  // the partition stable while concurrent solves proceed. No new delta
+  // can arrive mid-solve — enqueues need the exclusive structure lock the
+  // caller of Solve holds shared.
+  FlushPending();
+  std::shared_lock components_lock(components_mu_);
 
   // A verdict cached by a witness-less solve cannot serve a solve that
   // needs the witness; re-solve to attach it.

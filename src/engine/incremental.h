@@ -31,15 +31,27 @@
 // component serialize (the loser finds a cache hit) while components on
 // different shards fill in parallel — this is the component-sharded
 // locking cqa::Service relies on to run cache-filling solves under its
-// shared (not exclusive) per-database lock. OnInsert/OnRemove/ApplyRemap
-// mutate the component partition and require exclusive access: no Solve
-// may run concurrently with them (Service's per-database writer lock
-// enforces this).
+// shared (not exclusive) per-database lock.
+//
+// Mutations are *deferred*: OnInsert/OnRemove only append a delta to a
+// per-solver queue (O(1), so the caller's exclusive critical section stays
+// short — this is what lets disjoint-database mutations overlap with
+// everything but the index patch itself). The queue drains in mutation
+// order under the components lock (rank kComponents, exclusive) at the
+// next Solve/audit — or via FlushPending, which compaction MUST call
+// before Database::Compact (queued deltas hold pre-remap ids and dead
+// facts whose tuples a flush still reads). Solve then holds the
+// components lock shared across its cache passes, so concurrent solves
+// read one settled partition. The caller's locking contract: enqueues
+// require exclusive structure access (Service's per-database writer
+// lock); Solve/audit/flush run under shared structure access and
+// serialize among themselves on the components lock.
 
 #ifndef CQA_ENGINE_INCREMENTAL_H_
 #define CQA_ENGINE_INCREMENTAL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -79,14 +91,23 @@ class IncrementalSolver {
   IncrementalSolver(const CertainSolver& solver, const PreparedDatabase& pdb,
                     CacheOptions cache_options, SessionOptions session_options);
 
-  /// Absorbs a fact insertion/removal; same call contract as
-  /// DynamicComponents::OnInsert/OnRemove. Requires exclusive access.
-  void OnInsert(FactId f) { components_.OnInsert(f); }
-  void OnRemove(FactId f) { components_.OnRemove(f); }
+  /// Queues a fact insertion/removal delta (O(1)); the partition absorbs
+  /// it at the next Solve/audit/FlushPending, in call order. Call after
+  /// the database and PreparedDatabase have been updated, with exclusive
+  /// structure access (no concurrent Solve/flush).
+  void OnInsert(FactId f) { Enqueue(f, /*insert=*/true); }
+  void OnRemove(FactId f) { Enqueue(f, /*insert=*/false); }
+
+  /// Drains the queued deltas into the component partition now. Called
+  /// implicitly by Solve and AuditInto; compaction must call it
+  /// explicitly *before* Database::Compact (queued deltas hold pre-remap
+  /// ids). Safe under shared structure access.
+  void FlushPending() const;
 
   /// Absorbs a Database::Compact (call once, right after, with the remap
-  /// it returned, after PreparedDatabase::ApplyRemap). The verdict cache
-  /// is content-addressed and survives untouched; the warm session's
+  /// it returned, after PreparedDatabase::ApplyRemap). Requires
+  /// FlushPending to have run before the Compact. The verdict cache is
+  /// content-addressed and survives untouched; the warm session's
   /// solvers rewrite their held fact ids. Requires exclusive access.
   void ApplyRemap(const FactIdRemap& remap);
 
@@ -97,7 +118,13 @@ class IncrementalSolver {
   /// (but not against OnInsert/OnRemove/ApplyRemap — see above).
   SolveReport Solve(bool want_witness) const;
 
-  const DynamicComponents& components() const { return components_; }
+  /// The settled partition (queued deltas are flushed first). Debug/test
+  /// accessor: the reference is only stable while the caller excludes
+  /// mutators.
+  const DynamicComponents& components() const {
+    FlushPending();
+    return components_;
+  }
 
   /// Counters of the verdict cache (entries, bytes, hits, misses,
   /// evictions), summed over the shards.
@@ -158,6 +185,18 @@ class IncrementalSolver {
         cache;
   };
 
+  /// One queued OnInsert/OnRemove, applied at the next flush.
+  struct PendingDelta {
+    FactId id;
+    bool insert;
+  };
+
+  void Enqueue(FactId f, bool insert);
+
+  /// Applies the queued deltas in order. Caller holds components_mu_
+  /// exclusive.
+  void FlushPendingLocked() const;
+
   Shard& ShardFor(const ComponentFingerprint& fp) const;
 
   /// Rough resident size of a cached verdict, for the byte cap.
@@ -169,7 +208,21 @@ class IncrementalSolver {
 
   const CertainSolver* solver_;
   const PreparedDatabase* pdb_;
-  DynamicComponents components_;
+
+  /// Component-partition lock (rank kComponents, between the structure
+  /// lock and the verdict shards): Solve holds it shared across its
+  /// cache passes; flushing the delta queue, ApplyRemap, and the
+  /// partition audit take it exclusive. Enqueues don't touch it — the
+  /// caller's exclusive structure lock already excludes every holder.
+  mutable RankedSharedMutex<LockRank::kComponents> components_mu_;
+  /// Deltas queued since the last flush, in mutation order. Written by
+  /// Enqueue (exclusive structure access), drained by FlushPendingLocked
+  /// (components_mu_ exclusive, shared structure access) — the structure
+  /// lock makes those two mutually exclusive. pending_count_ lets a
+  /// solve skip the exclusive acquisition when the queue is empty.
+  mutable std::vector<PendingDelta> pending_;
+  mutable std::atomic<std::size_t> pending_count_{0};
+  mutable DynamicComponents components_;
   mutable std::array<Shard, kNumShards> shards_;
 
   /// Warm per-component session, when the backend offers one. All access

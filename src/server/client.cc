@@ -1,0 +1,113 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace cqa {
+namespace server {
+
+Status LocalSocketPair(int* client_fd, int* server_fd) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status(StatusCode::kIoError,
+                  std::string("socketpair() failed: ") +
+                      std::strerror(errno));
+  }
+  *client_fd = fds[0];
+  *server_fd = fds[1];
+  return Status::Ok();
+}
+
+StatusOr<Client> Client::ConnectTcp(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kIoError, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kIoError,
+                  "connect to 127.0.0.1:" + std::to_string(port) +
+                      " failed: " + std::strerror(errno));
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    frames_ = std::move(other.frames_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Send(const Request& req) {
+  if (fd_ < 0) return Status(StatusCode::kIoError, "client not connected");
+  std::string frame = Frame(EncodeRequest(req));
+  std::string_view bytes = frame;
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status(StatusCode::kIoError, "send() failed mid-request");
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Response> Client::Receive() {
+  if (fd_ < 0) return Status(StatusCode::kIoError, "client not connected");
+  std::string payload;
+  char buf[64 * 1024];
+  for (;;) {
+    FrameReader::Result result = frames_.Next(&payload);
+    if (result == FrameReader::Result::kFrame) {
+      Response resp;
+      Status decoded = DecodeResponse(payload, &resp);
+      if (!decoded.ok()) return decoded;
+      return resp;
+    }
+    if (result == FrameReader::Result::kCorrupt) {
+      return Status(StatusCode::kCorruptedData,
+                    "corrupt response frame (bad CRC or oversized)");
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return Status(StatusCode::kIoError,
+                    "connection closed before a full response frame");
+    }
+    frames_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+StatusOr<Response> Client::Call(const Request& req) {
+  Status sent = Send(req);
+  if (!sent.ok()) return sent;
+  for (;;) {
+    StatusOr<Response> resp = Receive();
+    if (!resp.ok()) return resp;
+    if (resp->request_id == req.request_id) return resp;
+  }
+}
+
+void Client::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace server
+}  // namespace cqa

@@ -1,0 +1,76 @@
+// Blocking client for the serving layer's wire protocol.
+//
+// Thin by design: it frames requests, reads frames back, and decodes
+// responses — no retry, no connection pool. Send() and Receive() are
+// independent, so a caller can pipeline (send many, then collect) and
+// pair responses to requests by request_id; Call() is the convenience
+// for the non-pipelined case. Tests and bench_server drive the server
+// through this class so the parity harness exercises the same code path
+// a real client would.
+//
+// Not thread-safe: one Client per thread (the server side handles the
+// concurrency).
+
+#ifndef CQA_SERVER_CLIENT_H_
+#define CQA_SERVER_CLIENT_H_
+
+#include <cstdint>
+
+#include "api/status.h"
+#include "server/protocol.h"
+
+namespace cqa {
+namespace server {
+
+/// A connected AF_UNIX stream pair for in-process serving: hand
+/// `server_fd` to Server::ServeFd and `client_fd` to Client::FromFd.
+/// Errors: kIoError.
+[[nodiscard]] Status LocalSocketPair(int* client_fd, int* server_fd);
+
+class Client {
+ public:
+  /// Adopts a connected socket (the Client closes it).
+  static Client FromFd(int fd) { return Client(fd); }
+
+  /// Connects to a Server listening on 127.0.0.1:`port`. Errors:
+  /// kIoError.
+  static StatusOr<Client> ConnectTcp(std::uint16_t port);
+
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_), frames_(std::move(other.frames_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Frames and writes one request. Errors: kIoError (connection gone).
+  [[nodiscard]] Status Send(const Request& req);
+
+  /// Blocks for the next response frame. Errors: kIoError (EOF before a
+  /// full frame), kCorruptedData (bad CRC / undecodable payload).
+  [[nodiscard]] StatusOr<Response> Receive();
+
+  /// Send + Receive until the response matching `req.request_id` arrives
+  /// (for non-pipelined use; responses to other ids are discarded).
+  [[nodiscard]] StatusOr<Response> Call(const Request& req);
+
+  /// Half-closes the write side: the server sees EOF and finishes what
+  /// was already sent; Receive() still works for in-flight responses.
+  void ShutdownWrite();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader frames_;
+};
+
+}  // namespace server
+}  // namespace cqa
+
+#endif  // CQA_SERVER_CLIENT_H_

@@ -1,0 +1,221 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "store/format.h"
+
+namespace cqa {
+namespace server {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status(StatusCode::kCorruptedData, "wire payload: " + what);
+}
+
+void EncodeFacts(store::ByteWriter* w, const std::vector<FactSpec>& facts) {
+  w->U32(static_cast<std::uint32_t>(facts.size()));
+  for (const FactSpec& f : facts) {
+    w->Str(f.relation);
+    w->U32(static_cast<std::uint32_t>(f.args.size()));
+    for (const std::string& a : f.args) w->Str(a);
+  }
+}
+
+Status DecodeFacts(store::ByteReader* r, const char* field,
+                   std::vector<FactSpec>* out) {
+  std::uint32_t count = 0;
+  if (!r->U32(&count)) return Corrupt(std::string("truncated ") + field);
+  // Each fact costs at least 8 bytes (two u32 length prefixes), so a
+  // count beyond remaining()/8 cannot be honest — reject before
+  // reserving memory for it.
+  if (count > r->remaining() / 8) {
+    return Corrupt(std::string(field) + " count exceeds payload size");
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FactSpec spec;
+    if (!r->Str(&spec.relation)) {
+      return Corrupt(std::string("truncated ") + field);
+    }
+    std::uint32_t nargs = 0;
+    if (!r->U32(&nargs)) return Corrupt(std::string("truncated ") + field);
+    if (nargs > r->remaining() / 4) {
+      return Corrupt(std::string(field) + " arity exceeds payload size");
+    }
+    spec.args.reserve(nargs);
+    for (std::uint32_t a = 0; a < nargs; ++a) {
+      std::string arg;
+      if (!r->Str(&arg)) return Corrupt(std::string("truncated ") + field);
+      spec.args.push_back(std::move(arg));
+    }
+    out->push_back(std::move(spec));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string Frame(std::string_view payload) {
+  store::ByteWriter header;
+  header.U32(static_cast<std::uint32_t>(payload.size()));
+  header.U32(store::Crc32(payload));
+  std::string out = header.Take();
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeRequest(const Request& req) {
+  store::ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U64(req.request_id);
+  w.Str(req.db_name);
+  w.Str(req.query_text);
+  w.Str(req.forced_backend);
+  std::uint8_t flags = 0;
+  if (req.allow_unresolved) flags |= 1u;
+  if (req.want_witness) flags |= 2u;
+  w.U8(flags);
+  w.U64(req.deadline_micros);
+  w.U8(static_cast<std::uint8_t>(req.mutation_kind));
+  EncodeFacts(&w, req.mutation);
+  return w.Take();
+}
+
+Status DecodeRequest(std::string_view payload, Request* out) {
+  store::ByteReader r(payload);
+  std::uint8_t version = 0;
+  if (!r.U8(&version)) return Corrupt("truncated header");
+  if (version != kProtocolVersion) {
+    return Status(StatusCode::kCapabilityMismatch,
+                  "protocol version " + std::to_string(version) +
+                      " (this server speaks " +
+                      std::to_string(kProtocolVersion) + ")");
+  }
+  Request req;
+  std::uint8_t flags = 0;
+  std::uint8_t kind = 0;
+  if (!r.U64(&req.request_id) || !r.Str(&req.db_name) ||
+      !r.Str(&req.query_text) || !r.Str(&req.forced_backend) ||
+      !r.U8(&flags) || !r.U64(&req.deadline_micros) || !r.U8(&kind)) {
+    return Corrupt("truncated request");
+  }
+  if ((flags & ~3u) != 0) return Corrupt("unknown request flag bits");
+  req.allow_unresolved = (flags & 1u) != 0;
+  req.want_witness = (flags & 2u) != 0;
+  if (kind > static_cast<std::uint8_t>(MutationKind::kDelete)) {
+    return Corrupt("unknown mutation kind " + std::to_string(kind));
+  }
+  req.mutation_kind = static_cast<MutationKind>(kind);
+  Status facts = DecodeFacts(&r, "mutation batch", &req.mutation);
+  if (!facts.ok()) return facts;
+  if (req.mutation_kind == MutationKind::kNone && !req.mutation.empty()) {
+    return Corrupt("mutation facts present with kind=none");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after request");
+  *out = std::move(req);
+  return Status::Ok();
+}
+
+std::string EncodeResponse(const Response& resp) {
+  store::ByteWriter w;
+  w.U8(kProtocolVersion);
+  w.U64(resp.request_id);
+  w.Str(ToString(resp.code));
+  w.Str(resp.message);
+  std::uint8_t flags = 0;
+  if (resp.certain) flags |= 1u;
+  if (resp.has_witness) flags |= 2u;
+  if (resp.mutated) flags |= 4u;
+  w.U8(flags);
+  w.Str(resp.backend_name);
+  w.U64(resp.num_facts);
+  w.U64(resp.num_blocks);
+  w.U64(resp.components_total);
+  w.U64(resp.components_cached);
+  EncodeFacts(&w, resp.witness);
+  return w.Take();
+}
+
+Status DecodeResponse(std::string_view payload, Response* out) {
+  store::ByteReader r(payload);
+  std::uint8_t version = 0;
+  if (!r.U8(&version)) return Corrupt("truncated header");
+  if (version != kProtocolVersion) {
+    return Status(StatusCode::kCapabilityMismatch,
+                  "protocol version " + std::to_string(version) +
+                      " (this client speaks " +
+                      std::to_string(kProtocolVersion) + ")");
+  }
+  Response resp;
+  std::string code_name;
+  std::uint8_t flags = 0;
+  if (!r.U64(&resp.request_id) || !r.Str(&code_name) ||
+      !r.Str(&resp.message) || !r.U8(&flags) || !r.Str(&resp.backend_name) ||
+      !r.U64(&resp.num_facts) || !r.U64(&resp.num_blocks) ||
+      !r.U64(&resp.components_total) || !r.U64(&resp.components_cached)) {
+    return Corrupt("truncated response");
+  }
+  std::optional<StatusCode> code = StatusCodeFromString(code_name);
+  if (!code.has_value()) {
+    return Corrupt("unknown status code \"" + code_name + "\"");
+  }
+  resp.code = *code;
+  if ((flags & ~7u) != 0) return Corrupt("unknown response flag bits");
+  resp.certain = (flags & 1u) != 0;
+  resp.has_witness = (flags & 2u) != 0;
+  resp.mutated = (flags & 4u) != 0;
+  Status facts = DecodeFacts(&r, "witness", &resp.witness);
+  if (!facts.ok()) return facts;
+  if (!resp.has_witness && !resp.witness.empty()) {
+    return Corrupt("witness facts present without has_witness");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after response");
+  *out = std::move(resp);
+  return Status::Ok();
+}
+
+void FrameReader::Feed(std::string_view bytes) {
+  if (corrupt_) return;
+  // Drop fully consumed prefix before growing: a long-lived connection
+  // must not accrete every frame it ever received.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameReader::Result FrameReader::Next(std::string* payload) {
+  if (corrupt_) return Result::kCorrupt;
+  std::string_view view(buffer_.data() + consumed_,
+                        buffer_.size() - consumed_);
+  if (view.size() < kFrameHeaderSize) return Result::kNeedMore;
+  store::ByteReader header(view.substr(0, kFrameHeaderSize));
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  header.U32(&len);
+  header.U32(&crc);
+  if (len > kMaxFramePayload) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  if (view.size() < kFrameHeaderSize + len) return Result::kNeedMore;
+  std::string_view body = view.substr(kFrameHeaderSize, len);
+  if (store::Crc32(body) != crc) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  payload->assign(body);
+  consumed_ += kFrameHeaderSize + len;
+  return Result::kFrame;
+}
+
+}  // namespace server
+}  // namespace cqa

@@ -1,0 +1,137 @@
+// Wire protocol of the serving layer (src/server).
+//
+// One frame per message, symmetric in both directions:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// built from the same little-endian primitives and CRC discipline as the
+// on-disk formats (store/format.h) — a reader that trusts no length field
+// before bounds-checking it, and a checksum verified before a single
+// payload field is believed. Framing errors (bad CRC, payload_len over
+// kMaxFramePayload) are *connection-fatal*: after them the stream offset
+// itself is untrustworthy. A frame that passes framing but whose payload
+// fails to decode is a *request*-level error: the server answers with a
+// typed error response and the connection lives on.
+//
+// Payload encodings are canonical: exactly one byte string encodes a
+// given Request/Response, and decoders reject trailing bytes. Round-trip
+// (decode then re-encode) reproduces the input byte-for-byte, which is
+// what fuzz_protocol leans on.
+
+#ifndef CQA_SERVER_PROTOCOL_H_
+#define CQA_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/report.h"
+#include "api/status.h"
+
+namespace cqa {
+namespace server {
+
+/// Bumped on any incompatible payload-layout change. A request with a
+/// different version gets a kCapabilityMismatch response.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on a frame payload. Anything larger is declared corrupt
+/// before allocation: no legitimate request or response approaches this,
+/// and the cap keeps a flipped length byte from provoking a 4 GiB
+/// buffer.
+inline constexpr std::uint32_t kMaxFramePayload = 4u << 20;  // 4 MiB
+
+/// Bytes of frame header preceding the payload: payload_len + crc.
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+enum class MutationKind : std::uint8_t {
+  kNone = 0,
+  kInsert = 1,
+  kDelete = 2,
+};
+
+/// One client->server message: solve `query_text` against database
+/// `db_name`, optionally preceded by a mutation batch (applied before
+/// the solve; a query-less pure mutation has empty query_text).
+struct Request {
+  std::uint64_t request_id = 0;
+  std::string db_name;
+  std::string query_text;
+  /// Forces a named backend (Service::Compile's forced_backend); empty
+  /// picks the dichotomy's own choice.
+  std::string forced_backend;
+  bool allow_unresolved = false;
+  /// Ask for the falsifying repair as named facts in the response.
+  bool want_witness = false;
+  /// Remaining budget in microseconds; 0 means no deadline. A *budget*
+  /// rather than an absolute time so client and server clocks never need
+  /// agreement; the server stamps the absolute deadline when it decodes
+  /// the frame.
+  std::uint64_t deadline_micros = 0;
+  MutationKind mutation_kind = MutationKind::kNone;
+  std::vector<FactSpec> mutation;
+};
+
+/// One server->client message. `request_id` echoes the request —
+/// responses may arrive out of submission order (a pipelined fast query
+/// can overtake a slow one), so the id is the only pairing.
+struct Response {
+  std::uint64_t request_id = 0;
+  /// StatusCode as its UPPER_SNAKE wire name (StatusCodeToString), so
+  /// the wire stays readable and new codes never renumber old ones.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool certain = false;
+  bool mutated = false;
+  std::string backend_name;
+  std::uint64_t num_facts = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t components_total = 0;
+  std::uint64_t components_cached = 0;
+  /// Falsifying repair as named facts (present only when the request set
+  /// want_witness, the answer was non-certain, and the backend explains).
+  bool has_witness = false;
+  std::vector<FactSpec> witness;
+};
+
+/// Wraps a finished payload in a frame header.
+std::string Frame(std::string_view payload);
+
+std::string EncodeRequest(const Request& req);
+std::string EncodeResponse(const Response& resp);
+
+/// Strict decoders over a *payload* (frame header already stripped and
+/// CRC already verified): any truncation, bound violation, unknown
+/// enum value, or trailing byte is a typed kCorruptedData error.
+[[nodiscard]] Status DecodeRequest(std::string_view payload, Request* out);
+[[nodiscard]] Status DecodeResponse(std::string_view payload, Response* out);
+
+/// Incremental frame decoder for a byte stream. Feed() appends whatever
+/// the socket produced; Next() yields one decoded payload at a time.
+class FrameReader {
+ public:
+  enum class Result {
+    kFrame,     ///< *payload filled with one complete, CRC-checked payload.
+    kNeedMore,  ///< No complete frame buffered; Feed() more bytes.
+    kCorrupt,   ///< Bad CRC or oversized length. Connection-fatal: the
+                ///< reader stays poisoned and yields kCorrupt forever.
+  };
+
+  void Feed(std::string_view bytes);
+  Result Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace server
+}  // namespace cqa
+
+#endif  // CQA_SERVER_PROTOCOL_H_

@@ -1,0 +1,382 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "store/format.h"
+
+namespace cqa {
+namespace server {
+
+namespace {
+
+// Best-effort request id from a payload that failed full decode, so the
+// error response can still be paired by a pipelining client. Zero when
+// not even the header survived.
+std::uint64_t PeekRequestId(std::string_view payload) {
+  store::ByteReader r(payload);
+  std::uint8_t version = 0;
+  std::uint64_t id = 0;
+  if (!r.U8(&version) || !r.U64(&id)) return 0;
+  return id;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  // MSG_NOSIGNAL: a client that hung up must cost EPIPE, not SIGPIPE.
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(options) {
+  std::uint32_t n = options_.num_workers;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 2;
+  workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::ServeFd(int fd) {
+  auto conn = std::make_shared<Connection>(fd);
+  std::lock_guard lock(conns_mu_);
+  if (!accepting_) {
+    return Status(StatusCode::kInvalidArgument,
+                  "server is stopped; cannot adopt a connection");
+  }
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  connections_open_.fetch_add(1, std::memory_order_relaxed);
+  conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  conns_.push_back(conn);
+  return Status::Ok();
+}
+
+Status Server::ListenTcp(std::uint16_t port) {
+  {
+    std::lock_guard lock(conns_mu_);
+    if (!accepting_) {
+      return Status(StatusCode::kInvalidArgument, "server is stopped");
+    }
+    if (listen_fd_ >= 0) {
+      return Status(StatusCode::kInvalidArgument, "already listening");
+    }
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(StatusCode::kIoError, "socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kIoError,
+                  "bind/listen on 127.0.0.1:" + std::to_string(port) +
+                      " failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kIoError, "getsockname() failed");
+  }
+  {
+    std::lock_guard lock(conns_mu_);
+    listen_fd_ = fd;
+  }
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener shut down (or fatal): stop accepting
+    if (!ServeFd(fd).ok()) return;
+  }
+}
+
+void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  FrameReader frames;
+  std::string payload;
+  char buf[64 * 1024];
+  bool corrupt = false;
+  while (!corrupt) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF, peer reset, or Stop()'s shutdown(SHUT_RD)
+    frames.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    for (;;) {
+      FrameReader::Result result = frames.Next(&payload);
+      if (result == FrameReader::Result::kNeedMore) break;
+      if (result == FrameReader::Result::kCorrupt) {
+        // The stream offset itself is gone; no response can be paired.
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        corrupt = true;
+        break;
+      }
+      HandleFrame(conn, payload);
+    }
+  }
+  // A poisoned stream gets a full hang-up so the client sees EOF rather
+  // than waiting on responses that can never be paired. A clean EOF
+  // (client half-closed to collect pipelined responses) must NOT: the
+  // write side stays open until the workers have answered everything.
+  if (corrupt) ::shutdown(conn->fd, SHUT_RDWR);
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         const std::string& payload) {
+  Job job;
+  job.conn = conn;
+  Status decoded = DecodeRequest(payload, &job.request);
+  if (!decoded.ok()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    RespondError(conn, PeekRequestId(payload), decoded);
+    return;
+  }
+  if (job.request.deadline_micros != 0) {
+    job.has_deadline = true;
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(job.request.deadline_micros);
+  }
+  if (options_.test_admission_delay.count() != 0) {
+    std::this_thread::sleep_for(options_.test_admission_delay);
+  }
+  if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+    deadline_admission_.fetch_add(1, std::memory_order_relaxed);
+    RespondError(conn, job.request.request_id,
+                 Status(StatusCode::kDeadlineExceeded,
+                        "deadline expired before admission"));
+    return;
+  }
+  {
+    std::lock_guard lock(queue_mu_);
+    if (stopping_) {
+      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      RespondError(conn, job.request.request_id,
+                   Status(StatusCode::kOverloaded,
+                          "server stopping; request not admitted"));
+      return;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+      RespondError(conn, job.request.request_id,
+                   Status(StatusCode::kOverloaded,
+                          "admission queue full (" +
+                              std::to_string(options_.max_queue) +
+                              "); request not executed, safe to retry"));
+      return;
+    }
+    queue_.push_back(std::move(job));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t depth = queue_.size();
+    std::uint64_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_queue_depth_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful drain: exit only once every admitted request is gone.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.test_dequeue_delay.count() != 0) {
+      std::this_thread::sleep_for(options_.test_dequeue_delay);
+    }
+    // Counted before the response goes out, so a client holding a
+    // response can never observe completed < its own request.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (job.has_deadline &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      deadline_dequeue_.fetch_add(1, std::memory_order_relaxed);
+      RespondError(job.conn, job.request.request_id,
+                   Status(StatusCode::kDeadlineExceeded,
+                          "deadline expired while queued"));
+    } else {
+      Execute(job);
+    }
+  }
+}
+
+void Server::Execute(Job& job) {
+  const Request& req = job.request;
+  auto expired = [&job] {
+    return job.has_deadline &&
+           std::chrono::steady_clock::now() >= job.deadline;
+  };
+
+  Response resp;
+  resp.request_id = req.request_id;
+
+  if (req.mutation_kind != MutationKind::kNone) {
+    Status mutated =
+        req.mutation_kind == MutationKind::kInsert
+            ? service_.InsertFacts(req.db_name, req.mutation)
+            : service_.DeleteFacts(req.db_name, req.mutation);
+    if (!mutated.ok()) {
+      RespondError(job.conn, req.request_id, mutated);
+      return;
+    }
+    resp.mutated = true;
+    if (expired()) {
+      deadline_pipeline_.fetch_add(1, std::memory_order_relaxed);
+      RespondError(job.conn, req.request_id,
+                   Status(StatusCode::kDeadlineExceeded,
+                          "deadline expired after mutation "
+                          "(mutation applied, query not run)"));
+      return;
+    }
+  }
+
+  if (req.query_text.empty()) {
+    // Pure mutation: acknowledge it.
+    Respond(job.conn, resp);
+    return;
+  }
+
+  CompileOptions copts;
+  copts.forced_backend = req.forced_backend;
+  copts.allow_unresolved = req.allow_unresolved;
+  StatusOr<CompiledQuery> q = service_.Compile(req.query_text, copts);
+  if (!q.ok()) {
+    RespondError(job.conn, req.request_id, q.status());
+    return;
+  }
+  if (expired()) {
+    deadline_pipeline_.fetch_add(1, std::memory_order_relaxed);
+    RespondError(job.conn, req.request_id,
+                 Status(StatusCode::kDeadlineExceeded,
+                        "deadline expired after compile"));
+    return;
+  }
+
+  StatusOr<SolveReport> report =
+      service_.Solve(*q, req.db_name, /*name_witness=*/req.want_witness);
+  if (!report.ok()) {
+    RespondError(job.conn, req.request_id, report.status());
+    return;
+  }
+  resp.certain = report->certain;
+  resp.backend_name = report->backend_name;
+  resp.num_facts = report->num_facts;
+  resp.num_blocks = report->num_blocks;
+  resp.components_total = report->components_total;
+  resp.components_cached = report->components_cached;
+  if (req.want_witness && report->named_witness.has_value()) {
+    resp.has_witness = true;
+    resp.witness = *report->named_witness;
+  }
+  Respond(job.conn, resp);
+}
+
+void Server::Respond(const std::shared_ptr<Connection>& conn,
+                     const Response& resp) {
+  std::string frame = Frame(EncodeResponse(resp));
+  std::lock_guard lock(conn->write_mu);
+  SendAll(conn->fd, frame);  // a vanished client is its own problem
+}
+
+void Server::RespondError(const std::shared_ptr<Connection>& conn,
+                          std::uint64_t request_id, const Status& status) {
+  Response resp;
+  resp.request_id = request_id;
+  resp.code = status.code();
+  resp.message = status.message();
+  Respond(conn, resp);
+}
+
+void Server::Stop() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  int listen_fd = -1;
+  {
+    std::lock_guard lock(conns_mu_);
+    if (!accepting_) return;  // idempotent
+    accepting_ = false;
+    conns.swap(conns_);
+    listen_fd = listen_fd_;
+    listen_fd_ = -1;
+  }
+  // Wake the acceptor: shutdown() on a listening socket fails the
+  // blocked accept() on Linux; then the fd can be closed safely.
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd);
+  }
+  // Unblock every reader (recv returns 0) and let them finish enqueueing
+  // what they had already buffered.
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  // No reader remains, so no new admissions: drain and join the workers.
+  {
+    std::lock_guard lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Dropping `conns` closes the sockets (after all responses are out).
+}
+
+ServiceStats Server::Stats() const {
+  ServiceStats stats = service_.Stats();
+  auto& s = stats.server;
+  s.queue_capacity = options_.max_queue;
+  {
+    std::lock_guard lock(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed_overloaded = shed_overloaded_.load(std::memory_order_relaxed);
+  s.deadline_rejected_admission =
+      deadline_admission_.load(std::memory_order_relaxed);
+  s.deadline_rejected_dequeue =
+      deadline_dequeue_.load(std::memory_order_relaxed);
+  s.deadline_rejected_pipeline =
+      deadline_pipeline_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace server
+}  // namespace cqa

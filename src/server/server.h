@@ -1,0 +1,155 @@
+// Network front end for cqa::Service.
+//
+// Architecture: one reader thread per connection decodes frames off the
+// socket and *admits* requests into one bounded queue; a fixed worker
+// pool drains the queue and runs the request pipeline (mutate → compile
+// → solve) against the wrapped Service; responses go back over the
+// request's connection under a per-connection write lock, tagged with the
+// request's id (a pipelined fast query may overtake a slow one, so
+// responses are matched by id, not order).
+//
+// Admission control: the queue is the only buffer. When it is full the
+// reader sheds the request immediately with kOverloaded — a typed,
+// retry-safe signal that the request was *never executed* — instead of
+// queueing unboundedly and timing everything out. Deadlines ride along
+// as a microsecond budget stamped at decode time and are re-checked at
+// every hand-off: at admission, at dequeue, and between pipeline stages,
+// so an expired request stops consuming the server at the next boundary
+// (kDeadlineExceeded; a mutation already applied is reported as such in
+// the error message — mutations are not rolled back mid-pipeline).
+//
+// Shutdown is graceful: Stop() closes the listener, wakes the readers,
+// then lets the workers drain every admitted request to a response
+// before joining — an admitted request is never silently dropped.
+//
+// Thread-safety: all public methods are safe to call from any thread;
+// Stop() is idempotent. The Server holds no lock while calling into the
+// Service, so its internals sit outside the engine's lock hierarchy.
+
+#ifndef CQA_SERVER_SERVER_H_
+#define CQA_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "api/status.h"
+#include "server/protocol.h"
+
+namespace cqa {
+namespace server {
+
+struct ServerOptions {
+  /// Worker threads executing requests; 0 means hardware concurrency.
+  std::uint32_t num_workers = 4;
+  /// Admission-queue bound; a request arriving at a full queue is shed
+  /// with kOverloaded without executing.
+  std::size_t max_queue = 64;
+  /// Test hooks: artificial stalls before the admission deadline check
+  /// (reader side) and after dequeue before the dequeue deadline check
+  /// (worker side). They make "deadline expired while queued/admitted"
+  /// deterministic in tests; zero (always, in production) disables them.
+  std::chrono::microseconds test_admission_delay{0};
+  std::chrono::microseconds test_dequeue_delay{0};
+};
+
+/// One server per Service. Connections come from ServeFd (an adopted
+/// socket, e.g. one end of a socketpair) or ListenTcp; both can be mixed.
+class Server {
+ public:
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adopts `fd` (the server closes it) as a client connection and
+  /// starts serving it. Errors: kInvalidArgument after Stop().
+  [[nodiscard]] Status ServeFd(int fd);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back
+  /// with port()) and accepts connections until Stop(). Errors:
+  /// kIoError (bind/listen), kInvalidArgument (already listening or
+  /// stopped).
+  [[nodiscard]] Status ListenTcp(std::uint16_t port);
+
+  /// Port bound by ListenTcp; 0 before a successful ListenTcp.
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stops accepting, unblocks readers, drains every
+  /// admitted request to a response, joins all threads. Idempotent.
+  void Stop();
+
+  /// Service stats with ServiceStats::server filled in.
+  ServiceStats Stats() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WorkerLoop();
+  void AcceptLoop();
+  /// Decode one framed payload and either enqueue it or answer the
+  /// admission error (shed / expired / malformed) directly.
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload);
+  void Execute(Job& job);
+  void Respond(const std::shared_ptr<Connection>& conn,
+               const Response& resp);
+  void RespondError(const std::shared_ptr<Connection>& conn,
+                    std::uint64_t request_id, const Status& status);
+
+  Service& service_;
+  const ServerOptions options_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;  // guarded by queue_mu_
+
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;  // guarded by conns_mu_
+  bool accepting_ = true;                           // guarded by conns_mu_
+
+  int listen_fd_ = -1;
+  std::atomic<std::uint16_t> port_{0};
+  std::thread acceptor_;
+
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_overloaded_{0};
+  std::atomic<std::uint64_t> deadline_admission_{0};
+  std::atomic<std::uint64_t> deadline_dequeue_{0};
+  std::atomic<std::uint64_t> deadline_pipeline_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+};
+
+}  // namespace server
+}  // namespace cqa
+
+#endif  // CQA_SERVER_SERVER_H_

@@ -42,7 +42,9 @@ TEST(StatusTest, CodeNamesRoundTrip) {
         StatusCode::kUnknownBackend, StatusCode::kCapabilityMismatch,
         StatusCode::kUnresolvedClass, StatusCode::kSchemaMismatch,
         StatusCode::kNotFound, StatusCode::kAlreadyExists,
-        StatusCode::kInvalidArgument}) {
+        StatusCode::kInvalidArgument, StatusCode::kIoError,
+        StatusCode::kCorruptedData, StatusCode::kOverloaded,
+        StatusCode::kDeadlineExceeded}) {
     std::string_view name = ToString(code);
     EXPECT_NE(name, "?");
     auto parsed = StatusCodeFromString(name);

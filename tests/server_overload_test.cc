@@ -1,0 +1,245 @@
+// Overload and deadline behavior of the serving layer, exercised with
+// more client connections than worker threads (TSan shard).
+//
+// The properties that make bounded admission *trustworthy*:
+//   - a shed request is shed cleanly: typed kOverloaded, never executed,
+//     never a lost or duplicated response;
+//   - every admitted request is answered exactly once, even across a
+//     graceful Stop() (shutdown drains the queue, it never drops it);
+//   - the queue never exceeds its configured bound;
+//   - an expired deadline is refused at admission and again at dequeue,
+//     each with its own counter, so a saturated server stops burning
+//     workers on answers nobody is waiting for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "gen/workloads.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace cqa {
+namespace {
+
+using server::Client;
+using server::Request;
+using server::Response;
+using server::Server;
+using server::ServerOptions;
+
+constexpr const char* kQuery = "R(x | y) R(y | z)";
+
+void RegisterSmallDb(Service& service, const char* name) {
+  StatusOr<CompiledQuery> q = service.Compile(kQuery);
+  CQA_CHECK(q.ok());
+  Rng rng(42);
+  Database db = ChainInstance(q->query(), 3, 0.5, 0.5, &rng);
+  CQA_CHECK(service.RegisterDatabase(name, std::move(db)).ok());
+}
+
+Client ConnectedClient(Server& server) {
+  int client_fd = -1;
+  int server_fd = -1;
+  CQA_CHECK(server::LocalSocketPair(&client_fd, &server_fd).ok());
+  CQA_CHECK(server.ServeFd(server_fd).ok());
+  return Client::FromFd(client_fd);
+}
+
+TEST(ServerOverloadTest, SaturationShedsCleanlyAndLosesNothing) {
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+
+  Service service;
+  RegisterSmallDb(service, "db");
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_queue = 4;
+  // Stall each worker per job so eight pipelining clients outrun two
+  // workers and the 4-deep queue must shed.
+  options.test_dequeue_delay = std::chrono::microseconds(2000);
+  Server server(service, options);
+
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> shed_count{0};
+  std::atomic<std::uint64_t> other_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &server, &ok_count, &shed_count, &other_count] {
+      Client client = ConnectedClient(server);
+      // Pipeline: fire everything, then collect. Responses may arrive
+      // out of order; every id must come back exactly once.
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.request_id =
+            static_cast<std::uint64_t>(c) * 1000 + static_cast<std::uint64_t>(i) + 1;
+        req.db_name = "db";
+        req.query_text = kQuery;
+        ASSERT_TRUE(client.Send(req).ok());
+      }
+      std::map<std::uint64_t, int> seen;
+      for (int i = 0; i < kPerClient; ++i) {
+        StatusOr<Response> resp = client.Receive();
+        ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+        ++seen[resp->request_id];
+        if (resp->code == StatusCode::kOk) {
+          ++ok_count;
+        } else if (resp->code == StatusCode::kOverloaded) {
+          // Shed means *never executed*: no partial result attached.
+          EXPECT_FALSE(resp->certain);
+          EXPECT_TRUE(resp->backend_name.empty());
+          ++shed_count;
+        } else {
+          ++other_count;
+        }
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(kPerClient));
+      for (const auto& [id, count] : seen) {
+        EXPECT_EQ(count, 1) << "request " << id << " answered " << count
+                            << " times";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(other_count.load(), 0u);
+  EXPECT_GT(shed_count.load(), 0u) << "queue of 4 never overflowed";
+  EXPECT_GT(ok_count.load(), 0u);
+  EXPECT_EQ(ok_count.load() + shed_count.load(),
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+
+  ServiceStats stats = server.Stats();
+  EXPECT_EQ(stats.server.shed_overloaded, shed_count.load());
+  EXPECT_EQ(stats.server.admitted, ok_count.load());
+  EXPECT_EQ(stats.server.admitted, stats.server.completed);
+  EXPECT_LE(stats.server.peak_queue_depth, stats.server.queue_capacity);
+  EXPECT_EQ(stats.server.queue_depth, 0u);
+  server.Stop();
+}
+
+TEST(ServerOverloadTest, GracefulStopDrainsEveryAdmittedRequest) {
+  constexpr int kRequests = 12;
+
+  Service service;
+  RegisterSmallDb(service, "db");
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 32;
+  options.test_dequeue_delay = std::chrono::microseconds(1000);
+  Server server(service, options);
+  Client client = ConnectedClient(server);
+
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.request_id = static_cast<std::uint64_t>(i) + 1;
+    req.db_name = "db";
+    req.query_text = kQuery;
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  // Half-close so the reader sees EOF once it has admitted everything,
+  // and wait for all twelve admissions (Stop()'s reader hang-up discards
+  // unread socket bytes, which is fine for *unadmitted* requests but
+  // would make this test race on them). Then Stop() — it must block
+  // until the single slow worker has drained the queue, not abandon it.
+  client.ShutdownWrite();
+  while (server.Stats().server.admitted <
+         static_cast<std::uint64_t>(kRequests)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+
+  ServiceStats stats = server.Stats();
+  EXPECT_EQ(stats.server.admitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.server.completed, stats.server.admitted);
+  EXPECT_EQ(stats.server.queue_depth, 0u);
+
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < kRequests; ++i) {
+    StatusOr<Response> resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << "response " << i << " lost in shutdown: "
+                           << resp.status().ToString();
+    EXPECT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    ++seen[resp->request_id];
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRequests));
+}
+
+TEST(ServerOverloadTest, ExpiredDeadlineRejectedAtAdmission) {
+  Service service;
+  RegisterSmallDb(service, "db");
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 8;
+  // The reader stalls 20ms before the admission check; a 1ms budget is
+  // deterministically dead on arrival.
+  options.test_admission_delay = std::chrono::microseconds(20000);
+  Server server(service, options);
+  Client client = ConnectedClient(server);
+
+  Request doomed;
+  doomed.request_id = 1;
+  doomed.db_name = "db";
+  doomed.query_text = kQuery;
+  doomed.deadline_micros = 1000;
+  StatusOr<Response> resp = client.Call(doomed);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kDeadlineExceeded);
+
+  // No deadline sails through the same stall.
+  Request fine;
+  fine.request_id = 2;
+  fine.db_name = "db";
+  fine.query_text = kQuery;
+  StatusOr<Response> ok = client.Call(fine);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->code, StatusCode::kOk) << ok->message;
+
+  ServiceStats stats = server.Stats();
+  EXPECT_EQ(stats.server.deadline_rejected_admission, 1u);
+  EXPECT_EQ(stats.server.deadline_rejected_dequeue, 0u);
+  server.Stop();
+}
+
+TEST(ServerOverloadTest, DeadlineExpiredInQueueRejectedAtDequeue) {
+  Service service;
+  RegisterSmallDb(service, "db");
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 8;
+  // Admission is instant, but the worker stalls 20ms after dequeue: the
+  // 1ms budget survives admission and dies in the queue.
+  options.test_dequeue_delay = std::chrono::microseconds(20000);
+  Server server(service, options);
+  Client client = ConnectedClient(server);
+
+  Request doomed;
+  doomed.request_id = 1;
+  doomed.db_name = "db";
+  doomed.query_text = kQuery;
+  doomed.deadline_micros = 1000;
+  StatusOr<Response> resp = client.Call(doomed);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kDeadlineExceeded);
+
+  ServiceStats stats = server.Stats();
+  EXPECT_EQ(stats.server.deadline_rejected_admission, 0u);
+  EXPECT_EQ(stats.server.deadline_rejected_dequeue, 1u);
+  // Rejected-at-dequeue still counts as completed: it was admitted and
+  // it was answered.
+  EXPECT_EQ(stats.server.admitted, stats.server.completed);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cqa
